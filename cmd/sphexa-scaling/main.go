@@ -1,0 +1,102 @@
+// Command sphexa-scaling regenerates the strong-scaling figures of the
+// paper's §5.2 (Figures 1-3): average time per time-step versus core count
+// for SPHYNX, ChaNGa, and SPH-flow on modeled Piz Daint and MareNostrum 4.
+//
+//	sphexa-scaling -fig 1                      # all Figure 1 curves
+//	sphexa-scaling -code changa -test square   # one curve
+//	sphexa-scaling -code sphynx -test evrard -machine marenostrum -exec-n 32000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/codes"
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		fig     = flag.Int("fig", 0, "reproduce a whole paper figure (1, 2, or 3); 0 = single curve")
+		code    = flag.String("code", "sphynx", "parent code: sphynx, changa, sphflow")
+		test    = flag.String("test", "square", "test case: square, evrard")
+		machine = flag.String("machine", "daint", "machine model: daint, marenostrum")
+		n       = flag.Int("n", experiments.PaperN, "modeled particle count")
+		execN   = flag.Int("exec-n", 64000, "executed particle count (work scaled to -n)")
+		steps   = flag.Int("steps", experiments.PaperSteps, "time steps per point")
+		cores   = flag.String("cores", "", "comma-separated core counts (default: the figure's ladder)")
+		pop     = flag.Bool("pop", false, "also print the POP efficiency sweep (§5.2)")
+		weak    = flag.Int("weak", 0, "run WEAK scaling at this many particles/core instead (the paper's declared future work)")
+	)
+	flag.Parse()
+
+	opt := experiments.Options{N: *n, ExecN: *execN, Steps: *steps}
+	if *cores != "" {
+		for _, f := range strings.Split(*cores, ",") {
+			c, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sphexa-scaling: bad -cores entry %q\n", f)
+				os.Exit(1)
+			}
+			opt.Cores = append(opt.Cores, c)
+		}
+	}
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "sphexa-scaling:", err)
+		os.Exit(1)
+	}
+
+	if *weak > 0 {
+		s, err := experiments.RunWeakScaling(*code, codes.Test(*test), *machine, *weak, opt)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(s.Format())
+		return
+	}
+
+	var series []*experiments.ScalingSeries
+	switch *fig {
+	case 0:
+		s, err := experiments.RunScaling(*code, codes.Test(*test), *machine, opt)
+		if err != nil {
+			fail(err)
+		}
+		series = append(series, s)
+	case 1:
+		s, err := experiments.Fig1(opt)
+		if err != nil {
+			fail(err)
+		}
+		series = s
+	case 2:
+		s, err := experiments.Fig2(opt)
+		if err != nil {
+			fail(err)
+		}
+		series = s
+	case 3:
+		s, err := experiments.Fig3(opt)
+		if err != nil {
+			fail(err)
+		}
+		series = s
+	default:
+		fail(fmt.Errorf("no figure %d (paper has 1-3 as scaling figures)", *fig))
+	}
+
+	for _, s := range series {
+		fmt.Println(s.Format())
+	}
+	if *pop {
+		points, err := experiments.POPSweep(opt)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.FormatPOP(points))
+	}
+}

@@ -1,0 +1,36 @@
+// Command sphexa-tables regenerates the paper's Tables 1-5: the parent-code
+// feature matrices (1, 3), the mini-app outlook tables (2, 4), and the test
+// simulation summary (5).
+//
+//	sphexa-tables            # all tables
+//	sphexa-tables -table 3   # one table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	table := flag.Int("table", 0, "table number 1-5 (0 = all)")
+	flag.Parse()
+
+	print := func(n int) {
+		out, err := experiments.Table(n)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sphexa-tables:", err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+	if *table != 0 {
+		print(*table)
+		return
+	}
+	for n := 1; n <= 5; n++ {
+		print(n)
+	}
+}

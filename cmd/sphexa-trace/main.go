@@ -1,0 +1,53 @@
+// Command sphexa-trace reproduces the paper's Figure 4: an Extrae-style
+// visualization of one SPHYNX time-step (Evrard collapse, 192 cores on
+// modeled Piz Daint), with phase annotations A-J and the POP efficiency
+// metrics discussed in §5.2.
+//
+//	sphexa-trace
+//	sphexa-trace -exec-n 32000 -sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		n     = flag.Int("n", experiments.PaperN, "modeled particle count")
+		execN = flag.Int("exec-n", 16000, "executed particle count")
+		sweep = flag.Bool("sweep", false, "also print the POP efficiency sweep across core counts")
+	)
+	flag.Parse()
+
+	opt := experiments.Options{N: *n, ExecN: *execN, Steps: 1}
+	res, err := experiments.Fig4(opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sphexa-trace:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("Figure 4 reproduction: SPHYNX Evrard time-step at %d cores (16 ranks x 12 threads)\n", res.CoresUsed)
+	fmt.Printf("phases: A=tree B=neighbors+h E=density F=eos G=IAD H=momentum/energy I=gravity J=update\n\n")
+	fmt.Println(res.Timeline)
+	fmt.Println("Per-phase totals across ranks (simulated seconds):")
+	fmt.Printf("%12s %14s %14s %14s\n", "phase", "compute", "mpi", "other")
+	for _, ph := range res.Phases {
+		fmt.Printf("%12s %14.4f %14.4f %14.4f\n", ph.Phase, ph.Compute, ph.MPI, ph.Other)
+	}
+	m := res.Metrics
+	fmt.Printf("\nPOP metrics: load balance %.3f, communication efficiency %.3f, parallel efficiency %.3f\n",
+		m.LoadBalance, m.CommEfficiency, m.ParallelEfficiency)
+
+	if *sweep {
+		points, err := experiments.POPSweep(experiments.Options{N: *n, ExecN: *execN, Steps: 2, Cores: []int{12, 48, 96, 192}})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sphexa-trace:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		fmt.Println(experiments.FormatPOP(points))
+	}
+}

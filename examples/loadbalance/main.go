@@ -1,0 +1,83 @@
+// Load balancing demo (paper §5.2 + Table 4): the paper's Extrae analysis
+// found that "most of the efficiency loss comes from an increased load
+// imbalance". This example shows both of the mini-app's answers:
+//
+//  1. intra-node: dynamic loop self-scheduling (static vs GSS vs FAC vs
+//     AWF) on an SPH density loop with a clustered particle distribution;
+//  2. inter-node: weighted domain re-decomposition (ORB and Hilbert SFC)
+//     using per-particle neighbor counts as the cost model.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/domain"
+	"repro/internal/eos"
+	"repro/internal/ic"
+	"repro/internal/kernel"
+	"repro/internal/sched"
+	"repro/internal/sfc"
+	"repro/internal/sph"
+)
+
+func main() {
+	// A clustered (Evrard) particle distribution: central particles have
+	// far more neighbors inside 2h than edge particles -> skewed work.
+	ev := ic.DefaultEvrard(20000)
+	ev.NNeighbors = 60
+	ps, pbc, box := ev.Generate()
+	p := &sph.Params{
+		Kernel: kernel.NewSinc(5), EOS: eos.NewIdealGas(5.0 / 3.0),
+		NNeighbors: 60, PBC: pbc, Box: box, Workers: 1,
+	}
+	if err := p.Defaults(); err != nil {
+		log.Fatal(err)
+	}
+	tr := sph.BuildTree(ps, p)
+	nl := sph.UpdateSmoothingLengths(ps, tr, p)
+
+	// Part 1: intra-node self-scheduling over the density loop.
+	const workers = 4
+	densityOf := func(i int) {
+		h := ps.H[i]
+		rho := ps.Mass[i] * p.Kernel.W(0, h)
+		for _, j := range nl.Of(i) {
+			d := pbc.Wrap(ps.Pos[i].Sub(ps.Pos[j]))
+			rho += ps.Mass[j] * p.Kernel.W(d.Norm(), h)
+		}
+		ps.Rho[i] = rho
+	}
+	fmt.Printf("intra-node DLB: density loop over %d clustered particles, %d workers\n", ps.NLocal, workers)
+	fmt.Printf("%-8s %12s %8s\n", "policy", "load balance", "chunks")
+	for _, name := range []string{"static", "gss", "fac", "awf"} {
+		pol, err := sched.ByName(name, ps.NLocal, workers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		stats := sched.Run(ps.NLocal, workers, pol, densityOf)
+		chunks := 0
+		for _, s := range stats {
+			chunks += s.Chunks
+		}
+		fmt.Printf("%-8s %12.3f %8d\n", name, sched.Imbalance(stats), chunks)
+	}
+
+	// Part 2: inter-node decomposition with measured weights.
+	weights := make([]float64, ps.NLocal)
+	for i := range weights {
+		weights[i] = 1 + float64(ps.NN[i]) // neighbor count = per-particle cost
+	}
+	fmt.Printf("\ninter-node decomposition over 16 ranks (weights = neighbor counts):\n")
+	fmt.Printf("%-14s %18s %18s\n", "method", "count imbalance", "work imbalance")
+	for _, m := range []domain.Method{domain.ORB, domain.MortonSFC, domain.HilbertSFC} {
+		unweighted := domain.Decompose(m, ps, sfcBox(box), 16, nil)
+		weighted := domain.Decompose(m, ps, sfcBox(box), 16, weights)
+		fmt.Printf("%-14s %18.3f %18.3f   (static split work imbalance: %.3f)\n",
+			m, weighted.Imbalance(16, nil), weighted.Imbalance(16, weights),
+			unweighted.Imbalance(16, weights))
+	}
+	fmt.Println("\nweighted re-decomposition flattens the work imbalance the static split leaves behind")
+}
+
+func sfcBox(b sfc.Box) sfc.Box { return b }

@@ -1,0 +1,122 @@
+package conserve
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/part"
+	"repro/internal/vec"
+)
+
+func twoBody() *part.Set {
+	ps := part.New(2)
+	ps.Mass[0], ps.Mass[1] = 2, 3
+	ps.Pos[0] = vec.V3{X: 1}
+	ps.Pos[1] = vec.V3{X: -1}
+	ps.Vel[0] = vec.V3{Y: 1}
+	ps.Vel[1] = vec.V3{Y: -2}
+	ps.U[0], ps.U[1] = 0.5, 0.25
+	return ps
+}
+
+func TestMeasureKnown(t *testing.T) {
+	st := Measure(twoBody(), nil)
+	if st.Mass != 5 {
+		t.Errorf("Mass = %g", st.Mass)
+	}
+	// p = 2*(0,1,0) + 3*(0,-2,0) = (0,-4,0)
+	if st.Momentum != (vec.V3{Y: -4}) {
+		t.Errorf("Momentum = %v", st.Momentum)
+	}
+	// L = 2*(1,0,0)x(0,1,0) + 3*(-1,0,0)x(0,-2,0) = 2(0,0,1)+3(0,0,2) = (0,0,8)
+	if st.AngularMomentum != (vec.V3{Z: 8}) {
+		t.Errorf("AngularMomentum = %v", st.AngularMomentum)
+	}
+	// KE = 0.5*2*1 + 0.5*3*4 = 7
+	if st.Kinetic != 7 {
+		t.Errorf("Kinetic = %g", st.Kinetic)
+	}
+	// U = 2*0.5 + 3*0.25 = 1.75
+	if st.Internal != 1.75 {
+		t.Errorf("Internal = %g", st.Internal)
+	}
+	if st.Total() != 8.75 {
+		t.Errorf("Total = %g", st.Total())
+	}
+}
+
+func TestMeasureWithPotential(t *testing.T) {
+	ps := twoBody()
+	st := Measure(ps, []float64{-1, -2})
+	// E_pot = 0.5*(2*-1 + 3*-2) = -4
+	if st.Potential != -4 {
+		t.Errorf("Potential = %g", st.Potential)
+	}
+}
+
+func TestCompareZeroDrift(t *testing.T) {
+	st := Measure(twoBody(), nil)
+	d := Compare(st, st)
+	if d.Worst() != 0 {
+		t.Errorf("self-drift = %v", d)
+	}
+}
+
+func TestCompareDetectsChanges(t *testing.T) {
+	a := Measure(twoBody(), nil)
+	ps := twoBody()
+	ps.Vel[0].Y *= 1.01
+	b := Measure(ps, nil)
+	d := Compare(a, b)
+	if d.Momentum == 0 || d.Energy == 0 {
+		t.Errorf("drift blind to velocity change: %v", d)
+	}
+	if d.Mass != 0 {
+		t.Errorf("mass drift for velocity change: %v", d)
+	}
+}
+
+func TestCompareZeroMomentumSystem(t *testing.T) {
+	// Both paper test cases start with zero net momentum; the drift metric
+	// must normalize by a kinetic scale, not blow up.
+	ps := part.New(2)
+	ps.Mass[0], ps.Mass[1] = 1, 1
+	ps.Vel[0] = vec.V3{X: 1}
+	ps.Vel[1] = vec.V3{X: -1}
+	a := Measure(ps, nil)
+	ps.Vel[0].X = 1.001
+	b := Measure(ps, nil)
+	d := Compare(a, b)
+	if math.IsNaN(d.Momentum) || math.IsInf(d.Momentum, 0) {
+		t.Fatalf("momentum drift = %v", d.Momentum)
+	}
+	if d.Momentum <= 0 || d.Momentum > 0.01 {
+		t.Fatalf("momentum drift = %v, want small positive", d.Momentum)
+	}
+}
+
+func TestDriftString(t *testing.T) {
+	d := Drift{Mass: 1e-3, Momentum: 2e-4, AngMom: 3e-5, Energy: 4e-6}
+	if d.String() == "" {
+		t.Error("empty drift string")
+	}
+	if d.Worst() != 1e-3 {
+		t.Errorf("Worst = %g", d.Worst())
+	}
+}
+
+func TestCheckFinite(t *testing.T) {
+	st := Measure(twoBody(), nil)
+	if err := st.CheckFinite(); err != nil {
+		t.Errorf("finite state rejected: %v", err)
+	}
+	st.Kinetic = math.NaN()
+	if err := st.CheckFinite(); err == nil {
+		t.Error("NaN kinetic accepted")
+	}
+	st = Measure(twoBody(), nil)
+	st.Momentum.X = math.Inf(1)
+	if err := st.CheckFinite(); err == nil {
+		t.Error("Inf momentum accepted")
+	}
+}

@@ -1,0 +1,553 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/domain"
+	"repro/internal/gravity"
+	"repro/internal/part"
+	"repro/internal/perfmodel"
+	"repro/internal/sfc"
+	"repro/internal/simmpi"
+	"repro/internal/sph"
+	"repro/internal/trace"
+	"repro/internal/tree"
+	"repro/internal/ts"
+	"repro/internal/vec"
+)
+
+// CodeCost calibrates how fast a parent code executes each workflow phase
+// (operations per core-second) plus its structural overheads. These
+// constants, per code, are what turn measured work counts into the modeled
+// per-step seconds of Figures 1-3; see internal/codes for the calibrated
+// values and EXPERIMENTS.md for the rationale.
+type CodeCost struct {
+	TreeRate     float64 // particles/s per core (phase A)
+	SearchRate   float64 // candidate neighbor visits/s per core (phases B-D)
+	PairRate     float64 // SPH pair interactions/s per core (phases E, G, H)
+	EOSRate      float64 // particles/s per core (phase F)
+	GravNodeRate float64 // multipole evaluations/s per core (phase I)
+	GravPairRate float64 // direct pair evaluations/s per core (phase I)
+	UpdateRate   float64 // particles/s per core (phase J)
+
+	// SerialFraction is the Amdahl serial fraction per phase (e.g. SPHYNX
+	// 1.3.1 built its tree serially — the paper's Figure 4 finding).
+	SerialFraction map[PhaseID]float64
+
+	// FixedPerStep is per-rank per-step runtime overhead in seconds
+	// (scheduler turnarounds, runtime bookkeeping; large for ChaNGa's
+	// square-patch runs per Figure 2a).
+	FixedPerStep float64
+
+	// HSweeps is the average number of smoothing-length iterations the code
+	// performs (multiplies the search work).
+	HSweeps float64
+}
+
+func (c *CodeCost) serial(ph PhaseID) float64 {
+	if c.SerialFraction == nil {
+		return 0
+	}
+	return c.SerialFraction[ph]
+}
+
+// ParallelConfig describes one strong-scaling run point.
+type ParallelConfig struct {
+	Core    Config
+	Machine *perfmodel.Machine
+	// Cores is the total core count (the paper's x-axis).
+	Cores int
+	// RanksPerNode: 1 models MPI+OpenMP (one rank per node, threads =
+	// cores/node, SPHYNX/ChaNGa); CoresPerNode models MPI-only (SPH-flow).
+	RanksPerNode int
+	Decomp       domain.Method
+	// DynamicLB re-decomposes with measured per-particle weights each step
+	// (ChaNGa); static decomposition keeps the initial split (SPHYNX).
+	DynamicLB bool
+	Cost      CodeCost
+	// WorkScale models a larger particle count than actually executed:
+	// compute work scales linearly, halo/ghost communication by the 2/3
+	// surface power. 1 = no scaling.
+	WorkScale float64
+	Tracer    *trace.Tracer
+	// Steps to simulate.
+	Steps int
+}
+
+// ParallelResult summarizes a strong-scaling run.
+type ParallelResult struct {
+	Cores          int
+	Ranks          int
+	ThreadsPerRank int
+	StepSeconds    []float64 // simulated seconds per step
+	AvgStepSeconds float64
+	Metrics        trace.Metrics
+	// HaloFraction is mean ghosts/owned, a surface-to-volume diagnostic.
+	HaloFraction float64
+}
+
+// message tags for the step protocol.
+const (
+	tagHaloCount = iota
+	tagHaloData
+	tagHaloUpdate
+	tagHaloTau
+)
+
+// RunParallel executes the distributed Algorithm 1 over the simulated
+// machine and returns scaling results. The particle set is decomposed
+// across ranks; hydrodynamics run for real on each rank's subdomain with
+// ghost exchanges, while the per-rank simulated clocks charge modeled
+// compute and network time.
+func RunParallel(cfg ParallelConfig, ps *part.Set) (*ParallelResult, error) {
+	_, res, err := RunParallelCapture(cfg, ps)
+	return res, err
+}
+
+// RunParallelCapture is RunParallel returning additionally the merged final
+// particle state (all ranks' owned particles, concatenated in rank order) —
+// the hook validation tests use to compare distributed and shared-memory
+// trajectories.
+func RunParallelCapture(cfg ParallelConfig, ps *part.Set) (*part.Set, *ParallelResult, error) {
+	if err := cfg.Core.Defaults(); err != nil {
+		return nil, nil, err
+	}
+	if cfg.Machine == nil {
+		return nil, nil, fmt.Errorf("core: ParallelConfig.Machine is nil")
+	}
+	if cfg.WorkScale <= 0 {
+		cfg.WorkScale = 1
+	}
+	if cfg.Steps <= 0 {
+		cfg.Steps = 1
+	}
+	rpn := cfg.RanksPerNode
+	if rpn <= 0 {
+		rpn = 1
+	}
+	nodes := cfg.Machine.NodeCount(cfg.Cores)
+	ranks := nodes * rpn
+	if ranks > cfg.Cores {
+		ranks = cfg.Cores
+	}
+	if ranks < 1 {
+		ranks = 1
+	}
+	threads := cfg.Cores / ranks
+	if threads < 1 {
+		threads = 1
+	}
+
+	// Initial decomposition (unit weights).
+	asg := domain.Decompose(cfg.Decomp, ps, cfg.Core.SPH.Box, ranks, nil)
+	locals := domain.Split(ps, asg, ranks)
+
+	net := cfg.Machine.NewNet(ranks, rpn)
+	world := simmpi.NewWorld(ranks, net)
+	tracer := cfg.Tracer
+
+	stepSeconds := make([]float64, cfg.Steps)
+	haloFracs := make([]float64, ranks)
+	controllers := make([]*ts.Controller, ranks)
+	for r := range controllers {
+		controllers[r] = ts.NewController(cfg.Core.Stepping)
+	}
+	lastDT := make([]float64, ranks)
+	haveKick := make([]bool, ranks)
+
+	// Shared slots for the replicated gravity solver (built by rank 0
+	// between collectives each step).
+	var gravSolver *gravity.Solver
+	var gravPos []vec.V3
+
+	byteScale := math.Pow(cfg.WorkScale, 2.0/3.0)
+
+	world.Run(func(r *simmpi.Rank) {
+		local := locals[r.ID]
+		p := cfg.Core.SPH // copy: per-rank worker count
+		p.Workers = 1     // rank goroutines already use host cores
+
+		record := func(ph PhaseID, st trace.State, t0, t1 float64) {
+			if tracer != nil {
+				tracer.Record(r.ID, string(ph), st, t0, t1)
+			}
+		}
+		charge := func(ph PhaseID, ops, rate float64, fn func()) {
+			t0 := r.Clock()
+			sec := cfg.Machine.PhaseSeconds(ops*cfg.WorkScale, rate, threads, cfg.Cost.serial(ph))
+			r.Compute(sec, fn)
+			record(ph, trace.Compute, t0, r.Clock())
+		}
+		comm := func(ph PhaseID, fn func()) {
+			t0 := r.Clock()
+			fn()
+			record(ph, trace.MPI, t0, r.Clock())
+		}
+
+		for step := 0; step < cfg.Steps; step++ {
+			stepStart := r.Clock()
+
+			// --- Halo exchange + tree + smoothing lengths. ---
+			// The halo margin must cover the *adapted* smoothing lengths,
+			// which are not known until after adaptation; iterate: exchange
+			// with a slack margin, adapt (restarting from the original h so
+			// the trajectory is identical to the shared-memory engine), and
+			// re-exchange with a wider margin if any h outgrew the slack.
+			local.DropGhosts()
+			hOrig := append([]float64(nil), local.H[:local.NLocal]...)
+			hmax := 0.0
+			for _, h := range hOrig {
+				if h > hmax {
+					hmax = h
+				}
+			}
+			var plan domain.HaloPlan
+			var tr2 *sph.NeighborList
+			ghostFrom := make([]int, ranks) // ghost range start per peer
+			exchanged := false
+			margin := 0.0
+			for attempt := 0; attempt < 4; attempt++ {
+				comm(PhaseNeighbors, func() {
+					type boxMsg struct {
+						B    domain.AABB
+						HMax float64
+					}
+					if exchanged {
+						local.DropGhosts()
+						copy(local.H[:local.NLocal], hOrig)
+					}
+					box := domain.BoundsOf(local)
+					gathered := r.Allgather(boxMsg{box, hmax}, 7*8)
+					peerBoxes := make([]domain.AABB, ranks)
+					ghmax := 0.0
+					for i, g := range gathered {
+						bm := g.(boxMsg)
+						peerBoxes[i] = bm.B
+						if bm.HMax > ghmax {
+							ghmax = bm.HMax
+						}
+					}
+					margin = 2 * ghmax * 1.5
+					plan = domain.PlanHalo(local, peerBoxes, r.ID, margin, p.PBC)
+					for peer := 0; peer < ranks; peer++ {
+						if peer == r.ID {
+							continue
+						}
+						sub := local.Select(plan.ToPeer[peer])
+						bytes := int(float64(len(plan.ToPeer[peer])) * domain.HaloBytesPerParticle * byteScale)
+						r.Send(peer, tagHaloData, bytes, sub)
+					}
+					for peer := 0; peer < ranks; peer++ {
+						if peer == r.ID {
+							continue
+						}
+						sub := r.Recv(peer, tagHaloData).(*part.Set)
+						ghostFrom[peer] = local.Len()
+						base := local.GrowGhosts(sub.NLocal)
+						for k := 0; k < sub.NLocal; k++ {
+							local.CopyFrom(base+k, sub, k)
+						}
+					}
+					exchanged = true
+				})
+
+				// --- Phase A: local tree build. ---
+				var localTree = sph.BuildTree(local, &p)
+				charge(PhaseTree, float64(local.Len()), cfg.Cost.TreeRate, nil)
+
+				// --- Phases B-D: neighbors + h. ---
+				charge(PhaseNeighbors,
+					float64(local.NLocal)*float64(p.NNeighbors)*math.Max(1, cfg.Cost.HSweeps),
+					cfg.Cost.SearchRate,
+					func() { tr2 = sph.UpdateSmoothingLengths(local, localTree, &p) })
+
+				newHmax := 0.0
+				for i := 0; i < local.NLocal; i++ {
+					if local.H[i] > newHmax {
+						newHmax = local.H[i]
+					}
+				}
+				out := r.AllreduceF64([]float64{newHmax}, simmpi.MaxF64)
+				if 2*out[0] <= margin {
+					break
+				}
+				hmax = out[0]
+			}
+			haloFracs[r.ID] = float64(local.NGhost()) / math.Max(1, float64(local.NLocal))
+			var interactions float64
+			for i := 0; i < local.NLocal; i++ {
+				interactions += float64(local.NN[i])
+			}
+
+			// --- Phase E: density. ---
+			charge(PhaseDensity, interactions, cfg.Cost.PairRate,
+				func() { sph.Density(local, tr2, &p) })
+
+			// --- Phase F: EOS. ---
+			charge(PhaseEOS, float64(local.NLocal), cfg.Cost.EOSRate,
+				func() { sph.EquationOfState(local, &p) })
+
+			// --- Ghost update: rho, P, C, VE (owners -> replicas). ---
+			comm(PhaseDensity, func() {
+				type upd struct{ Rho, P, C, VE, H []float64 }
+				for peer := 0; peer < ranks; peer++ {
+					if peer == r.ID {
+						continue
+					}
+					idxs := plan.ToPeer[peer]
+					u := upd{
+						Rho: make([]float64, len(idxs)), P: make([]float64, len(idxs)),
+						C: make([]float64, len(idxs)), VE: make([]float64, len(idxs)),
+						H: make([]float64, len(idxs)),
+					}
+					for k, i := range idxs {
+						u.Rho[k], u.P[k], u.C[k], u.VE[k], u.H[k] =
+							local.Rho[i], local.P[i], local.C[i], local.VE[i], local.H[i]
+					}
+					bytes := int(float64(len(idxs)) * 5 * 8 * byteScale)
+					r.Send(peer, tagHaloUpdate, bytes, u)
+				}
+				for peer := 0; peer < ranks; peer++ {
+					if peer == r.ID {
+						continue
+					}
+					u := r.Recv(peer, tagHaloUpdate).(upd)
+					base := ghostFrom[peer]
+					for k := range u.Rho {
+						local.Rho[base+k], local.P[base+k], local.C[base+k], local.VE[base+k], local.H[base+k] =
+							u.Rho[k], u.P[k], u.C[k], u.VE[k], u.H[k]
+					}
+				}
+			})
+
+			// --- Phase G: IAD (+ ghost Tau exchange). ---
+			if p.Gradients == sph.IAD {
+				charge(PhaseIAD, interactions, cfg.Cost.PairRate,
+					func() { sph.ComputeIAD(local, tr2, &p) })
+				comm(PhaseIAD, func() {
+					for peer := 0; peer < ranks; peer++ {
+						if peer == r.ID {
+							continue
+						}
+						idxs := plan.ToPeer[peer]
+						taus := make([]vec.Sym33, len(idxs))
+						for k, i := range idxs {
+							taus[k] = local.Tau[i]
+						}
+						bytes := int(float64(len(idxs)) * 6 * 8 * byteScale)
+						r.Send(peer, tagHaloTau, bytes, taus)
+					}
+					for peer := 0; peer < ranks; peer++ {
+						if peer == r.ID {
+							continue
+						}
+						taus := r.Recv(peer, tagHaloTau).([]vec.Sym33)
+						base := ghostFrom[peer]
+						for k := range taus {
+							local.Tau[base+k] = taus[k]
+						}
+					}
+				})
+			}
+
+			// --- Phase H: momentum + energy. ---
+			var fstats sph.ForceStats
+			charge(PhaseForces, interactions, cfg.Cost.PairRate,
+				func() { fstats = sph.MomentumEnergy(local, tr2, &p) })
+
+			// --- Phase I: gravity (replicated coarse solver). ---
+			if cfg.Core.Gravity {
+				comm(PhaseGravity, func() {
+					// Allgather particle data (pos+mass, 32 B each).
+					type gmsg struct {
+						Pos  []vec.V3
+						Mass []float64
+					}
+					bytes := int(float64(local.NLocal) * 32 * cfg.WorkScale)
+					gathered := r.Allgather(gmsg{local.Pos[:local.NLocal], local.Mass[:local.NLocal]}, bytes)
+					if r.ID == 0 {
+						var gp []vec.V3
+						var gm []float64
+						for _, g := range gathered {
+							m := g.(gmsg)
+							gp = append(gp, m.Pos...)
+							gm = append(gm, m.Mass...)
+						}
+						gt := sph.BuildTree(&part.Set{NLocal: len(gp), Pos: gp}, &p)
+						s := gravity.NewSolver(gt, gp, gm)
+						s.Order = cfg.Core.GravOrder
+						s.Theta = cfg.Core.Theta
+						s.Eps = cfg.Core.Eps
+						s.G = cfg.Core.G
+						gravSolver = s
+						gravPos = gp
+					}
+					r.Barrier() // publish solver
+				})
+				// Locate this rank's particles in the gathered array: ranks
+				// appended in order, so offset = sum of previous counts.
+				var res *gravity.Result
+				t0 := r.Clock()
+				offset := 0
+				for q := 0; q < r.ID; q++ {
+					offset += locals[q].NLocal
+				}
+				targets := make([]int32, local.NLocal)
+				for i := range targets {
+					targets[i] = int32(offset + i)
+				}
+				res = gravSolver.Accelerations(targets, 1)
+				ops := float64(res.NodeInteractions)*gravOrderCost(cfg.Core.GravOrder) +
+					float64(res.ParticleInteractions)
+				// Add this rank's share of the distributed tree+moment build.
+				ops += float64(len(gravPos)) / float64(ranks)
+				sec := cfg.Machine.PhaseSeconds(ops*cfg.WorkScale, cfg.Cost.GravNodeRate, threads, cfg.Cost.serial(PhaseGravity))
+				r.Compute(sec, nil)
+				record(PhaseGravity, trace.Compute, t0, r.Clock())
+				for i := 0; i < local.NLocal; i++ {
+					local.Acc[i] = local.Acc[i].Add(res.Acc[i])
+				}
+			}
+
+			// --- Phase J: global dt + integration. ---
+			var dt float64
+			comm(PhaseUpdate, func() {
+				out := r.AllreduceF64([]float64{fstats.MaxVSignal}, simmpi.MaxF64)
+				vsigGlobal := out[0]
+				dtLocal := controllers[r.ID].Step(local, vsigGlobal)
+				dtOut := r.AllreduceF64([]float64{dtLocal}, simmpi.MinF64)
+				dt = dtOut[0]
+				if cfg.Core.MaxDT > 0 && dt > cfg.Core.MaxDT {
+					dt = cfg.Core.MaxDT
+				}
+			})
+			charge(PhaseUpdate, float64(local.NLocal), cfg.Cost.UpdateRate, func() {
+				if haveKick[r.ID] {
+					half := 0.5 * lastDT[r.ID]
+					for i := 0; i < local.NLocal; i++ {
+						local.Vel[i] = local.Vel[i].MulAdd(half, local.Acc[i])
+						local.U[i] = positiveU(local.U[i] + half*local.DU[i])
+					}
+				}
+				half := 0.5 * dt
+				for i := 0; i < local.NLocal; i++ {
+					local.Vel[i] = local.Vel[i].MulAdd(half, local.Acc[i])
+					local.U[i] = positiveU(local.U[i] + half*local.DU[i])
+					local.Pos[i] = local.Pos[i].MulAdd(dt, local.Vel[i])
+				}
+				wrapSet(local, p.PBC, p.Box)
+				lastDT[r.ID] = dt
+				haveKick[r.ID] = true
+			})
+
+			// Per-step fixed overhead.
+			if cfg.Cost.FixedPerStep > 0 {
+				r.Compute(cfg.Cost.FixedPerStep, nil)
+			}
+
+			// Synchronize and measure the step.
+			stepEndAll := r.AllreduceF64([]float64{r.Clock()}, simmpi.MaxF64)
+			if r.ID == 0 {
+				stepSeconds[step] = stepEndAll[0] - stepStart
+			}
+
+			// --- Dynamic load balancing (re-decomposition). ---
+			if cfg.DynamicLB && ranks > 1 {
+				comm(PhaseUpdate, func() {
+					// Gather everything, re-split by measured weights
+					// (neighbor counts as the cost proxy), and redistribute.
+					redistribute(r, locals, cfg.Decomp, ranks)
+				})
+				local = locals[r.ID]
+			}
+		}
+	})
+
+	res := &ParallelResult{
+		Cores:          cfg.Cores,
+		Ranks:          ranks,
+		ThreadsPerRank: threads,
+		StepSeconds:    stepSeconds,
+	}
+	var sum float64
+	for _, s := range stepSeconds {
+		sum += s
+	}
+	res.AvgStepSeconds = sum / float64(len(stepSeconds))
+	var hf float64
+	for _, f := range haloFracs {
+		hf += f
+	}
+	res.HaloFraction = hf / float64(ranks)
+	if tracer != nil {
+		res.Metrics = tracer.Analyze()
+	}
+	merged := part.New(0)
+	for _, l := range locals {
+		l.DropGhosts()
+		merged.AppendOwned(l)
+	}
+	return merged, res, nil
+}
+
+// gravOrderCost is the relative per-node evaluation cost of each expansion
+// order (monopole 1; quadrupole ~3; hexadecapole ~12 from the contraction
+// loops).
+func gravOrderCost(o gravity.Order) float64 {
+	switch o {
+	case gravity.Monopole:
+		return 1
+	case gravity.Quadrupole:
+		return 3
+	default:
+		return 12
+	}
+}
+
+// redistribute gathers all owned particles on rank 0, re-decomposes with
+// neighbor-count weights (the per-particle cost proxy), splits, and
+// scatters. The collectives it issues carry the modeled traffic cost.
+func redistribute(r *simmpi.Rank, locals []*part.Set, m domain.Method, ranks int) {
+	local := locals[r.ID]
+	local.DropGhosts()
+	bytes := local.NLocal * domain.HaloBytesPerParticle
+	gathered := r.Allgather(local, bytes)
+	if r.ID == 0 {
+		merged := part.New(0)
+		for _, g := range gathered {
+			merged.AppendOwned(g.(*part.Set))
+		}
+		weights := make([]float64, merged.NLocal)
+		for i := range weights {
+			weights[i] = 1 + float64(merged.NN[i])
+		}
+		lo, hi := merged.Bounds()
+		asg := domain.Decompose(m, merged, sfc.NewBox(lo, hi), ranks, weights)
+		split := domain.Split(merged, asg, ranks)
+		for q := 0; q < ranks; q++ {
+			*locals[q] = *split[q]
+		}
+	}
+	r.Barrier()
+}
+
+// wrapSet folds owned particles back into the periodic domain.
+func wrapSet(ps *part.Set, pbc tree.PBC, box sfc.Box) {
+	if pbc.None() {
+		return
+	}
+	for i := 0; i < ps.NLocal; i++ {
+		p := ps.Pos[i]
+		if pbc.X && pbc.L.X > 0 {
+			p.X = box.Lo.X + math.Mod(math.Mod(p.X-box.Lo.X, pbc.L.X)+pbc.L.X, pbc.L.X)
+		}
+		if pbc.Y && pbc.L.Y > 0 {
+			p.Y = box.Lo.Y + math.Mod(math.Mod(p.Y-box.Lo.Y, pbc.L.Y)+pbc.L.Y, pbc.L.Y)
+		}
+		if pbc.Z && pbc.L.Z > 0 {
+			p.Z = box.Lo.Z + math.Mod(math.Mod(p.Z-box.Lo.Z, pbc.L.Z)+pbc.L.Z, pbc.L.Z)
+		}
+		ps.Pos[i] = p
+	}
+}

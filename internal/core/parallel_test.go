@@ -1,0 +1,219 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/domain"
+	"repro/internal/eos"
+	"repro/internal/gravity"
+	"repro/internal/ic"
+	"repro/internal/kernel"
+	"repro/internal/part"
+	"repro/internal/perfmodel"
+	"repro/internal/sph"
+	"repro/internal/trace"
+	"repro/internal/ts"
+)
+
+func testCost() CodeCost {
+	return CodeCost{
+		TreeRate: 1e6, SearchRate: 5e6, PairRate: 2e6, EOSRate: 1e8,
+		GravNodeRate: 3e6, GravPairRate: 3e6, UpdateRate: 1e8,
+		HSweeps: 3, FixedPerStep: 0.01,
+		SerialFraction: map[PhaseID]float64{PhaseTree: 0.3},
+	}
+}
+
+func evrardParallelCfg(t *testing.T, cores int, decomp domain.Method, dynamic bool) (ParallelConfig, *part.Set) {
+	t.Helper()
+	ev := ic.DefaultEvrard(3000)
+	ev.NNeighbors = 40
+	ps, pbc, box := ev.Generate()
+	cfg := ParallelConfig{
+		Core: Config{
+			SPH: sph.Params{
+				Kernel: kernel.NewSinc(5), EOS: eos.NewIdealGas(5.0 / 3.0),
+				NNeighbors: 40, Gradients: sph.IAD, Volumes: sph.GeneralizedVolume,
+				PBC: pbc, Box: box,
+			},
+			Gravity: true, GravOrder: gravity.Quadrupole, Theta: 0.6, Eps: 0.02, G: 1,
+			Stepping: ts.Global,
+		},
+		Machine:      perfmodel.PizDaint(),
+		Cores:        cores,
+		RanksPerNode: 1,
+		Decomp:       decomp,
+		DynamicLB:    dynamic,
+		Cost:         testCost(),
+		Steps:        3,
+	}
+	return cfg, ps
+}
+
+// TestParallelMatchesSerial: the distributed engine must produce the same
+// physics as the shared-memory engine (same forces, same dt, same
+// trajectories) up to floating-point summation order.
+func TestParallelMatchesSerial(t *testing.T) {
+	cfg, ps := evrardParallelCfg(t, 48, domain.MortonSFC, false)
+
+	// Serial reference.
+	sim, err := New(cfg.Core, ps.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(3, 0); err != nil {
+		t.Fatal(err)
+	}
+	serialEnd := stateByID(sim.PS)
+
+	cfgA, psA := evrardParallelCfg(t, 12, domain.MortonSFC, false)
+	cfgB, psB := evrardParallelCfg(t, 48, domain.MortonSFC, false)
+	endA := captureEnd(t, cfgA, psA)
+	endB := captureEnd(t, cfgB, psB)
+
+	for _, pair := range []struct {
+		name string
+		got  map[int64][6]float64
+	}{{"1-rank", endA}, {"4-rank", endB}} {
+		if len(pair.got) != len(serialEnd) {
+			t.Fatalf("%s: %d particles, want %d", pair.name, len(pair.got), len(serialEnd))
+		}
+		worst := 0.0
+		for id, want := range serialEnd {
+			got, ok := pair.got[id]
+			if !ok {
+				t.Fatalf("%s: particle %d missing", pair.name, id)
+			}
+			for k := 0; k < 6; k++ {
+				d := math.Abs(got[k] - want[k])
+				scale := math.Abs(want[k]) + 1e-3
+				if d/scale > worst {
+					worst = d / scale
+				}
+			}
+		}
+		if worst > 1e-8 {
+			t.Errorf("%s: worst relative state deviation from serial = %g", pair.name, worst)
+		}
+	}
+}
+
+// captureEnd runs the parallel engine and returns the final per-particle
+// state keyed by ID.
+func captureEnd(t *testing.T, cfg ParallelConfig, ps *part.Set) map[int64][6]float64 {
+	t.Helper()
+	end, _, err := RunParallelCapture(cfg, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stateByID(end)
+}
+
+func stateByID(ps *part.Set) map[int64][6]float64 {
+	m := make(map[int64][6]float64, ps.NLocal)
+	for i := 0; i < ps.NLocal; i++ {
+		m[ps.ID[i]] = [6]float64{
+			ps.Pos[i].X, ps.Pos[i].Y, ps.Pos[i].Z,
+			ps.Vel[i].X, ps.Vel[i].Y, ps.Vel[i].Z,
+		}
+	}
+	return m
+}
+
+func TestParallelScalingMonotone(t *testing.T) {
+	// More cores must yield smaller simulated step time in the scaling
+	// regime, and the halo fraction must grow.
+	var prev float64 = math.Inf(1)
+	var prevHalo float64 = -1
+	for _, cores := range []int{12, 48, 192} {
+		cfg, ps := evrardParallelCfg(t, cores, domain.MortonSFC, false)
+		cfg.WorkScale = 100 // model a larger problem: keeps comm subdominant
+		res, err := RunParallel(cfg, ps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.AvgStepSeconds <= 0 {
+			t.Fatalf("cores=%d: non-positive step time", cores)
+		}
+		if res.AvgStepSeconds >= prev {
+			t.Errorf("cores=%d: step time %g did not improve on %g", cores, res.AvgStepSeconds, prev)
+		}
+		if cores > 12 && res.HaloFraction <= prevHalo {
+			t.Errorf("cores=%d: halo fraction %g did not grow from %g", cores, res.HaloFraction, prevHalo)
+		}
+		prev = res.AvgStepSeconds
+		prevHalo = res.HaloFraction
+	}
+}
+
+func TestParallelORBAndDynamicLB(t *testing.T) {
+	for _, m := range []domain.Method{domain.ORB, domain.HilbertSFC} {
+		cfg, ps := evrardParallelCfg(t, 48, m, m == domain.HilbertSFC)
+		res, err := RunParallel(cfg, ps)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if res.AvgStepSeconds <= 0 {
+			t.Fatalf("%v: no time", m)
+		}
+	}
+}
+
+func TestParallelTracerPopulates(t *testing.T) {
+	cfg, ps := evrardParallelCfg(t, 48, domain.MortonSFC, false)
+	cfg.Tracer = trace.New()
+	res, err := RunParallel(cfg, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Metrics
+	if m.Ranks != 4 {
+		t.Fatalf("metrics over %d ranks, want 4", m.Ranks)
+	}
+	if m.LoadBalance <= 0 || m.LoadBalance > 1 {
+		t.Errorf("load balance %g out of (0,1]", m.LoadBalance)
+	}
+	if m.CommEfficiency <= 0 || m.CommEfficiency > 1+1e-9 {
+		t.Errorf("comm efficiency %g out of (0,1]", m.CommEfficiency)
+	}
+	tl := cfg.Tracer.Timeline(80)
+	if len(tl) == 0 {
+		t.Error("empty timeline")
+	}
+	breakdown := cfg.Tracer.PhaseBreakdown()
+	if len(breakdown) < 5 {
+		t.Errorf("phase breakdown has %d phases", len(breakdown))
+	}
+}
+
+func TestParallelSquarePatchRuns(t *testing.T) {
+	sp := ic.DefaultSquarePatch(8000)
+	sp.NNeighbors = 40
+	ps, pbc, box := sp.Generate()
+	cfg := ParallelConfig{
+		Core: Config{
+			SPH: sph.Params{
+				Kernel: kernel.NewWendlandC2(), EOS: eos.NewTait(sp.Rho0, sp.SoundSpeed, 7),
+				NNeighbors: 40, PBC: pbc, Box: box,
+			},
+			Stepping: ts.Adaptive,
+		},
+		Machine:      perfmodel.MareNostrum(),
+		Cores:        96,
+		RanksPerNode: 48, // MPI-only placement
+		Decomp:       domain.ORB,
+		Cost:         testCost(),
+		Steps:        2,
+	}
+	res, err := RunParallel(cfg, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ranks != 96 {
+		t.Fatalf("MPI-only on 2 nodes: %d ranks, want 96", res.Ranks)
+	}
+	if res.ThreadsPerRank != 1 {
+		t.Fatalf("threads per rank = %d, want 1", res.ThreadsPerRank)
+	}
+}

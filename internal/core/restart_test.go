@@ -1,0 +1,140 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/eos"
+	"repro/internal/ft"
+	"repro/internal/ic"
+	"repro/internal/kernel"
+	"repro/internal/sph"
+	"repro/internal/ts"
+)
+
+// TestCheckpointRestartDeterminism: running N steps straight through must
+// produce exactly the same state as checkpointing midway, restoring, and
+// finishing — the correctness contract of checkpoint/restart.
+func TestCheckpointRestartDeterminism(t *testing.T) {
+	build := func() *Sim {
+		ev := ic.DefaultEvrard(2000)
+		ev.NNeighbors = 40
+		ps, pbc, box := ev.Generate()
+		cfg := Config{
+			SPH: sph.Params{
+				Kernel: kernel.NewM4(), EOS: eos.NewIdealGas(5.0 / 3.0),
+				NNeighbors: 40, PBC: pbc, Box: box, Workers: 2,
+			},
+			Gravity: true, Theta: 0.6, Eps: 0.02, G: 1,
+			Stepping: ts.Global,
+		}
+		sim, err := New(cfg, ps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sim
+	}
+
+	// Reference: 6 straight steps.
+	ref := build()
+	if _, err := ref.Run(6, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Checkpointed: 3 steps, write, restore into a fresh sim, 3 more.
+	ck := ft.NewTwoLevel(t.TempDir())
+	half := build()
+	if _, err := half.Run(3, 0); err != nil {
+		t.Fatal(err)
+	}
+	half.Synchronize()
+	if err := ck.Write(0, half.StepN, half.T, half.PS); err != nil {
+		t.Fatal(err)
+	}
+	set, step, simTime, err := ck.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := New(half.Cfg, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed.StepN, resumed.T = step, simTime
+	if _, err := resumed.Run(3, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Synchronize closes the pending half-kick with the current acceleration
+	// (one O(dt^2) re-staggering event); the gravitational collapse then
+	// amplifies that seed over the remaining steps, so bound the deviation
+	// rather than demanding bit equality.
+	if resumed.StepN != ref.StepN {
+		t.Fatalf("step counts differ: %d vs %d", resumed.StepN, ref.StepN)
+	}
+	worst := 0.0
+	for i := 0; i < ref.PS.NLocal; i++ {
+		d := ref.PS.Pos[i].Sub(resumed.PS.Pos[i]).Norm()
+		if d > worst {
+			worst = d
+		}
+	}
+	if worst > 2e-3 {
+		t.Errorf("restart trajectory deviation %g", worst)
+	}
+	a := ref.Conservation()
+	b := resumed.Conservation()
+	if math.Abs(a.Kinetic-b.Kinetic) > 0.02*(a.Kinetic+1e-12) {
+		t.Errorf("kinetic energy differs after restart: %g vs %g", a.Kinetic, b.Kinetic)
+	}
+}
+
+// TestSedovBlastExpandsSymmetrically exercises the extension test case: the
+// Sedov point blast must push particles radially outward from the center
+// with no preferred direction.
+func TestSedovBlastExpandsSymmetrically(t *testing.T) {
+	ps, pbc, box := ic.Sedov(12, 50, 1.0)
+	cfg := Config{
+		SPH: sph.Params{
+			Kernel: kernel.NewM4(), EOS: eos.NewIdealGas(5.0 / 3.0),
+			NNeighbors: 50, PBC: pbc, Box: box, Workers: 4,
+		},
+		Stepping: ts.Global,
+	}
+	sim, err := New(cfg, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(8, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Net momentum stays ~0 (symmetry) while kinetic energy appears.
+	st := sim.Conservation()
+	if st.Kinetic <= 0 {
+		t.Fatal("blast did not accelerate anything")
+	}
+	pScale := math.Sqrt(2 * st.Kinetic * st.Mass)
+	if st.Momentum.Norm() > 1e-6*pScale {
+		t.Errorf("blast has net momentum %v (kinetic scale %g)", st.Momentum, pScale)
+	}
+	// Particles near the center move outward.
+	center := ps.Pos[0] // any point; compute proper center below
+	center.X, center.Y, center.Z = 0.5, 0.5, 0.5
+	outward := 0
+	moving := 0
+	for i := 0; i < ps.NLocal; i++ {
+		d := pbc.Wrap(ps.Pos[i].Sub(center))
+		r := d.Norm()
+		if r > 0.05 && r < 0.3 && ps.Vel[i].Norm() > 1e-6 {
+			moving++
+			if ps.Vel[i].Dot(d) > 0 {
+				outward++
+			}
+		}
+	}
+	if moving == 0 {
+		t.Fatal("no moving particles in the blast shell")
+	}
+	if float64(outward) < 0.9*float64(moving) {
+		t.Errorf("only %d of %d shell particles moving outward", outward, moving)
+	}
+}

@@ -1,0 +1,237 @@
+package domain
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/part"
+	"repro/internal/sfc"
+	"repro/internal/tree"
+	"repro/internal/vec"
+)
+
+func randomSet(n int, rng *rand.Rand) (*part.Set, sfc.Box) {
+	ps := part.New(n)
+	for i := 0; i < n; i++ {
+		ps.ID[i] = int64(i)
+		ps.Pos[i] = vec.V3{X: rng.Float64(), Y: rng.Float64(), Z: rng.Float64()}
+		ps.Mass[i] = 1
+		ps.H[i] = 0.05
+	}
+	return ps, sfc.Box{Lo: vec.V3{}, Size: 1}
+}
+
+func TestDecomposeCoversAllMethods(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ps, box := randomSet(1000, rng)
+	for _, m := range []Method{ORB, MortonSFC, HilbertSFC} {
+		for _, nr := range []int{1, 3, 8} {
+			asg := Decompose(m, ps, box, nr, nil)
+			if len(asg) != 1000 {
+				t.Fatalf("%v/%d: assignment length %d", m, nr, len(asg))
+			}
+			counts := asg.Counts(nr)
+			total := 0
+			for r, c := range counts {
+				total += c
+				if c == 0 && nr <= 8 {
+					t.Errorf("%v/%d: rank %d owns nothing", m, nr, r)
+				}
+			}
+			if total != 1000 {
+				t.Fatalf("%v/%d: %d assigned", m, nr, total)
+			}
+			// Near-equal unit-weight split.
+			if imb := asg.Imbalance(nr, nil); imb > 1.15 {
+				t.Errorf("%v/%d: imbalance %g", m, nr, imb)
+			}
+		}
+	}
+}
+
+func TestDecomposeWeighted(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ps, box := randomSet(2000, rng)
+	// Heavily skewed weights: particles in x < 0.5 cost 10x.
+	w := make([]float64, 2000)
+	for i := range w {
+		if ps.Pos[i].X < 0.5 {
+			w[i] = 10
+		} else {
+			w[i] = 1
+		}
+	}
+	for _, m := range []Method{ORB, MortonSFC, HilbertSFC} {
+		asg := Decompose(m, ps, box, 4, w)
+		if imb := asg.Imbalance(4, w); imb > 1.3 {
+			t.Errorf("%v: weighted imbalance %g", m, imb)
+		}
+		// ORB splits space at the weighted median, so unweighted counts must
+		// now be skewed (fewer heavy particles per rank on the left side).
+		// SFC curves interleave the halves finely, so their counts can stay
+		// balanced even under weighting — no count assertion for them.
+		if m == ORB {
+			if imb := asg.Imbalance(4, nil); imb < 1.05 {
+				t.Errorf("%v: weighting had no effect (count imbalance %g)", m, imb)
+			}
+		}
+	}
+}
+
+func TestORBSpatialLocality(t *testing.T) {
+	// ORB regions must be spatially compact: the sum of per-rank bounding
+	// volumes should be ~ the domain volume (no interleaving).
+	rng := rand.New(rand.NewSource(3))
+	ps, box := randomSet(4000, rng)
+	asg := Decompose(ORB, ps, box, 8, nil)
+	sets := Split(ps, asg, 8)
+	var volSum float64
+	for _, s := range sets {
+		lo, hi := s.Bounds()
+		d := hi.Sub(lo)
+		volSum += d.X * d.Y * d.Z
+	}
+	if volSum > 1.5 {
+		t.Errorf("ORB total region volume %g, want ~1 (compact regions)", volSum)
+	}
+}
+
+func TestSplitPreservesParticles(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ps, box := randomSet(500, rng)
+	asg := Decompose(MortonSFC, ps, box, 4, nil)
+	sets := Split(ps, asg, 4)
+	seen := map[int64]bool{}
+	for _, s := range sets {
+		for i := 0; i < s.NLocal; i++ {
+			if seen[s.ID[i]] {
+				t.Fatalf("particle %d in two ranks", s.ID[i])
+			}
+			seen[s.ID[i]] = true
+		}
+	}
+	if len(seen) != 500 {
+		t.Fatalf("split covers %d of 500", len(seen))
+	}
+}
+
+func TestDecomposePanicsOnZeroRanks(t *testing.T) {
+	ps, box := randomSet(10, rand.New(rand.NewSource(5)))
+	defer func() {
+		if recover() == nil {
+			t.Error("nranks=0 did not panic")
+		}
+	}()
+	Decompose(ORB, ps, box, 0, nil)
+}
+
+func TestMethodNames(t *testing.T) {
+	for _, m := range []Method{ORB, MortonSFC, HilbertSFC, Method(9)} {
+		if m.String() == "" {
+			t.Errorf("empty name for %d", int(m))
+		}
+	}
+	for _, n := range []string{"orb", "sfc-morton", "sfc-hilbert", "hilbert", "morton"} {
+		if _, err := ByName(n); err != nil {
+			t.Errorf("ByName(%q): %v", n, err)
+		}
+	}
+	if _, err := ByName("zorro"); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+func TestAABBContains(t *testing.T) {
+	b := AABB{Lo: vec.V3{}, Hi: vec.V3{X: 1, Y: 1, Z: 1}}
+	if !b.Contains(vec.V3{X: 0.5, Y: 0.5, Z: 0.5}, tree.PBC{}) {
+		t.Error("center not contained")
+	}
+	if b.Contains(vec.V3{X: 1.5, Y: 0.5, Z: 0.5}, tree.PBC{}) {
+		t.Error("outside point contained")
+	}
+	// Periodic wrap: a point at z=2.05 in a period-2 domain is equivalent
+	// to z=0.05, inside the box [0, 0.2].
+	pbc := tree.PBC{Z: true, L: vec.V3{Z: 2}}
+	bb := AABB{Lo: vec.V3{Z: 0}, Hi: vec.V3{X: 1, Y: 1, Z: 0.2}}
+	if !bb.Contains(vec.V3{X: 0.5, Y: 0.5, Z: 2.05}, pbc) {
+		t.Error("periodic image not contained")
+	}
+	// z=1.95 is equivalent to z=-0.05: outside.
+	if bb.Contains(vec.V3{X: 0.5, Y: 0.5, Z: 1.95}, pbc) {
+		t.Error("out-of-box periodic image contained")
+	}
+	ex := b.Expand(0.5)
+	if !ex.Contains(vec.V3{X: 1.4, Y: 0.5, Z: 0.5}, tree.PBC{}) {
+		t.Error("expanded box too small")
+	}
+}
+
+func TestPlanHalo(t *testing.T) {
+	// Two ranks split at x=0.5; margin 0.1: only particles within 0.1 of
+	// the cut are shipped.
+	left := part.New(3)
+	left.Pos[0] = vec.V3{X: 0.1, Y: 0.5, Z: 0.5}
+	left.Pos[1] = vec.V3{X: 0.45, Y: 0.5, Z: 0.5}
+	left.Pos[2] = vec.V3{X: 0.49, Y: 0.5, Z: 0.5}
+	boxes := []AABB{
+		{Lo: vec.V3{}, Hi: vec.V3{X: 0.5, Y: 1, Z: 1}},
+		{Lo: vec.V3{X: 0.5}, Hi: vec.V3{X: 1, Y: 1, Z: 1}},
+	}
+	plan := PlanHalo(left, boxes, 0, 0.1, tree.PBC{})
+	if len(plan.ToPeer[0]) != 0 {
+		t.Error("self-halo not empty")
+	}
+	got := map[int]bool{}
+	for _, i := range plan.ToPeer[1] {
+		got[i] = true
+	}
+	if got[0] || !got[1] || !got[2] {
+		t.Errorf("halo selection = %v, want particles 1,2 only", plan.ToPeer[1])
+	}
+}
+
+func TestPlanHaloPeriodic(t *testing.T) {
+	// Periodic Z: a particle near z=1 must be shipped to a peer whose box
+	// is near z=0.
+	local := part.New(1)
+	local.Pos[0] = vec.V3{X: 0.5, Y: 0.5, Z: 0.98}
+	boxes := []AABB{
+		{Lo: vec.V3{Z: 0.9}, Hi: vec.V3{X: 1, Y: 1, Z: 1}},
+		{Lo: vec.V3{}, Hi: vec.V3{X: 1, Y: 1, Z: 0.1}},
+	}
+	pbc := tree.PBC{Z: true, L: vec.V3{Z: 1}}
+	plan := PlanHalo(local, boxes, 0, 0.05, pbc)
+	if len(plan.ToPeer[1]) != 1 {
+		t.Errorf("periodic halo missed: %v", plan.ToPeer[1])
+	}
+}
+
+func TestImbalanceDegenerate(t *testing.T) {
+	asg := Assignment{0, 0, 0}
+	if imb := asg.Imbalance(2, nil); math.IsNaN(imb) {
+		t.Error("NaN imbalance")
+	}
+	empty := Assignment{}
+	if imb := empty.Imbalance(3, nil); imb != 1 {
+		t.Errorf("empty imbalance = %g", imb)
+	}
+}
+
+func BenchmarkDecomposeORB100k(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	ps, box := randomSet(100000, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Decompose(ORB, ps, box, 64, nil)
+	}
+}
+
+func BenchmarkDecomposeHilbert100k(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	ps, box := randomSet(100000, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Decompose(HilbertSFC, ps, box, 64, nil)
+	}
+}

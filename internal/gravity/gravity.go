@@ -1,0 +1,363 @@
+package gravity
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/tree"
+	"repro/internal/vec"
+)
+
+// Solver evaluates self-gravity on a particle set through a Barnes-Hut walk
+// over an octree built by internal/tree. Construct one per step with
+// NewSolver (moment computation), then call Accelerations.
+type Solver struct {
+	tr      *tree.Tree
+	pos     []vec.V3
+	mass    []float64
+	moments []Moments
+
+	// Order is the multipole expansion order used when a node is accepted.
+	Order Order
+	// Theta is the Barnes-Hut opening angle: a node of edge size s at
+	// distance d is accepted when s/d < Theta. Typical 0.5-0.8.
+	Theta float64
+	// Eps is the Plummer softening length.
+	Eps float64
+	// G is the gravitational constant (1 in the Evrard test's natural units).
+	G float64
+}
+
+// NewSolver computes node multipole moments bottom-up over tr and returns a
+// solver. pos and mass are indexed by the same particle indices tr was built
+// from.
+func NewSolver(tr *tree.Tree, pos []vec.V3, mass []float64) *Solver {
+	s := &Solver{
+		tr:    tr,
+		pos:   pos,
+		mass:  mass,
+		Order: Hexadecapole,
+		Theta: 0.6,
+		Eps:   0,
+		G:     1,
+	}
+	s.moments = make([]Moments, len(tr.Nodes))
+	if len(tr.Nodes) > 0 {
+		s.computeMoments(0)
+	}
+	return s
+}
+
+// computeMoments fills moments[ni] bottom-up: leaves from particles (P2M),
+// internal nodes by translating child moments (M2M).
+func (s *Solver) computeMoments(ni int) {
+	nd := &s.tr.Nodes[ni]
+	m := &s.moments[ni]
+	if nd.IsLeaf() {
+		var mass float64
+		var com vec.V3
+		for k := nd.Start; k < nd.Start+nd.Count; k++ {
+			j := s.tr.Index[k]
+			mass += s.mass[j]
+			com = com.MulAdd(s.mass[j], s.pos[j])
+		}
+		m.Mass = mass
+		if mass > 0 {
+			m.COM = com.Scale(1 / mass)
+		} else {
+			m.COM = nd.Center
+		}
+		for k := nd.Start; k < nd.Start+nd.Count; k++ {
+			j := s.tr.Index[k]
+			m.accumulate(s.mass[j], s.pos[j].Sub(m.COM))
+		}
+		return
+	}
+	var mass float64
+	var com vec.V3
+	for c := nd.FirstChild; c < nd.FirstChild+8; c++ {
+		s.computeMoments(int(c))
+		cm := &s.moments[c]
+		mass += cm.Mass
+		com = com.MulAdd(cm.Mass, cm.COM)
+	}
+	m.Mass = mass
+	if mass > 0 {
+		m.COM = com.Scale(1 / mass)
+	} else {
+		m.COM = nd.Center
+	}
+	for c := nd.FirstChild; c < nd.FirstChild+8; c++ {
+		if s.moments[c].Mass > 0 {
+			m.translate(&s.moments[c])
+		}
+	}
+}
+
+// Result holds per-particle gravitational acceleration and potential.
+type Result struct {
+	Acc []vec.V3
+	Pot []float64 // potential (negative for bound configurations)
+	// NodeInteractions and ParticleInteractions count accepted cells and
+	// direct particle pairs, the work metric for load balancing.
+	NodeInteractions     int64
+	ParticleInteractions int64
+}
+
+// Accelerations evaluates gravity for the targets (particle indices).
+// workers <= 0 uses GOMAXPROCS. Self-interaction is excluded.
+func (s *Solver) Accelerations(targets []int32, workers int) *Result {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	res := &Result{
+		Acc: make([]vec.V3, len(targets)),
+		Pot: make([]float64, len(targets)),
+	}
+	if len(s.tr.Nodes) == 0 || len(targets) == 0 {
+		return res
+	}
+	var wg sync.WaitGroup
+	var niTotal, piTotal int64
+	var mu sync.Mutex
+	chunk := (len(targets) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(targets) {
+			hi = len(targets)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			var ni, pi int64
+			for t := lo; t < hi; t++ {
+				idx := targets[t]
+				a, p, n1, n2 := s.walk(0, idx)
+				res.Acc[t] = a
+				res.Pot[t] = p
+				ni += n1
+				pi += n2
+			}
+			mu.Lock()
+			niTotal += ni
+			piTotal += pi
+			mu.Unlock()
+		}(lo, hi)
+	}
+	wg.Wait()
+	res.NodeInteractions = niTotal
+	res.ParticleInteractions = piTotal
+	return res
+}
+
+// walk traverses the tree for particle idx, returning acceleration,
+// potential, and interaction counts.
+func (s *Solver) walk(ni int, idx int32) (vec.V3, float64, int64, int64) {
+	nd := &s.tr.Nodes[ni]
+	m := &s.moments[ni]
+	if m.Mass == 0 {
+		return vec.V3{}, 0, 0, 0
+	}
+	p := s.pos[idx]
+	R := p.Sub(m.COM)
+	dist := R.Norm()
+
+	// Multipole acceptance criterion: geometric opening angle with an RMax
+	// guard (a node whose COM sits near its edge must open sooner).
+	size := 2 * nd.Half
+	open := dist*s.Theta <= size || dist <= m.RMax
+	if !nd.IsLeaf() && open {
+		var acc vec.V3
+		var pot float64
+		var niC, piC int64
+		for c := nd.FirstChild; c < nd.FirstChild+8; c++ {
+			a, po, n1, n2 := s.walk(int(c), idx)
+			acc = acc.Add(a)
+			pot += po
+			niC += n1
+			piC += n2
+		}
+		return acc, pot, niC, piC
+	}
+	if nd.IsLeaf() && (open || int(nd.Count) <= 8) {
+		// Direct summation over leaf particles.
+		var acc vec.V3
+		var pot float64
+		var pairs int64
+		e2 := s.Eps * s.Eps
+		for k := nd.Start; k < nd.Start+nd.Count; k++ {
+			j := s.tr.Index[k]
+			if j == idx {
+				continue
+			}
+			d := p.Sub(s.pos[j])
+			r2 := d.Norm2() + e2
+			r1 := math.Sqrt(r2)
+			inv := 1 / r1
+			inv3 := inv / r2
+			acc = acc.MulAdd(-s.G*s.mass[j]*inv3, d)
+			pot -= s.G * s.mass[j] * inv
+			pairs++
+		}
+		return acc, pot, 0, pairs
+	}
+	// Accepted: evaluate the multipole expansion.
+	a, pot := s.evaluate(m, R)
+	return a, pot, 1, 0
+}
+
+// evaluate computes acceleration and potential of the node expansion at
+// offset R from the node COM (softened monopole; higher moments unsoftened,
+// valid because acceptance implies dist >> eps in practice).
+func (s *Solver) evaluate(m *Moments, R vec.V3) (vec.V3, float64) {
+	e2 := s.Eps * s.Eps
+	r2 := R.Norm2() + e2
+	r1 := math.Sqrt(r2)
+	inv := 1 / r1
+	inv2 := inv * inv
+	inv3 := inv * inv2
+	inv5 := inv3 * inv2
+	inv7 := inv5 * inv2
+
+	// Monopole.
+	pot := -s.G * m.Mass * inv
+	acc := R.Scale(-s.G * m.Mass * inv3)
+	if s.Order == Monopole {
+		return acc, pot
+	}
+
+	// Quadrupole (raw second moment).
+	q2 := m.M2.MulVec(R).Dot(R) // M2_ij R_i R_j
+	tr2 := m.M2.Trace()
+	m2r := m.M2.MulVec(R)
+	pot += -s.G * (1.5*q2*inv5 - 0.5*tr2*inv3)
+	// grad of bracket terms (see package docs): 3 M2R/r^5 - 7.5 q2 R/r^7 + 1.5 tr2 R/r^5
+	acc = acc.Add(m2r.Scale(3 * inv5).
+		Add(R.Scale(-7.5 * q2 * inv7)).
+		Add(R.Scale(1.5 * tr2 * inv5)).Scale(s.G))
+	if s.Order == Quadrupole {
+		return acc, pot
+	}
+
+	inv9 := inv7 * inv2
+	inv11 := inv9 * inv2
+	rc := [3]float64{R.X, R.Y, R.Z}
+
+	// Rank-3 contractions: q3 = M3 R R R, w3_i = M3_ijk R_j R_k, t3_i = M3_ijj.
+	var q3 float64
+	var w3, t3 [3]float64
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			for k := 0; k < 3; k++ {
+				v := m.M3.At(i, j, k)
+				w3[i] += v * rc[j] * rc[k]
+				if j == k {
+					t3[i] += v
+				}
+			}
+		}
+		q3 += w3[i] * rc[i]
+	}
+	s3 := t3[0]*rc[0] + t3[1]*rc[1] + t3[2]*rc[2]
+
+	// Rank-4 contractions: q4 = M4 RRRR, w4_i = M4_ijkl R_j R_k R_l,
+	// t4_ij = M4_ijkk, s4 = t4_ij R_i R_j, tt4 = M4_iijj.
+	var q4, s4, tt4 float64
+	var w4, t4r [3]float64
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			var t4ij float64
+			for k := 0; k < 3; k++ {
+				for l := 0; l < 3; l++ {
+					v := m.M4.At(i, j, k, l)
+					w4[i] += v * rc[j] * rc[k] * rc[l]
+					if k == l {
+						t4ij += v
+					}
+				}
+			}
+			t4r[i] += t4ij * rc[j]
+			if i == j {
+				tt4 += t4ij
+			}
+		}
+		q4 += w4[i] * rc[i]
+		s4 += t4r[i] * rc[i]
+	}
+
+	// Octupole + hexadecapole potential terms.
+	pot += -s.G * (2.5*q3*inv7 - 1.5*s3*inv5 +
+		4.375*q4*inv9 - 3.75*s4*inv7 + 0.375*tt4*inv5)
+
+	// Gradient terms.
+	gx := 7.5*w3[0]*inv7 - 17.5*q3*rc[0]*inv9 - 1.5*t3[0]*inv5 + 7.5*s3*rc[0]*inv7 +
+		17.5*w4[0]*inv9 - 39.375*q4*rc[0]*inv11 - 7.5*t4r[0]*inv7 + 26.25*s4*rc[0]*inv9 - 1.875*tt4*rc[0]*inv7
+	gy := 7.5*w3[1]*inv7 - 17.5*q3*rc[1]*inv9 - 1.5*t3[1]*inv5 + 7.5*s3*rc[1]*inv7 +
+		17.5*w4[1]*inv9 - 39.375*q4*rc[1]*inv11 - 7.5*t4r[1]*inv7 + 26.25*s4*rc[1]*inv9 - 1.875*tt4*rc[1]*inv7
+	gz := 7.5*w3[2]*inv7 - 17.5*q3*rc[2]*inv9 - 1.5*t3[2]*inv5 + 7.5*s3*rc[2]*inv7 +
+		17.5*w4[2]*inv9 - 39.375*q4*rc[2]*inv11 - 7.5*t4r[2]*inv7 + 26.25*s4*rc[2]*inv9 - 1.875*tt4*rc[2]*inv7
+	acc = acc.Add(vec.V3{X: gx, Y: gy, Z: gz}.Scale(s.G))
+	return acc, pot
+}
+
+// Direct computes gravity by direct O(N^2) summation — the validation
+// reference and the baseline for the multipole-order ablation benchmark.
+// It returns accelerations and potentials for all n particles.
+func Direct(pos []vec.V3, mass []float64, g, eps float64, workers int) *Result {
+	n := len(pos)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	res := &Result{Acc: make([]vec.V3, n), Pot: make([]float64, n)}
+	e2 := eps * eps
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				var acc vec.V3
+				var pot float64
+				for j := 0; j < n; j++ {
+					if i == j {
+						continue
+					}
+					d := pos[i].Sub(pos[j])
+					r2 := d.Norm2() + e2
+					r1 := math.Sqrt(r2)
+					inv := 1 / r1
+					acc = acc.MulAdd(-g*mass[j]*inv/r2, d)
+					pot -= g * mass[j] * inv
+				}
+				res.Acc[i] = acc
+				res.Pot[i] = pot
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	res.ParticleInteractions = int64(n) * int64(n-1)
+	return res
+}
+
+// PotentialEnergy returns E_pot = 1/2 sum_i m_i phi_i.
+func PotentialEnergy(mass []float64, pot []float64) float64 {
+	var e float64
+	for i, m := range mass {
+		e += m * pot[i]
+	}
+	return e / 2
+}

@@ -1,0 +1,306 @@
+// Package sched implements dynamic loop self-scheduling, the paper's chosen
+// intra-node load-balancing machinery (Table 4: "DLB with self-scheduling
+// per X, Y, Z level", built on the factoring/weighted-factoring line of work
+// the paper cites [3, 16, 27]). A shared loop of work items is dealt out in
+// chunks whose size policy trades scheduling overhead against imbalance.
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Policy computes successive chunk sizes for a loop of n items on p workers.
+type Policy interface {
+	// Name identifies the policy in tables and benchmarks.
+	Name() string
+	// Chunk returns the next chunk size given remaining items and worker
+	// count. Implementations may keep state; a Policy instance serves one
+	// loop execution and is called under the scheduler lock.
+	Chunk(remaining, workers int) int
+}
+
+// Static pre-splits the loop into one contiguous chunk per worker
+// (SPHYNX 1.3.1's "none (static)" row in Table 3): the chunk size is fixed
+// at ceil(n/p) on the first request, so exactly p chunks are dealt.
+type Static struct{ fixed int }
+
+// Name implements Policy.
+func (*Static) Name() string { return "static" }
+
+// Chunk implements Policy.
+func (s *Static) Chunk(remaining, workers int) int {
+	if s.fixed == 0 {
+		s.fixed = (remaining + workers - 1) / workers
+		if s.fixed < 1 {
+			s.fixed = 1
+		}
+	}
+	return s.fixed
+}
+
+// SS is pure self-scheduling: chunk size 1 — perfect balance, maximal
+// scheduling overhead.
+type SS struct{}
+
+// Name implements Policy.
+func (SS) Name() string { return "ss" }
+
+// Chunk implements Policy.
+func (SS) Chunk(remaining, workers int) int { return 1 }
+
+// GSS is guided self-scheduling: each chunk is 1/p of the remaining work.
+type GSS struct{}
+
+// Name implements Policy.
+func (GSS) Name() string { return "gss" }
+
+// Chunk implements Policy.
+func (GSS) Chunk(remaining, workers int) int {
+	c := (remaining + workers - 1) / workers
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// TSS is trapezoid self-scheduling: chunk sizes decrease linearly from
+// first = n/(2p) to last = 1.
+type TSS struct {
+	first, delta float64
+	init         bool
+	n            int
+}
+
+// NewTSS returns a TSS policy for a loop of n items.
+func NewTSS(n int) *TSS { return &TSS{n: n} }
+
+// Name implements Policy.
+func (t *TSS) Name() string { return "tss" }
+
+// Chunk implements Policy.
+func (t *TSS) Chunk(remaining, workers int) int {
+	if !t.init {
+		t.init = true
+		t.first = math.Max(1, float64(t.n)/(2*float64(workers)))
+		last := 1.0
+		steps := math.Ceil(2 * float64(t.n) / (t.first + last))
+		t.delta = (t.first - last) / math.Max(1, steps-1)
+	}
+	c := int(t.first)
+	t.first -= t.delta
+	if t.first < 1 {
+		t.first = 1
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// FAC is factoring (Hummel, Banicescu et al. [27]): work is dealt in
+// batches; each batch splits half the remaining work into p equal chunks.
+type FAC struct {
+	inBatch int
+	chunk   int
+}
+
+// Name implements Policy.
+func (f *FAC) Name() string { return "fac" }
+
+// Chunk implements Policy.
+func (f *FAC) Chunk(remaining, workers int) int {
+	if f.inBatch == 0 {
+		f.chunk = (remaining/2 + workers - 1) / workers
+		if f.chunk < 1 {
+			f.chunk = 1
+		}
+		f.inBatch = workers
+	}
+	f.inBatch--
+	return f.chunk
+}
+
+// AWF is adaptive weighted factoring (Banicescu et al. [3]): factoring with
+// per-worker weights learned from measured execution rates in previous
+// invocations (time-stepping applications re-enter the same loop every
+// step, which is exactly the mini-app's structure).
+type AWF struct {
+	mu      sync.Mutex
+	weights []float64
+	inBatch int
+	chunks  []int
+	batchNo int
+}
+
+// NewAWF returns an AWF policy for p workers, initially unweighted.
+func NewAWF(p int) *AWF {
+	w := make([]float64, p)
+	for i := range w {
+		w[i] = 1
+	}
+	return &AWF{weights: w}
+}
+
+// Name implements Policy.
+func (a *AWF) Name() string { return "awf" }
+
+// Chunk implements Policy. AWF deals worker-specific chunks; the scheduler
+// passes the requesting worker via ChunkFor when available, so Chunk uses
+// round-robin attribution within a batch.
+func (a *AWF) Chunk(remaining, workers int) int {
+	if a.inBatch == 0 {
+		// New batch: split half the remaining work by weight.
+		half := remaining / 2
+		if half < workers {
+			half = remaining
+		}
+		var wsum float64
+		for _, w := range a.weights {
+			wsum += w
+		}
+		a.chunks = a.chunks[:0]
+		for i := 0; i < workers; i++ {
+			wi := 1.0
+			if i < len(a.weights) {
+				wi = a.weights[i]
+			}
+			c := int(float64(half) * wi / wsum)
+			if c < 1 {
+				c = 1
+			}
+			a.chunks = append(a.chunks, c)
+		}
+		a.inBatch = workers
+		a.batchNo++
+	}
+	a.inBatch--
+	return a.chunks[len(a.chunks)-1-a.inBatch]
+}
+
+// Update feeds measured worker rates (items per second) back into the
+// weights for the next loop execution.
+func (a *AWF) Update(rates []float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var sum float64
+	n := 0
+	for _, r := range rates {
+		if r > 0 {
+			sum += r
+			n++
+		}
+	}
+	if n == 0 {
+		return
+	}
+	mean := sum / float64(n)
+	for i := range a.weights {
+		if i < len(rates) && rates[i] > 0 {
+			// Exponential smoothing toward the normalized measured rate.
+			a.weights[i] = 0.5*a.weights[i] + 0.5*rates[i]/mean
+		}
+	}
+}
+
+// Weights returns a copy of the current weights.
+func (a *AWF) Weights() []float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]float64(nil), a.weights...)
+}
+
+// WorkerStat reports one worker's share of a scheduled loop.
+type WorkerStat struct {
+	Items   int
+	Chunks  int
+	Seconds float64
+}
+
+// Run executes fn(i) for i in [0, n) on p workers under the given policy
+// and returns per-worker statistics. fn must be safe for concurrent
+// invocation on distinct items.
+func Run(n, p int, policy Policy, fn func(i int)) []WorkerStat {
+	if p < 1 {
+		p = 1
+	}
+	stats := make([]WorkerStat, p)
+	var next int64
+	var mu sync.Mutex // guards policy state
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			t0 := time.Now()
+			for {
+				mu.Lock()
+				done := int(atomic.LoadInt64(&next))
+				remaining := n - done
+				if remaining <= 0 {
+					mu.Unlock()
+					break
+				}
+				c := policy.Chunk(remaining, p)
+				if c > remaining {
+					c = remaining
+				}
+				lo := int(atomic.AddInt64(&next, int64(c))) - c
+				mu.Unlock()
+				hi := lo + c
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					fn(i)
+				}
+				stats[w].Items += hi - lo
+				stats[w].Chunks++
+			}
+			stats[w].Seconds = time.Since(t0).Seconds()
+		}(w)
+	}
+	wg.Wait()
+	return stats
+}
+
+// Imbalance returns the load-balance metric of a run: mean worker busy time
+// over max worker busy time (1 = perfect). Mirrors the paper's Extrae
+// "Load Balance" definition.
+func Imbalance(stats []WorkerStat) float64 {
+	var sum, max float64
+	n := 0
+	for _, s := range stats {
+		sum += s.Seconds
+		if s.Seconds > max {
+			max = s.Seconds
+		}
+		n++
+	}
+	if max == 0 || n == 0 {
+		return 1
+	}
+	return sum / float64(n) / max
+}
+
+// ByName constructs a policy by name for loops of n items on p workers.
+func ByName(name string, n, p int) (Policy, error) {
+	switch name {
+	case "static":
+		return &Static{}, nil
+	case "ss":
+		return SS{}, nil
+	case "gss":
+		return GSS{}, nil
+	case "tss":
+		return NewTSS(n), nil
+	case "fac":
+		return &FAC{}, nil
+	case "awf":
+		return NewAWF(p), nil
+	}
+	return nil, fmt.Errorf("sched: unknown policy %q", name)
+}

@@ -1,0 +1,225 @@
+package sched
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func policies(n, p int) []Policy {
+	return []Policy{&Static{}, SS{}, GSS{}, NewTSS(n), &FAC{}, NewAWF(p)}
+}
+
+// TestAllItemsExecutedOnce: every policy must schedule each item exactly once.
+func TestAllItemsExecutedOnce(t *testing.T) {
+	const n, p = 1000, 4
+	for _, pol := range policies(n, p) {
+		counts := make([]int64, n)
+		Run(n, p, pol, func(i int) { atomic.AddInt64(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("%s: item %d executed %d times", pol.Name(), i, c)
+			}
+		}
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	const n, p = 500, 3
+	for _, pol := range policies(n, p) {
+		stats := Run(n, p, pol, func(i int) {})
+		total := 0
+		for _, s := range stats {
+			total += s.Items
+		}
+		if total != n {
+			t.Fatalf("%s: stats cover %d of %d items", pol.Name(), total, n)
+		}
+	}
+}
+
+func TestStaticDealsPChunks(t *testing.T) {
+	// Static deals exactly p fixed-size chunks in total. (The loop is a
+	// shared queue, so an idle worker may grab more than one chunk when the
+	// body is trivially cheap — the invariant is the chunk count, not the
+	// chunk-to-worker mapping.)
+	stats := Run(1000, 4, &Static{}, func(i int) {})
+	total := 0
+	for _, s := range stats {
+		total += s.Chunks
+	}
+	if total != 4 {
+		t.Fatalf("static dealt %d chunks, want 4", total)
+	}
+}
+
+func TestSSMaximalChunks(t *testing.T) {
+	stats := Run(100, 2, SS{}, func(i int) {})
+	total := 0
+	for _, s := range stats {
+		total += s.Chunks
+	}
+	if total != 100 {
+		t.Fatalf("SS dealt %d chunks for 100 items", total)
+	}
+}
+
+func TestGSSChunksDecrease(t *testing.T) {
+	g := GSS{}
+	prev := g.Chunk(1000, 4)
+	remaining := 1000 - prev
+	for remaining > 0 {
+		c := g.Chunk(remaining, 4)
+		if c > prev {
+			t.Fatalf("GSS chunk grew: %d > %d", c, prev)
+		}
+		prev = c
+		remaining -= c
+	}
+}
+
+func TestTSSLinearDecrement(t *testing.T) {
+	tss := NewTSS(1000)
+	c1 := tss.Chunk(1000, 4)
+	c2 := tss.Chunk(900, 4)
+	c3 := tss.Chunk(800, 4)
+	if !(c1 >= c2 && c2 >= c3) {
+		t.Fatalf("TSS chunks not decreasing: %d %d %d", c1, c2, c3)
+	}
+	if c1 != 125 {
+		t.Fatalf("TSS first chunk %d, want n/(2p) = 125", c1)
+	}
+}
+
+func TestFACBatches(t *testing.T) {
+	f := &FAC{}
+	// First batch: half of 1000 over 4 workers = 125 each, 4 times.
+	for k := 0; k < 4; k++ {
+		if c := f.Chunk(1000-125*k, 4); c != 125 {
+			t.Fatalf("FAC batch chunk %d = %d, want 125", k, c)
+		}
+	}
+	// Next batch halves again.
+	if c := f.Chunk(500, 4); c > 125 {
+		t.Fatalf("FAC second batch chunk %d did not shrink", c)
+	}
+}
+
+func TestAWFWeightsAdapt(t *testing.T) {
+	a := NewAWF(2)
+	a.Update([]float64{100, 50}) // worker 0 twice as fast
+	w := a.Weights()
+	if w[0] <= w[1] {
+		t.Fatalf("AWF weights %v: faster worker not favored", w)
+	}
+	// Weighted chunks: worker with larger weight gets the bigger chunk.
+	c0 := a.Chunk(1000, 2)
+	c1 := a.Chunk(875, 2)
+	if c0 <= c1 {
+		t.Fatalf("AWF chunks %d, %d: weighting not applied", c0, c1)
+	}
+	// Degenerate update must not panic or corrupt weights.
+	a.Update([]float64{0, 0})
+	for _, x := range a.Weights() {
+		if math.IsNaN(x) || x <= 0 {
+			t.Fatalf("AWF weights corrupted: %v", a.Weights())
+		}
+	}
+}
+
+// TestDynamicBeatsStaticUnderImbalance is the paper's whole argument for
+// DLB (Table 4, §5.2): with heterogeneous item costs, self-scheduling
+// policies achieve better load balance than static splitting.
+func TestDynamicBeatsStaticUnderImbalance(t *testing.T) {
+	const n, p = 400, 4
+	work := func(i int) {
+		// Items in the last quarter are 20x more expensive — mimicking the
+		// particle-cost skew of a clustered SPH domain. Items are tens of
+		// microseconds each so every worker participates (sub-microsecond
+		// items let one goroutine drain the loop before the rest start).
+		iters := 40000
+		if i >= 3*n/4 {
+			iters = 800000
+		}
+		x := 1.0
+		for k := 0; k < iters; k++ {
+			x = math.Sqrt(x + float64(k))
+		}
+		_ = x
+	}
+	staticStats := Run(n, p, &Static{}, work)
+	facStats := Run(n, p, &FAC{}, work)
+	lbStatic := Imbalance(staticStats)
+	lbFAC := Imbalance(facStats)
+	if lbFAC <= lbStatic {
+		t.Errorf("FAC load balance %.3f not better than static %.3f", lbFAC, lbStatic)
+	}
+}
+
+func TestImbalanceBounds(t *testing.T) {
+	perfect := []WorkerStat{{Seconds: 1}, {Seconds: 1}}
+	if lb := Imbalance(perfect); math.Abs(lb-1) > 1e-12 {
+		t.Fatalf("perfect balance = %g", lb)
+	}
+	skewed := []WorkerStat{{Seconds: 2}, {Seconds: 0}}
+	if lb := Imbalance(skewed); math.Abs(lb-0.5) > 1e-12 {
+		t.Fatalf("skewed balance = %g, want 0.5", lb)
+	}
+	if lb := Imbalance(nil); lb != 1 {
+		t.Fatalf("empty balance = %g", lb)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"static", "ss", "gss", "tss", "fac", "awf"} {
+		pol, err := ByName(name, 100, 4)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if pol.Name() != name {
+			t.Fatalf("ByName(%q).Name() = %q", name, pol.Name())
+		}
+	}
+	if _, err := ByName("magic", 100, 4); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestRunSingleWorker(t *testing.T) {
+	var order []int
+	var mu sync.Mutex
+	Run(10, 1, &Static{}, func(i int) {
+		mu.Lock()
+		order = append(order, i)
+		mu.Unlock()
+	})
+	if len(order) != 10 {
+		t.Fatalf("executed %d items", len(order))
+	}
+}
+
+func TestRunZeroItems(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		Run(0, 4, &FAC{}, func(i int) { t.Error("fn called for empty loop") })
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run(0, ...) hung")
+	}
+}
+
+func BenchmarkSchedulingOverhead(b *testing.B) {
+	for _, pol := range []string{"static", "ss", "gss", "fac", "awf"} {
+		b.Run(pol, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p, _ := ByName(pol, 10000, 8)
+				Run(10000, 8, p, func(int) {})
+			}
+		})
+	}
+}

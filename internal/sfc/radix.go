@@ -1,0 +1,115 @@
+package sfc
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ParallelSortByKey returns the permutation that sorts items by key using a
+// parallel least-significant-digit radix sort (11-bit digits, 6 passes over
+// the 63-bit key space). The paper's Extrae analysis singled out serial tree
+// construction (phase A) as a scalability blocker in SPHYNX; sorting the SFC
+// keys is the dominant cost of building a linear octree, so the mini-app
+// parallelizes exactly this step.
+//
+// The sort is stable. workers <= 0 selects GOMAXPROCS.
+func ParallelSortByKey(keys []Key, workers int) []int {
+	n := len(keys)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	if n < 2 {
+		return idx
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n/1024 {
+		w := n / 1024
+		if w < 1 {
+			w = 1
+		}
+		workers = w
+	}
+
+	const digitBits = 11
+	const radix = 1 << digitBits
+	const mask = radix - 1
+	const passes = (63 + digitBits - 1) / digitBits // 6
+
+	tmp := make([]int, n)
+	// hist[w][d] = count of digit d in worker w's chunk.
+	hist := make([][]int, workers)
+	for w := range hist {
+		hist[w] = make([]int, radix)
+	}
+
+	src, dst := idx, tmp
+	for pass := 0; pass < passes; pass++ {
+		shift := uint(pass * digitBits)
+
+		// Phase 1: per-worker digit histograms.
+		var wg sync.WaitGroup
+		chunk := (n + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			h := hist[w]
+			for d := range h {
+				h[d] = 0
+			}
+			if lo >= hi {
+				continue
+			}
+			wg.Add(1)
+			go func(lo, hi int, h []int) {
+				defer wg.Done()
+				for _, i := range src[lo:hi] {
+					h[(uint64(keys[i])>>shift)&mask]++
+				}
+			}(lo, hi, h)
+		}
+		wg.Wait()
+
+		// Phase 2: exclusive prefix sum across (digit, worker) in digit-major
+		// order, giving each worker its scatter base per digit. Serial: radix
+		// * workers is small.
+		total := 0
+		for d := 0; d < radix; d++ {
+			for w := 0; w < workers; w++ {
+				c := hist[w][d]
+				hist[w][d] = total
+				total += c
+			}
+		}
+
+		// Phase 3: stable parallel scatter.
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			if lo >= hi {
+				continue
+			}
+			wg.Add(1)
+			go func(lo, hi int, h []int) {
+				defer wg.Done()
+				for _, i := range src[lo:hi] {
+					d := (uint64(keys[i]) >> shift) & mask
+					dst[h[d]] = i
+					h[d]++
+				}
+			}(lo, hi, hist[w])
+		}
+		wg.Wait()
+		src, dst = dst, src
+	}
+	// passes is even, so the result landed back in idx.
+	return src
+}

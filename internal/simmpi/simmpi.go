@@ -1,0 +1,342 @@
+// Package simmpi is a simulated message-passing runtime: the mini-app's
+// substitute for MPI on the paper's testbeds (Piz Daint and MareNostrum 4,
+// which this reproduction cannot access). Ranks run as goroutines and
+// exchange typed messages through mailboxes; every communication and
+// compute phase advances a per-rank *simulated clock* according to a
+// pluggable machine model (internal/perfmodel), so strong-scaling curves are
+// deterministic functions of the communication pattern and modeled costs —
+// exactly the "skeleton application" idea the paper cites [48], inverted:
+// real computation, modeled network.
+//
+// Semantics follow MPI's eager mode: Send never blocks; Recv(from, tag)
+// blocks until a matching message arrives. Collectives (Barrier, Allreduce,
+// Allgather) synchronize simulated clocks like their MPI counterparts.
+package simmpi
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// CostModel prices communication and synchronization on the modeled
+// machine. Implementations must be safe for concurrent use.
+type CostModel interface {
+	// PointToPoint returns the simulated seconds for a message of the given
+	// byte size between two ranks (topology-aware: same node vs. network).
+	PointToPoint(from, to int, bytes int) float64
+	// Collective returns the simulated seconds a collective over n ranks
+	// with the given per-rank payload takes.
+	Collective(n int, bytes int) float64
+}
+
+// ZeroCost is a CostModel with free communication, for tests that only care
+// about message semantics.
+type ZeroCost struct{}
+
+// PointToPoint implements CostModel.
+func (ZeroCost) PointToPoint(from, to, bytes int) float64 { return 0 }
+
+// Collective implements CostModel.
+func (ZeroCost) Collective(n, bytes int) float64 { return 0 }
+
+// AlphaBeta is the classic latency/bandwidth model:
+// t = Alpha + bytes*Beta, collectives pay ceil(log2 n) rounds.
+type AlphaBeta struct {
+	Alpha float64 // seconds per message
+	Beta  float64 // seconds per byte
+}
+
+// PointToPoint implements CostModel.
+func (m AlphaBeta) PointToPoint(from, to, bytes int) float64 {
+	return m.Alpha + float64(bytes)*m.Beta
+}
+
+// Collective implements CostModel.
+func (m AlphaBeta) Collective(n, bytes int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	rounds := math.Ceil(math.Log2(float64(n)))
+	return rounds * (m.Alpha + float64(bytes)*m.Beta)
+}
+
+type message struct {
+	from, tag int
+	bytes     int
+	data      any
+	arrival   float64 // simulated arrival time at the receiver
+}
+
+type mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []message
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+func (mb *mailbox) put(m message) {
+	mb.mu.Lock()
+	mb.pending = append(mb.pending, m)
+	mb.mu.Unlock()
+	mb.cond.Broadcast()
+}
+
+// take blocks until a message with the given source and tag is present and
+// removes it (first matching, preserving per-source-tag FIFO order).
+func (mb *mailbox) take(from, tag int) message {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		for i, m := range mb.pending {
+			if m.from == from && m.tag == tag {
+				mb.pending = append(mb.pending[:i], mb.pending[i+1:]...)
+				return m
+			}
+		}
+		mb.cond.Wait()
+	}
+}
+
+// World is a set of ranks sharing a cost model and collective state.
+type World struct {
+	N     int
+	Model CostModel
+
+	boxes  []*mailbox
+	clocks []float64
+
+	collMu    sync.Mutex
+	collCond  *sync.Cond
+	collVals  []any
+	collCount int
+	collGen   int
+	collOut   any
+	collMax   float64
+}
+
+// NewWorld creates a world of n ranks priced by model.
+func NewWorld(n int, model CostModel) *World {
+	if n <= 0 {
+		panic(fmt.Sprintf("simmpi: world size %d", n))
+	}
+	w := &World{N: n, Model: model}
+	w.boxes = make([]*mailbox, n)
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+	w.clocks = make([]float64, n)
+	w.collCond = sync.NewCond(&w.collMu)
+	w.collVals = make([]any, n)
+	return w
+}
+
+// Run executes fn on every rank concurrently and blocks until all return.
+// It returns the maximum simulated clock across ranks (the parallel
+// wall-clock of the run).
+func (w *World) Run(fn func(r *Rank)) float64 {
+	var wg sync.WaitGroup
+	for i := 0; i < w.N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fn(&Rank{ID: i, W: w})
+		}(i)
+	}
+	wg.Wait()
+	var max float64
+	for _, c := range w.clocks {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// Rank is one simulated process. All methods must be called only from the
+// goroutine running this rank.
+type Rank struct {
+	ID int
+	W  *World
+
+	// CommTime and ComputeTime decompose the simulated clock for the POP
+	// efficiency metrics (internal/trace).
+	CommTime    float64
+	ComputeTime float64
+	IdleTime    float64
+}
+
+// Clock returns the rank's simulated time.
+func (r *Rank) Clock() float64 { return r.W.clocks[r.ID] }
+
+// advance moves the simulated clock forward.
+func (r *Rank) advance(dt float64) { w := r.W; w.clocks[r.ID] += dt }
+
+// Compute charges seconds of useful computation to the simulated clock and
+// runs fn (which performs the real work). fn may be nil for pure modeling.
+func (r *Rank) Compute(seconds float64, fn func()) {
+	if fn != nil {
+		fn()
+	}
+	if seconds < 0 {
+		seconds = 0
+	}
+	r.advance(seconds)
+	r.ComputeTime += seconds
+}
+
+// Send delivers data to rank `to` with a tag. bytes is the modeled payload
+// size (the real data travels by reference; only the clock cares about
+// bytes). Send is eager: it never blocks.
+func (r *Rank) Send(to, tag, bytes int, data any) {
+	if to == r.ID {
+		r.W.boxes[to].put(message{from: r.ID, tag: tag, bytes: bytes, data: data, arrival: r.Clock()})
+		return
+	}
+	cost := r.W.Model.PointToPoint(r.ID, to, bytes)
+	// Sender pays a small injection overhead (half the latency term);
+	// arrival is send time plus full cost.
+	arrival := r.Clock() + cost
+	r.W.boxes[to].put(message{from: r.ID, tag: tag, bytes: bytes, data: data, arrival: arrival})
+}
+
+// Recv blocks until a message from `from` with `tag` arrives and returns its
+// payload. The simulated clock advances to max(now, arrival): any gap is
+// idle (wait) time, attributed to CommTime per MPI accounting.
+func (r *Rank) Recv(from, tag int) any {
+	m := r.W.boxes[r.ID].take(from, tag)
+	now := r.Clock()
+	if m.arrival > now {
+		r.IdleTime += m.arrival - now
+		r.advance(m.arrival - now)
+	}
+	// Unpacking overhead is folded into the sender-side cost model.
+	r.CommTime += math.Max(0, m.arrival-now)
+	return m.data
+}
+
+// Barrier synchronizes all ranks: every clock advances to the global
+// maximum plus the modeled collective cost.
+func (r *Rank) Barrier() {
+	r.Allreduce(nil, func(a, b any) any { return nil }, 0)
+}
+
+// Allreduce combines val across ranks with the reduction op (applied in
+// rank order, making the result deterministic) and returns the result on
+// every rank. bytes models the per-rank payload.
+func (r *Rank) Allreduce(val any, op func(a, b any) any, bytes int) any {
+	w := r.W
+	w.collMu.Lock()
+	gen := w.collGen
+	w.collVals[r.ID] = val
+	w.collCount++
+	if w.collCount == w.N {
+		// Last arrival reduces in rank order and releases the others.
+		acc := w.collVals[0]
+		for i := 1; i < w.N; i++ {
+			acc = op(acc, w.collVals[i])
+		}
+		w.collOut = acc
+		var maxClock float64
+		for _, c := range w.clocks {
+			if c > maxClock {
+				maxClock = c
+			}
+		}
+		w.collMax = maxClock
+		w.collCount = 0
+		w.collGen++
+		w.collCond.Broadcast()
+	} else {
+		for gen == w.collGen {
+			w.collCond.Wait()
+		}
+	}
+	out := w.collOut
+	maxClock := w.collMax
+	w.collMu.Unlock()
+
+	now := r.Clock()
+	if maxClock > now {
+		r.IdleTime += maxClock - now
+		r.advance(maxClock - now)
+	}
+	cost := w.Model.Collective(w.N, bytes)
+	r.advance(cost)
+	r.CommTime += cost + math.Max(0, maxClock-now)
+	return out
+}
+
+// AllreduceFlo64 reduces float64 slices element-wise with op.
+func (r *Rank) AllreduceF64(vals []float64, op func(a, b float64) float64) []float64 {
+	out := r.Allreduce(append([]float64(nil), vals...), func(a, b any) any {
+		av := a.([]float64)
+		bv := b.([]float64)
+		res := make([]float64, len(av))
+		for i := range av {
+			res[i] = op(av[i], bv[i])
+		}
+		return res
+	}, 8*len(vals))
+	return out.([]float64)
+}
+
+// MinF64 and friends are the common reductions.
+func MinF64(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// MaxF64 returns the larger value.
+func MaxF64(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// SumF64 returns the sum.
+func SumF64(a, b float64) float64 { return a + b }
+
+// Allgather collects each rank's val into a slice indexed by rank, on every
+// rank. bytes models the per-rank payload.
+func (r *Rank) Allgather(val any, bytes int) []any {
+	out := r.Allreduce(gatherItem{r.ID, val}, func(a, b any) any {
+		var items []gatherItem
+		switch v := a.(type) {
+		case gatherItem:
+			items = []gatherItem{v}
+		case []gatherItem:
+			items = v
+		}
+		switch v := b.(type) {
+		case gatherItem:
+			items = append(items, v)
+		case []gatherItem:
+			items = append(items, v...)
+		}
+		return items
+	}, bytes*r.W.N)
+	res := make([]any, r.W.N)
+	switch v := out.(type) {
+	case gatherItem:
+		res[v.rank] = v.val
+	case []gatherItem:
+		for _, it := range v {
+			res[it.rank] = it.val
+		}
+	}
+	return res
+}
+
+type gatherItem struct {
+	rank int
+	val  any
+}

@@ -1,0 +1,195 @@
+package sph
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/eos"
+	"repro/internal/ic"
+	"repro/internal/kernel"
+	"repro/internal/part"
+	"repro/internal/vec"
+)
+
+var boxCenter = vec.V3{X: 0.5, Y: 0.5, Z: 0.5}
+
+// preparedCubeWithVel builds a periodic cube, assigns the velocity field,
+// and computes density + EOS so the switch estimators have current state.
+func preparedCubeWithVel(t *testing.T, vel func(p vec.V3) vec.V3) (*part.Set, *NeighborList, *Params) {
+	t.Helper()
+	p := cubeParams(t)
+	ps, nl := preparedCube(t, 10, p)
+	for i := 0; i < ps.NLocal; i++ {
+		ps.Vel[i] = vel(ps.Pos[i])
+		ps.U[i] = 1
+	}
+	Density(ps, nl, p)
+	EquationOfState(ps, p)
+	return ps, nl, p
+}
+
+// interior reports whether particle i is far from the box faces, where the
+// periodic wrap makes linear test fields discontinuous.
+func interior(ps *part.Set, i int) bool {
+	d := ps.Pos[i].Sub(boxCenter)
+	return math.Abs(d.X) < 0.25 && math.Abs(d.Y) < 0.25 && math.Abs(d.Z) < 0.25
+}
+
+// TestDivCurlUniformCompression: v = -(r - c) has div v = -3, curl v = 0.
+func TestDivCurlUniformCompression(t *testing.T) {
+	ps, nl, p := preparedCubeWithVel(t, func(pos vec.V3) vec.V3 {
+		return pos.Sub(boxCenter).Scale(-1)
+	})
+	div, curl := VelocityDivCurl(ps, nl, p, nil, nil)
+	checked := 0
+	for i := 0; i < ps.NLocal; i++ {
+		if !interior(ps, i) {
+			continue
+		}
+		checked++
+		if math.Abs(div[i]+3) > 0.3 {
+			t.Fatalf("div v at %d = %g, want -3", i, div[i])
+		}
+		if curl[i] > 0.3 {
+			t.Fatalf("curl v at %d = %g, want ~0", i, curl[i])
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no interior particles checked")
+	}
+}
+
+// TestDivCurlRigidRotation: v = omega x r has div v = 0, |curl v| = 2 omega.
+func TestDivCurlRigidRotation(t *testing.T) {
+	const omega = 2.0
+	ps, nl, p := preparedCubeWithVel(t, func(pos vec.V3) vec.V3 {
+		d := pos.Sub(boxCenter)
+		return vec.V3{X: omega * d.Y, Y: -omega * d.X}
+	})
+	div, curl := VelocityDivCurl(ps, nl, p, nil, nil)
+	for i := 0; i < ps.NLocal; i++ {
+		if !interior(ps, i) {
+			continue
+		}
+		if math.Abs(div[i]) > 0.4 {
+			t.Fatalf("rotation div v at %d = %g, want ~0", i, div[i])
+		}
+		if math.Abs(curl[i]-2*omega) > 0.5 {
+			t.Fatalf("rotation |curl v| at %d = %g, want %g", i, curl[i], 2*omega)
+		}
+	}
+}
+
+// TestBalsaraDiscriminates: the limiter must be ~1 under compression and
+// ~0 under rigid rotation — that is its entire purpose (it protects the
+// rotating square patch's angular momentum from viscous transport).
+func TestBalsaraDiscriminates(t *testing.T) {
+	psC, nlC, pC := preparedCubeWithVel(t, func(pos vec.V3) vec.V3 {
+		return pos.Sub(boxCenter).Scale(-1)
+	})
+	fC := BalsaraFactors(psC, nlC, pC, nil)
+
+	psR, nlR, pR := preparedCubeWithVel(t, func(pos vec.V3) vec.V3 {
+		d := pos.Sub(boxCenter)
+		return vec.V3{X: d.Y, Y: -d.X}
+	})
+	fR := BalsaraFactors(psR, nlR, pR, nil)
+
+	var sumC, sumR float64
+	var nC, nR int
+	for i := 0; i < psC.NLocal; i++ {
+		if interior(psC, i) {
+			sumC += fC[i]
+			nC++
+		}
+		if interior(psR, i) {
+			sumR += fR[i]
+			nR++
+		}
+	}
+	meanC := sumC / float64(nC)
+	meanR := sumR / float64(nR)
+	if meanC < 0.9 {
+		t.Errorf("compression Balsara factor %g, want ~1", meanC)
+	}
+	if meanR > 0.2 {
+		t.Errorf("rotation Balsara factor %g, want ~0", meanR)
+	}
+	for i, f := range fC {
+		if f < 0 || f > 1 {
+			t.Fatalf("factor %d = %g out of [0,1]", i, f)
+		}
+	}
+}
+
+// TestXSPHUniformFlowUnchanged: in a uniform velocity field the smoothing
+// correction vanishes (v_j - v_i = 0 everywhere).
+func TestXSPHUniformFlowUnchanged(t *testing.T) {
+	ps, nl, p := preparedCubeWithVel(t, func(pos vec.V3) vec.V3 {
+		return vec.V3{X: 1, Y: -2, Z: 0.5}
+	})
+	dv := XSPHCorrection(ps, nl, p, 0.5, nil)
+	for i, d := range dv {
+		if d.Norm() > 1e-14 {
+			t.Fatalf("uniform flow XSPH correction %d = %v", i, d)
+		}
+	}
+}
+
+// TestXSPHDampsAlternation: a sawtooth velocity field (the classic pairing
+// noise pattern) must be pulled toward the local mean: corrections oppose
+// the particle's deviation.
+func TestXSPHDampsAlternation(t *testing.T) {
+	p := cubeParams(t)
+	ps, nl := preparedCube(t, 10, p)
+	for i := 0; i < ps.NLocal; i++ {
+		cell := int(ps.Pos[i].X * 10)
+		s := 1.0
+		if cell%2 == 1 {
+			s = -1
+		}
+		ps.Vel[i] = vec.V3{X: s}
+	}
+	Density(ps, nl, p)
+	dv := XSPHCorrection(ps, nl, p, 0.5, nil)
+	opposing := 0
+	for i := 0; i < ps.NLocal; i++ {
+		if dv[i].X*ps.Vel[i].X < 0 {
+			opposing++
+		}
+	}
+	if opposing < ps.NLocal*8/10 {
+		t.Errorf("only %d/%d XSPH corrections oppose the sawtooth", opposing, ps.NLocal)
+	}
+}
+
+// TestXSPHCorrectionBounded: the correction magnitude never exceeds the
+// largest local velocity difference (it is a weighted average).
+func TestXSPHCorrectionBounded(t *testing.T) {
+	ps, nl, p := preparedCubeWithVel(t, func(pos vec.V3) vec.V3 {
+		return vec.V3{X: math.Sin(2 * math.Pi * pos.Y)}
+	})
+	dv := XSPHCorrection(ps, nl, p, 1.0, nil)
+	for i, d := range dv {
+		if d.Norm() > 2.0 { // max |v_j - v_i| = 2
+			t.Fatalf("XSPH correction %d = %v exceeds velocity scale", i, d)
+		}
+	}
+}
+
+func BenchmarkBalsara(b *testing.B) {
+	p := &Params{Kernel: kernel.NewM4(), EOS: eos.NewIdealGas(5.0 / 3.0), NNeighbors: 60}
+	if err := p.Defaults(); err != nil {
+		b.Fatal(err)
+	}
+	ps, pbc, box := ic.UniformCube(16, p.NNeighbors)
+	p.PBC, p.Box = pbc, box
+	tr := BuildTree(ps, p)
+	nl := UpdateSmoothingLengths(ps, tr, p)
+	Density(ps, nl, p)
+	EquationOfState(ps, p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BalsaraFactors(ps, nl, p, nil)
+	}
+}

@@ -1,0 +1,377 @@
+// Package tree implements the linear octree that underpins both SPH
+// neighbor discovery and tree-based self-gravity (steps 1, 2 and 4 of the
+// paper's Algorithm 1). All three parent codes identify neighbors via a tree
+// walk (paper Table 1); this implementation follows the Barnes-Hut [4]
+// hierarchical decomposition, linearized over Morton keys.
+//
+// Construction sorts the particle Morton keys (parallel radix sort) and then
+// splits key ranges top-down until leaves hold at most LeafCap particles.
+// Because the key order equals the octant order, every node is a contiguous
+// range of the sorted index array — no per-node particle lists are needed.
+package tree
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/sfc"
+	"repro/internal/vec"
+)
+
+// DefaultLeafCap is the default maximum particle count in a leaf. Around
+// 16-64 balances walk depth against per-leaf scan cost for ~100-neighbor SPH
+// configurations.
+const DefaultLeafCap = 32
+
+// PBC describes periodic boundary conditions: which axes wrap and the period
+// length per axis. The rotating square patch test wraps Z only (paper §5.1:
+// "applying periodic boundary conditions in the Z direction").
+type PBC struct {
+	X, Y, Z bool
+	L       vec.V3 // period lengths for the wrapping axes
+}
+
+// None reports whether no axis is periodic.
+func (p PBC) None() bool { return !p.X && !p.Y && !p.Z }
+
+// Wrap returns the minimum-image displacement for d = a - b.
+func (p PBC) Wrap(d vec.V3) vec.V3 {
+	if p.X && p.L.X > 0 {
+		d.X -= p.L.X * math.Round(d.X/p.L.X)
+	}
+	if p.Y && p.L.Y > 0 {
+		d.Y -= p.L.Y * math.Round(d.Y/p.L.Y)
+	}
+	if p.Z && p.L.Z > 0 {
+		d.Z -= p.L.Z * math.Round(d.Z/p.L.Z)
+	}
+	return d
+}
+
+// Node is one octree cell. Particles of the node are
+// Index[Start : Start+Count]. FirstChild is the index of the first of eight
+// contiguous children, or -1 for a leaf (children with Count == 0 are still
+// materialized to keep the 8-block layout).
+type Node struct {
+	Center     vec.V3
+	Half       float64 // half edge length of the cubic cell
+	Start      int32
+	Count      int32
+	FirstChild int32
+}
+
+// IsLeaf reports whether the node has no children.
+func (n *Node) IsLeaf() bool { return n.FirstChild < 0 }
+
+// Tree is a linear octree over a set of positions. The tree borrows the
+// position slice; it must not be mutated while the tree is in use.
+type Tree struct {
+	Nodes []Node
+	Index []int32 // particle indices in Morton order
+	Box   sfc.Box
+	pos   []vec.V3
+	pbc   PBC
+	keys  []sfc.Key
+}
+
+// Options configures tree construction.
+type Options struct {
+	LeafCap int // max particles per leaf; DefaultLeafCap when 0
+	Workers int // parallelism for key sort and node builds; GOMAXPROCS when 0
+	PBC     PBC
+	// Box forces the quantization cube, needed when PBC wraps an axis (the
+	// cube must equal the periodic domain there). When Size == 0 the
+	// bounding cube of the positions is used.
+	Box sfc.Box
+}
+
+// Build constructs an octree over pos.
+func Build(pos []vec.V3, opt Options) *Tree {
+	leafCap := opt.LeafCap
+	if leafCap <= 0 {
+		leafCap = DefaultLeafCap
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	box := opt.Box
+	if box.Size == 0 {
+		lo, hi := bounds(pos)
+		box = sfc.NewBox(lo, hi)
+	}
+
+	t := &Tree{Box: box, pos: pos, pbc: opt.PBC}
+	n := len(pos)
+	t.keys = make([]sfc.Key, n)
+
+	// Parallel key computation.
+	parallelFor(n, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			t.keys[i] = sfc.Encode(sfc.Morton, box, pos[i])
+		}
+	})
+
+	perm := sfc.ParallelSortByKey(t.keys, workers)
+	t.Index = make([]int32, n)
+	sorted := make([]sfc.Key, n)
+	for i, p := range perm {
+		t.Index[i] = int32(p)
+		sorted[i] = t.keys[p]
+	}
+	t.keys = sorted
+
+	// Root cell: the quantization cube.
+	half := box.Size / 2
+	root := Node{
+		Center:     box.Lo.Add(vec.V3{X: half, Y: half, Z: half}),
+		Half:       half,
+		Start:      0,
+		Count:      int32(n),
+		FirstChild: -1,
+	}
+	t.Nodes = append(t.Nodes, root)
+	t.split(0, 3*(sfc.Bits-1), leafCap)
+	return t
+}
+
+// split recursively subdivides node ni. shift is the bit position of the
+// current octant digit in the Morton key (3 bits per level).
+func (t *Tree) split(ni int, shift int, leafCap int) {
+	nd := t.Nodes[ni]
+	if int(nd.Count) <= leafCap || shift < 0 {
+		return
+	}
+	first := int32(len(t.Nodes))
+	t.Nodes[ni].FirstChild = first
+
+	// Partition the node's key range into eight octant sub-ranges by binary
+	// search on the octant digit.
+	start := nd.Start
+	end := nd.Start + nd.Count
+	quarter := nd.Half / 2
+	pos := start
+	for oct := 0; oct < 8; oct++ {
+		// Find the end of this octant's run.
+		runEnd := pos
+		for runEnd < end && int((t.keys[runEnd]>>uint(shift))&7) == oct {
+			runEnd++
+		}
+		child := Node{
+			Center: vec.V3{
+				X: nd.Center.X + quarter*octSign(oct, 0),
+				Y: nd.Center.Y + quarter*octSign(oct, 1),
+				Z: nd.Center.Z + quarter*octSign(oct, 2),
+			},
+			Half:       quarter,
+			Start:      pos,
+			Count:      runEnd - pos,
+			FirstChild: -1,
+		}
+		t.Nodes = append(t.Nodes, child)
+		pos = runEnd
+	}
+	if pos != end {
+		panic(fmt.Sprintf("tree: octant partition lost particles: %d != %d", pos, end))
+	}
+	for oct := int32(0); oct < 8; oct++ {
+		t.split(int(first+oct), shift-3, leafCap)
+	}
+}
+
+// octSign returns -1 or +1 for the octant's position along axis (0=x,1=y,2=z).
+// Morton digit bit 0 is x, bit 1 is y, bit 2 is z.
+func octSign(oct, axis int) float64 {
+	if oct>>uint(axis)&1 == 1 {
+		return 1
+	}
+	return -1
+}
+
+func bounds(pos []vec.V3) (lo, hi vec.V3) {
+	if len(pos) == 0 {
+		return vec.V3{}, vec.V3{X: 1, Y: 1, Z: 1}
+	}
+	lo, hi = pos[0], pos[0]
+	for _, p := range pos[1:] {
+		lo = lo.Min(p)
+		hi = hi.Max(p)
+	}
+	return lo, hi
+}
+
+// parallelFor runs fn over [0, n) split into worker chunks and waits.
+func parallelFor(n, workers int, fn func(lo, hi int)) {
+	if workers <= 1 || n < 2048 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Hit is one neighbor-search result: the particle index, the squared
+// distance, and the minimum-image displacement center - pos[Idx].
+type Hit struct {
+	Idx   int32
+	Dist2 float64
+	DR    vec.V3
+}
+
+// BallSearch appends to out every particle within radius r of center
+// (including a particle exactly at center, i.e. the query particle itself
+// when center is its position) and returns the extended slice. Periodic
+// images are handled per the tree's PBC.
+func (t *Tree) BallSearch(center vec.V3, r float64, out []Hit) []Hit {
+	if len(t.Nodes) == 0 {
+		return out
+	}
+	r2 := r * r
+	if t.pbc.None() {
+		return t.search(0, center, r, r2, vec.V3{}, out)
+	}
+	// Enumerate periodic images whose shifted ball can intersect the domain.
+	offsets := t.imageOffsets(center, r)
+	for _, off := range offsets {
+		out = t.search(0, center.Add(off), r, r2, off, out)
+	}
+	return out
+}
+
+// imageOffsets returns the set of image shift vectors to search. The zero
+// offset is always included; along each periodic axis a ±L image is added
+// when the ball pokes out of the domain on that side.
+func (t *Tree) imageOffsets(center vec.V3, r float64) []vec.V3 {
+	xs := axisOffsets(t.pbc.X, center.X, r, t.Box.Lo.X, t.pbc.L.X)
+	ys := axisOffsets(t.pbc.Y, center.Y, r, t.Box.Lo.Y, t.pbc.L.Y)
+	zs := axisOffsets(t.pbc.Z, center.Z, r, t.Box.Lo.Z, t.pbc.L.Z)
+	out := make([]vec.V3, 0, len(xs)*len(ys)*len(zs))
+	for _, dx := range xs {
+		for _, dy := range ys {
+			for _, dz := range zs {
+				out = append(out, vec.V3{X: dx, Y: dy, Z: dz})
+			}
+		}
+	}
+	return out
+}
+
+func axisOffsets(periodic bool, c, r, lo, L float64) []float64 {
+	if !periodic || L <= 0 {
+		return []float64{0}
+	}
+	offs := []float64{0}
+	if c-r < lo {
+		offs = append(offs, L)
+	}
+	if c+r > lo+L {
+		offs = append(offs, -L)
+	}
+	return offs
+}
+
+// search walks node ni for particles within r of center; off is the image
+// offset already applied to center (recorded into Hit.DR so displacements are
+// minimum-image).
+func (t *Tree) search(ni int, center vec.V3, r, r2 float64, off vec.V3, out []Hit) []Hit {
+	nd := &t.Nodes[ni]
+	if nd.Count == 0 {
+		return out
+	}
+	// Distance from center to the node cube.
+	if cubeDist2(nd.Center, nd.Half, center) > r2 {
+		return out
+	}
+	if nd.IsLeaf() {
+		for k := nd.Start; k < nd.Start+nd.Count; k++ {
+			j := t.Index[k]
+			d := center.Sub(t.pos[j])
+			d2 := d.Norm2()
+			if d2 <= r2 {
+				out = append(out, Hit{Idx: j, Dist2: d2, DR: d})
+			}
+		}
+		return out
+	}
+	for c := nd.FirstChild; c < nd.FirstChild+8; c++ {
+		out = t.search(int(c), center, r, r2, off, out)
+	}
+	return out
+}
+
+// cubeDist2 returns the squared distance from p to the cube (center, half).
+func cubeDist2(c vec.V3, half float64, p vec.V3) float64 {
+	var d2 float64
+	for axis := 0; axis < 3; axis++ {
+		d := math.Abs(p.Comp(axis)-c.Comp(axis)) - half
+		if d > 0 {
+			d2 += d * d
+		}
+	}
+	return d2
+}
+
+// NLeaves returns the number of leaf nodes.
+func (t *Tree) NLeaves() int {
+	n := 0
+	for i := range t.Nodes {
+		if t.Nodes[i].IsLeaf() {
+			n++
+		}
+	}
+	return n
+}
+
+// MaxDepth returns the maximum node depth (root = 0).
+func (t *Tree) MaxDepth() int {
+	var walk func(ni, d int) int
+	walk = func(ni, d int) int {
+		nd := &t.Nodes[ni]
+		if nd.IsLeaf() {
+			return d
+		}
+		max := d
+		for c := nd.FirstChild; c < nd.FirstChild+8; c++ {
+			if got := walk(int(c), d+1); got > max {
+				max = got
+			}
+		}
+		return max
+	}
+	if len(t.Nodes) == 0 {
+		return 0
+	}
+	return walk(0, 0)
+}
+
+// BruteForceBallSearch is the O(N) reference used in tests and in the
+// neighbor-search ablation benchmark.
+func BruteForceBallSearch(pos []vec.V3, pbc PBC, center vec.V3, r float64, out []Hit) []Hit {
+	r2 := r * r
+	for j := range pos {
+		d := pbc.Wrap(center.Sub(pos[j]))
+		d2 := d.Norm2()
+		if d2 <= r2 {
+			out = append(out, Hit{Idx: int32(j), Dist2: d2, DR: d})
+		}
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+package ts
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/part"
+	"repro/internal/vec"
+)
+
+func stateWith(h []float64, acc []vec.V3) *part.Set {
+	ps := part.New(len(h))
+	copy(ps.H, h)
+	copy(ps.Acc, acc)
+	for i := range ps.Mass {
+		ps.Mass[i] = 1
+	}
+	return ps
+}
+
+func TestParticleDTCourant(t *testing.T) {
+	c := NewController(Global)
+	ps := stateWith([]float64{0.1}, []vec.V3{{}})
+	dt := c.ParticleDT(ps, 0, 10)
+	want := 0.3 * 2 * 0.1 / 10
+	if math.Abs(dt-want) > 1e-15 {
+		t.Fatalf("Courant dt = %g, want %g", dt, want)
+	}
+}
+
+func TestParticleDTAcceleration(t *testing.T) {
+	c := NewController(Global)
+	ps := stateWith([]float64{0.1}, []vec.V3{{X: 100}})
+	// vsig tiny so the acceleration criterion binds.
+	dt := c.ParticleDT(ps, 0, 1e-9)
+	want := 0.25 * math.Sqrt(0.1/100)
+	if math.Abs(dt-want) > 1e-15 {
+		t.Fatalf("accel dt = %g, want %g", dt, want)
+	}
+}
+
+func TestGlobalTakesMinimum(t *testing.T) {
+	c := NewController(Global)
+	ps := stateWith([]float64{0.1, 0.01}, []vec.V3{{}, {}})
+	dt := c.Step(ps, 5)
+	want := 0.3 * 2 * 0.01 / 5
+	if math.Abs(dt-want) > 1e-15 {
+		t.Fatalf("global dt = %g, want %g", dt, want)
+	}
+}
+
+func TestAdaptiveGrowthBounded(t *testing.T) {
+	c := NewController(Adaptive)
+	ps := stateWith([]float64{0.1}, []vec.V3{{}})
+	dt1 := c.Step(ps, 100) // small step
+	ps.H[0] = 10           // conditions relax enormously
+	dt2 := c.Step(ps, 100)
+	if dt2 > dt1*c.MaxGrowth*(1+1e-12) {
+		t.Fatalf("adaptive dt grew %g -> %g, exceeding growth bound", dt1, dt2)
+	}
+	// Shrinking is immediate.
+	ps.H[0] = 1e-4
+	dt3 := c.Step(ps, 100)
+	if dt3 > dt2 {
+		t.Fatalf("adaptive dt failed to shrink: %g -> %g", dt2, dt3)
+	}
+}
+
+func TestIndividualRungAssignment(t *testing.T) {
+	c := NewController(Individual)
+	// Particle 0 can take a large step; particle 1 needs one 8x smaller.
+	ps := stateWith([]float64{0.8, 0.1}, []vec.V3{{}, {}})
+	base := c.Step(ps, 10)
+	if base <= 0 {
+		t.Fatalf("base dt = %g", base)
+	}
+	if ps.Bin[0] >= ps.Bin[1] {
+		t.Fatalf("rungs not ordered by stability: bin0=%d bin1=%d", ps.Bin[0], ps.Bin[1])
+	}
+	// Each particle's sub-step must be stable.
+	for i := 0; i < 2; i++ {
+		sub := base / float64(int64(1)<<uint(ps.Bin[i]))
+		stable := c.ParticleDT(ps, i, 10)
+		if sub > stable*(1+1e-12) && ps.Bin[i] < c.MaxRung {
+			t.Fatalf("particle %d sub-step %g exceeds stable %g", i, sub, stable)
+		}
+	}
+}
+
+func TestIndividualRungCap(t *testing.T) {
+	c := NewController(Individual)
+	c.MaxRung = 3
+	// Enormous dynamic range: rung must clamp at MaxRung.
+	ps := stateWith([]float64{10, 1e-6}, []vec.V3{{}, {}})
+	c.Step(ps, 1)
+	if ps.Bin[1] > 3 {
+		t.Fatalf("rung %d exceeds cap 3", ps.Bin[1])
+	}
+}
+
+func TestDegenerateStateFallback(t *testing.T) {
+	c := NewController(Global)
+	ps := stateWith([]float64{0.1}, []vec.V3{{}})
+	dt := c.Step(ps, 0) // no signal speed, no acceleration
+	if dt <= 0 || math.IsInf(dt, 0) {
+		t.Fatalf("degenerate dt = %g", dt)
+	}
+}
+
+func TestActiveRungs(t *testing.T) {
+	active := ActiveRungs(0, 3)
+	for r := int8(0); r <= 3; r++ {
+		if !active(r) {
+			t.Fatalf("rung %d inactive at sub-step 0", r)
+		}
+	}
+	active = ActiveRungs(1, 3)
+	if active(0) || active(1) || active(2) {
+		t.Fatal("coarse rungs active at odd sub-step")
+	}
+	if !active(3) {
+		t.Fatal("finest rung inactive at sub-step 1")
+	}
+	active = ActiveRungs(4, 3)
+	if !active(1) || active(0) {
+		t.Fatalf("sub-step 4 of 8: want rung1 active, rung0 inactive")
+	}
+	if SubStepsPerBase(3) != 8 {
+		t.Fatalf("SubStepsPerBase(3) = %d", SubStepsPerBase(3))
+	}
+}
+
+func TestModeString(t *testing.T) {
+	for _, m := range []Mode{Global, Individual, Adaptive, Mode(9)} {
+		if m.String() == "" {
+			t.Fatalf("empty name for mode %d", m)
+		}
+	}
+}
