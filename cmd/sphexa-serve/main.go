@@ -1,0 +1,75 @@
+// Command sphexa-serve exposes the mini-app as a simulation service: an
+// HTTP API over the scenario registry and the distributed engine. Jobs are
+// submitted as canonical scenario specs, executed on a bounded worker pool,
+// checkpointed for crash recovery, cached by spec hash, and their final
+// particle snapshots served in the part binary checkpoint format.
+//
+//	sphexa-serve -addr :8080 -workers 4 -data-dir /var/lib/sphexa
+//
+// See the README for a curl walkthrough of the API.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/perfmodel"
+	"repro/internal/scenario"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 2, "concurrent simulation workers")
+		queue     = flag.Int("queue", 64, "maximum queued jobs")
+		dataDir   = flag.String("data-dir", "", "checkpoint directory (empty disables crash recovery)")
+		ckptEvery = flag.Int("checkpoint-every", 10, "steps between job checkpoints")
+		machine   = flag.String("machine", "pizdaint", "modeled machine for distributed runs")
+	)
+	flag.Parse()
+	if err := run(*addr, *workers, *queue, *dataDir, *ckptEvery, *machine); err != nil {
+		fmt.Fprintln(os.Stderr, "sphexa-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers, queue int, dataDir string, ckptEvery int, machine string) error {
+	m, err := perfmodel.ByName(machine)
+	if err != nil {
+		return err
+	}
+	srv := server.New(server.Options{
+		Workers:         workers,
+		QueueDepth:      queue,
+		DataDir:         dataDir,
+		CheckpointEvery: ckptEvery,
+		Machine:         m,
+	})
+	defer srv.Close()
+
+	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+
+	fmt.Printf("sphexa-serve: listening on %s (%d workers, scenarios: %v)\n",
+		addr, workers, scenario.Names())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		fmt.Printf("sphexa-serve: %v, shutting down\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		return httpSrv.Shutdown(ctx)
+	}
+}

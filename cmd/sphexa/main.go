@@ -4,11 +4,12 @@
 // optional checkpoint/restart, and silent-data-corruption detection.
 //
 // Per the mini-app design guidance the paper cites [35], the interface is a
-// handful of command-line flags:
+// handful of command-line flags; workloads come from the scenario registry
+// (internal/scenario), so every registered scenario is runnable by name:
 //
-//	sphexa -test evrard -n 10000 -steps 20
-//	sphexa -test square -kernel wendland-c2 -gradients kd -steps 10
-//	sphexa -test evrard -checkpoint-dir /tmp/ck -restart
+//	sphexa -scenario evrard -n 10000 -steps 20
+//	sphexa -scenario square -kernel wendland-c2 -gradients kd -steps 10
+//	sphexa -scenario noh -checkpoint-dir /tmp/ck -restart
 package main
 
 import (
@@ -16,21 +17,22 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 
 	"repro/internal/conserve"
 	"repro/internal/core"
-	"repro/internal/eos"
 	"repro/internal/ft"
 	"repro/internal/gravity"
-	"repro/internal/ic"
 	"repro/internal/kernel"
+	"repro/internal/scenario"
 	"repro/internal/sph"
 	"repro/internal/ts"
 )
 
 func main() {
 	var (
-		test      = flag.String("test", "evrard", "test case: evrard, square, sedov, cube")
+		test = flag.String("scenario", "evrard",
+			"workload from the scenario registry: "+strings.Join(scenario.Names(), ", "))
 		n         = flag.Int("n", 10000, "approximate particle count")
 		steps     = flag.Int("steps", 20, "time steps to run")
 		kern      = flag.String("kernel", "sinc-5", "SPH kernel (m4, wendland-c2/c4/c6, sinc-<n>)")
@@ -45,6 +47,7 @@ func main() {
 		restart   = flag.Bool("restart", false, "restore from the newest checkpoint before running")
 		sdc       = flag.Bool("sdc", true, "run silent-data-corruption detectors every step")
 	)
+	flag.StringVar(test, "test", *test, "deprecated alias for -scenario")
 	flag.Parse()
 	if err := run(*test, *n, *steps, *kern, *gradients, *volumes, *stepping,
 		*neighbors, *gravOrder, *workers, *ckptDir, *ckptEvery, *restart, *sdc); err != nil {
@@ -105,38 +108,24 @@ func run(test string, n, steps int, kern, gradients, volumes, stepping string,
 		return fmt.Errorf("unknown -multipoles %q", gravOrder)
 	}
 
-	var sim *core.Sim
-	switch test {
-	case "evrard":
-		ev := ic.DefaultEvrard(n)
-		ev.NNeighbors = neighbors
-		set, p2, b2 := ev.Generate()
-		cfg.SPH.PBC, cfg.SPH.Box = p2, b2
-		cfg.SPH.EOS = eos.NewIdealGas(5.0 / 3.0)
-		cfg.Gravity, cfg.Theta, cfg.Eps, cfg.G = true, 0.6, 0.02, 1
-		sim, err = core.New(cfg, set)
-	case "square":
-		sp := ic.DefaultSquarePatch(n)
-		sp.NNeighbors = neighbors
-		set, p2, b2 := sp.Generate()
-		cfg.SPH.PBC, cfg.SPH.Box = p2, b2
-		cfg.SPH.EOS = eos.NewTait(sp.Rho0, sp.SoundSpeed, 7)
-		sim, err = core.New(cfg, set)
-	case "sedov":
-		side := cbrtInt(n)
-		set, p2, b2 := ic.Sedov(side, neighbors, 1)
-		cfg.SPH.PBC, cfg.SPH.Box = p2, b2
-		cfg.SPH.EOS = eos.NewIdealGas(5.0 / 3.0)
-		sim, err = core.New(cfg, set)
-	case "cube":
-		side := cbrtInt(n)
-		set, p2, b2 := ic.UniformCube(side, neighbors)
-		cfg.SPH.PBC, cfg.SPH.Box = p2, b2
-		cfg.SPH.EOS = eos.NewIdealGas(5.0 / 3.0)
-		sim, err = core.New(cfg, set)
-	default:
-		return fmt.Errorf("unknown -test %q (have evrard, square, sedov, cube)", test)
+	// Registry dispatch: the scenario supplies the particle set and its
+	// required physics (EOS, gravity, boundaries); the engine flags above
+	// override the numerics.
+	sc, err := scenario.Get(test)
+	if err != nil {
+		return err
 	}
+	set, scCfg, err := sc.Generate(scenario.Params{N: n, NNeighbors: neighbors})
+	if err != nil {
+		return err
+	}
+	cfg.SPH.PBC, cfg.SPH.Box = scCfg.SPH.PBC, scCfg.SPH.Box
+	cfg.SPH.EOS = scCfg.SPH.EOS
+	cfg.Gravity = scCfg.Gravity
+	if cfg.Gravity {
+		cfg.Theta, cfg.Eps, cfg.G = scCfg.Theta, scCfg.Eps, scCfg.G
+	}
+	sim, err := core.New(cfg, set)
 	if err != nil {
 		return err
 	}
@@ -200,12 +189,4 @@ func run(test string, n, steps int, kern, gradients, volumes, stepping string,
 	drift := conserve.Compare(ref, sim.Conservation())
 	fmt.Printf("conservation drift over run: %s\n", drift)
 	return nil
-}
-
-func cbrtInt(n int) int {
-	s := 1
-	for s*s*s < n {
-		s++
-	}
-	return s
 }

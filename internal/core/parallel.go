@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -73,6 +74,20 @@ type ParallelConfig struct {
 	Tracer    *trace.Tracer
 	// Steps to simulate.
 	Steps int
+
+	// Ctx, when non-nil, cancels the run cooperatively: each step opens
+	// with a collective vote (any rank that has observed Done aborts every
+	// rank), so all ranks stop at the same step boundary and the partial
+	// state remains consistent and mergeable. The extra collective is only
+	// issued when Ctx is set, leaving uncancellable runs' modeled timings
+	// untouched.
+	Ctx context.Context
+	// OnStep, when non-nil, is invoked by rank 0 after every completed
+	// step with the zero-based step index, cumulative simulated time, and
+	// the step's dt. It runs on a rank goroutine while other ranks may
+	// still be working, so it must be fast and must not call back into the
+	// run.
+	OnStep func(step int, simTime, dt float64)
 }
 
 // ParallelResult summarizes a strong-scaling run.
@@ -85,6 +100,13 @@ type ParallelResult struct {
 	Metrics        trace.Metrics
 	// HaloFraction is mean ghosts/owned, a surface-to-volume diagnostic.
 	HaloFraction float64
+	// StepsCompleted is the number of steps actually executed; it is less
+	// than the configured Steps when the run was cancelled.
+	StepsCompleted int
+	// SimTime is the cumulative simulated physical time advanced.
+	SimTime float64
+	// Cancelled reports that the run stopped early on context cancellation.
+	Cancelled bool
 }
 
 // message tags for the step protocol.
@@ -149,6 +171,9 @@ func RunParallelCapture(cfg ParallelConfig, ps *part.Set) (*part.Set, *ParallelR
 
 	stepSeconds := make([]float64, cfg.Steps)
 	haloFracs := make([]float64, ranks)
+	stepsDone := 0     // written by rank 0 only; read after world.Run joins
+	simTime := 0.0     // idem
+	cancelled := false // idem
 	controllers := make([]*ts.Controller, ranks)
 	for r := range controllers {
 		controllers[r] = ts.NewController(cfg.Core.Stepping)
@@ -185,7 +210,26 @@ func RunParallelCapture(cfg ParallelConfig, ps *part.Set) (*part.Set, *ParallelR
 			record(ph, trace.MPI, t0, r.Clock())
 		}
 
+		simT := 0.0
 		for step := 0; step < cfg.Steps; step++ {
+			// Cancellation vote: all ranks must agree to stop at the same
+			// step boundary, so each contributes its own Done observation
+			// and the collective max decides for everyone.
+			if cfg.Ctx != nil {
+				abort := 0.0
+				select {
+				case <-cfg.Ctx.Done():
+					abort = 1
+				default:
+				}
+				out := r.AllreduceF64([]float64{abort}, simmpi.MaxF64)
+				if out[0] > 0 {
+					if r.ID == 0 {
+						cancelled = true
+					}
+					break
+				}
+			}
 			stepStart := r.Clock()
 
 			// --- Halo exchange + tree + smoothing lengths. ---
@@ -447,9 +491,15 @@ func RunParallelCapture(cfg ParallelConfig, ps *part.Set) (*part.Set, *ParallelR
 			}
 
 			// Synchronize and measure the step.
+			simT += dt
 			stepEndAll := r.AllreduceF64([]float64{r.Clock()}, simmpi.MaxF64)
 			if r.ID == 0 {
 				stepSeconds[step] = stepEndAll[0] - stepStart
+				stepsDone = step + 1
+				simTime = simT
+				if cfg.OnStep != nil {
+					cfg.OnStep(step, simT, dt)
+				}
 			}
 
 			// --- Dynamic load balancing (re-decomposition). ---
@@ -464,17 +514,23 @@ func RunParallelCapture(cfg ParallelConfig, ps *part.Set) (*part.Set, *ParallelR
 		}
 	})
 
+	stepSeconds = stepSeconds[:stepsDone]
 	res := &ParallelResult{
 		Cores:          cfg.Cores,
 		Ranks:          ranks,
 		ThreadsPerRank: threads,
 		StepSeconds:    stepSeconds,
+		StepsCompleted: stepsDone,
+		SimTime:        simTime,
+		Cancelled:      cancelled,
 	}
 	var sum float64
 	for _, s := range stepSeconds {
 		sum += s
 	}
-	res.AvgStepSeconds = sum / float64(len(stepSeconds))
+	if len(stepSeconds) > 0 {
+		res.AvgStepSeconds = sum / float64(len(stepSeconds))
+	}
 	var hf float64
 	for _, f := range haloFracs {
 		hf += f
@@ -487,6 +543,12 @@ func RunParallelCapture(cfg ParallelConfig, ps *part.Set) (*part.Set, *ParallelR
 	for _, l := range locals {
 		l.DropGhosts()
 		merged.AppendOwned(l)
+	}
+	if cancelled {
+		// The partial state and result are still returned: a cancelled run
+		// remains consistent at a step boundary, so callers can checkpoint
+		// it and resume later.
+		return merged, res, context.Cause(cfg.Ctx)
 	}
 	return merged, res, nil
 }

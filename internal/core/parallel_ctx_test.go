@@ -1,0 +1,83 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/domain"
+)
+
+// TestParallelOnStepAndCancel: the progress callback fires once per step
+// with monotone simulated time, and cancelling the context stops every rank
+// at the next step boundary while still returning the partial merged state.
+func TestParallelOnStepAndCancel(t *testing.T) {
+	cfg, ps := evrardParallelCfg(t, 48, domain.MortonSFC, false)
+	cfg.Steps = 6
+	const stopAfter = 2
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg.Ctx = ctx
+	var steps []int
+	var times []float64
+	cfg.OnStep = func(step int, simTime, dt float64) {
+		steps = append(steps, step)
+		times = append(times, simTime)
+		if dt <= 0 {
+			t.Errorf("step %d: dt=%g", step, dt)
+		}
+		if step+1 >= stopAfter {
+			cancel()
+		}
+	}
+
+	merged, res, err := RunParallelCapture(cfg, ps)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if !res.Cancelled {
+		t.Fatal("result not marked cancelled")
+	}
+	if res.StepsCompleted != stopAfter {
+		t.Fatalf("StepsCompleted=%d, want %d", res.StepsCompleted, stopAfter)
+	}
+	if len(res.StepSeconds) != stopAfter {
+		t.Fatalf("len(StepSeconds)=%d, want %d", len(res.StepSeconds), stopAfter)
+	}
+	if len(steps) != stopAfter {
+		t.Fatalf("OnStep fired %d times, want %d", len(steps), stopAfter)
+	}
+	for i, s := range steps {
+		if s != i {
+			t.Fatalf("OnStep order %v", steps)
+		}
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] <= times[i-1] {
+			t.Fatalf("simulated time not monotone: %v", times)
+		}
+	}
+	if res.SimTime != times[len(times)-1] {
+		t.Fatalf("SimTime=%g, last OnStep time=%g", res.SimTime, times[len(times)-1])
+	}
+	if merged == nil || merged.NLocal != ps.NLocal {
+		t.Fatalf("partial merged state missing or wrong size")
+	}
+	if err := merged.Validate(); err != nil {
+		t.Fatalf("partial state invalid: %v", err)
+	}
+}
+
+// TestParallelUncancelledUnaffected: a nil Ctx keeps the original behavior.
+func TestParallelUncancelledUnaffected(t *testing.T) {
+	cfg, ps := evrardParallelCfg(t, 24, domain.MortonSFC, false)
+	cfg.Steps = 2
+	_, res, err := RunParallelCapture(cfg, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cancelled || res.StepsCompleted != 2 || res.SimTime <= 0 {
+		t.Fatalf("unexpected result: %+v", res)
+	}
+}

@@ -1,0 +1,143 @@
+package scenario
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/eos"
+	"repro/internal/ic"
+	"repro/internal/kernel"
+	"repro/internal/part"
+	"repro/internal/sfc"
+	"repro/internal/sph"
+	"repro/internal/tree"
+)
+
+// baseConfig assembles the engine defaults every scenario shares (SPHYNX's
+// Table 1 column: sinc-5 kernel, IAD, generalized volume elements); callers
+// override any of these on the returned Config.
+func baseConfig(p Params, pbc tree.PBC, box sfc.Box, e eos.EOS) core.Config {
+	return core.Config{
+		SPH: sph.Params{
+			Kernel:     kernel.NewSinc(5),
+			EOS:        e,
+			NNeighbors: p.NNeighbors,
+			Gradients:  sph.IAD,
+			Volumes:    sph.GeneralizedVolume,
+			PBC:        pbc,
+			Box:        box,
+		},
+	}
+}
+
+func cbrtSide(n int) int {
+	side := int(math.Round(math.Cbrt(float64(n))))
+	if side < 2 {
+		side = 2
+	}
+	return side
+}
+
+func init() {
+	Register(&Scenario{
+		Name:        "evrard",
+		Description: "Evrard collapse: self-gravitating gas sphere with rho ~ 1/r (paper §5.1 acceptance test)",
+		Defaults: Params{
+			N: 10000, NNeighbors: 100,
+			Extra: map[string]float64{"u0": 0.05, "radius": 1, "mass": 1},
+		},
+		Build: func(p Params) (*part.Set, core.Config, error) {
+			ev := ic.DefaultEvrard(p.N)
+			ev.NNeighbors = p.NNeighbors
+			ev.U0 = p.Extra["u0"]
+			ev.R = p.Extra["radius"]
+			ev.M = p.Extra["mass"]
+			ps, pbc, box := ev.Generate()
+			cfg := baseConfig(p, pbc, box, eos.NewIdealGas(5.0/3.0))
+			cfg.Gravity, cfg.Theta, cfg.Eps, cfg.G = true, 0.6, 0.02, 1
+			return ps, cfg, nil
+		},
+	})
+
+	Register(&Scenario{
+		Name:        "square",
+		Description: "Rotating square patch: weakly-compressible free-surface flow (paper §5.1 acceptance test)",
+		Defaults: Params{
+			N: 10000, NNeighbors: 100,
+			Extra: map[string]float64{"omega": 5, "side": 1, "rho0": 1, "soundSpeed": 50},
+		},
+		Build: func(p Params) (*part.Set, core.Config, error) {
+			sp := ic.DefaultSquarePatch(p.N)
+			sp.NNeighbors = p.NNeighbors
+			sp.Omega = p.Extra["omega"]
+			sp.L = p.Extra["side"]
+			sp.Rho0 = p.Extra["rho0"]
+			sp.SoundSpeed = p.Extra["soundSpeed"]
+			ps, pbc, box := sp.Generate()
+			return ps, baseConfig(p, pbc, box, eos.NewTait(sp.Rho0, sp.SoundSpeed, 7)), nil
+		},
+	})
+
+	Register(&Scenario{
+		Name:        "sedov",
+		Description: "Sedov-Taylor point blast in a periodic uniform medium",
+		Defaults: Params{
+			N: 8000, NNeighbors: 100,
+			Extra: map[string]float64{"energy": 1},
+		},
+		Build: func(p Params) (*part.Set, core.Config, error) {
+			ps, pbc, box := ic.Sedov(cbrtSide(p.N), p.NNeighbors, p.Extra["energy"])
+			return ps, baseConfig(p, pbc, box, eos.NewIdealGas(5.0/3.0)), nil
+		},
+	})
+
+	Register(&Scenario{
+		Name:        "cube",
+		Description: "Static periodic uniform cube: the equilibrium smoke test",
+		Defaults:    Params{N: 8000, NNeighbors: 100},
+		Build: func(p Params) (*part.Set, core.Config, error) {
+			ps, pbc, box := ic.UniformCube(cbrtSide(p.N), p.NNeighbors)
+			return ps, baseConfig(p, pbc, box, eos.NewIdealGas(5.0/3.0)), nil
+		},
+	})
+
+	Register(&Scenario{
+		Name:        "noh",
+		Description: "Noh spherical implosion: cold gas converging on the origin, analytic accretion shock",
+		Defaults: Params{
+			N: 8000, NNeighbors: 100,
+			Extra: map[string]float64{"vin": 1, "rho0": 1, "u0": 1e-6},
+		},
+		Build: func(p Params) (*part.Set, core.Config, error) {
+			nh := ic.DefaultNoh(p.N)
+			nh.NNeighbors = p.NNeighbors
+			nh.VIn = p.Extra["vin"]
+			nh.Rho0 = p.Extra["rho0"]
+			nh.U0 = p.Extra["u0"]
+			ps, pbc, box := nh.Generate()
+			return ps, baseConfig(p, pbc, box, eos.NewIdealGas(5.0/3.0)), nil
+		},
+	})
+
+	Register(&Scenario{
+		Name:        "kelvin-helmholtz",
+		Description: "Kelvin-Helmholtz shear layer: dense periodic slab shearing against a lighter ambient medium",
+		Defaults: Params{
+			N: 8000, NNeighbors: 100,
+			Extra: map[string]float64{
+				"rhoIn": 2, "rhoOut": 1, "shear": 0.5, "pressure": 2.5, "seed": 0.025,
+			},
+		},
+		Build: func(p Params) (*part.Set, core.Config, error) {
+			kh := ic.DefaultKelvinHelmholtz(p.N)
+			kh.NNeighbors = p.NNeighbors
+			kh.RhoIn = p.Extra["rhoIn"]
+			kh.RhoOut = p.Extra["rhoOut"]
+			kh.VShear = p.Extra["shear"]
+			kh.P0 = p.Extra["pressure"]
+			kh.VSeed = p.Extra["seed"]
+			ps, pbc, box := kh.Generate()
+			return ps, baseConfig(p, pbc, box, eos.NewIdealGas(kh.Gamma)), nil
+		},
+	})
+}

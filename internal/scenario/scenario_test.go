@@ -1,0 +1,118 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRegistryRoundTrip: every registered scenario must generate a valid
+// particle set (positive masses and smoothing lengths, finite positions)
+// and a complete physics configuration from small parameters.
+func TestRegistryRoundTrip(t *testing.T) {
+	names := Names()
+	if len(names) < 6 {
+		t.Fatalf("expected >= 6 registered scenarios, have %v", names)
+	}
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			s, err := Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ps, cfg, err := s.Generate(Params{N: 300, NNeighbors: 20})
+			if err != nil {
+				t.Fatalf("Generate: %v", err)
+			}
+			if ps.NLocal == 0 {
+				t.Fatal("generated zero particles")
+			}
+			if err := ps.Validate(); err != nil {
+				t.Fatalf("invalid particle set: %v", err)
+			}
+			for i := 0; i < ps.NLocal; i++ {
+				if ps.Mass[i] <= 0 || ps.H[i] <= 0 {
+					t.Fatalf("particle %d: mass=%g h=%g", i, ps.Mass[i], ps.H[i])
+				}
+			}
+			if cfg.SPH.EOS == nil || cfg.SPH.Kernel == nil {
+				t.Fatal("scenario config missing EOS or kernel")
+			}
+			if cfg.SPH.NNeighbors != 20 {
+				t.Fatalf("NNeighbors not threaded through: %d", cfg.SPH.NNeighbors)
+			}
+		})
+	}
+}
+
+func TestGetUnknownListsNames(t *testing.T) {
+	_, err := Get("warp-drive")
+	if err == nil {
+		t.Fatal("expected error for unknown scenario")
+	}
+	for _, want := range []string{"evrard", "sedov", "noh", "kelvin-helmholtz"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not list %q", err, want)
+		}
+	}
+}
+
+func TestResolveRejectsUnknownKnob(t *testing.T) {
+	s, err := Get("sedov")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Resolve(Params{Extra: map[string]float64{"blast": 2}})
+	if err == nil || !strings.Contains(err.Error(), "energy") {
+		t.Fatalf("expected unknown-parameter error naming valid knobs, got %v", err)
+	}
+}
+
+// TestSpecHashCanonical: omitted parameters hash identically to explicitly
+// spelled defaults, and any real difference changes the hash.
+func TestSpecHashCanonical(t *testing.T) {
+	base := Spec{Scenario: "sedov", Params: Params{N: 512}, Steps: 4}
+	h1, err := base.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	explicit := Spec{
+		Scenario: "sedov",
+		Params: Params{
+			N: 512, NNeighbors: 100,
+			Extra: map[string]float64{"energy": 1},
+		},
+		Steps: 4,
+	}
+	h2, err := explicit.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatalf("default-elided and default-explicit specs hash differently:\n%s\n%s", h1, h2)
+	}
+
+	changed := explicit
+	changed.Params.Extra = map[string]float64{"energy": 2}
+	h3, err := changed.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h3 == h1 {
+		t.Fatal("different energy produced an identical hash")
+	}
+
+	moreSteps := base
+	moreSteps.Steps = 5
+	h4, err := moreSteps.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h4 == h1 {
+		t.Fatal("different step count produced an identical hash")
+	}
+
+	if _, err := (Spec{Scenario: "nope"}).Hash(); err == nil {
+		t.Fatal("hash of unknown scenario must fail")
+	}
+}

@@ -1,0 +1,193 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+// Handler returns the HTTP API:
+//
+//	GET  /healthz              liveness probe
+//	GET  /scenarios            registered scenarios with defaults
+//	POST /jobs                 submit a job (scenario.Spec JSON body)
+//	GET  /jobs                 list jobs
+//	GET  /jobs/{id}            job status + progress
+//	GET  /jobs/{id}/events     server-sent progress events until terminal
+//	POST /jobs/{id}/cancel     terminal cancellation
+//	POST /jobs/{id}/kill       simulated crash (job resumes from checkpoint)
+//	GET  /jobs/{id}/snapshot   final particle state, part binary format
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /scenarios", s.handleScenarios)
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.List())
+	})
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleInterrupt(false))
+	mux.HandleFunc("POST /jobs/{id}/kill", s.handleInterrupt(true))
+	mux.HandleFunc("GET /jobs/{id}/snapshot", s.handleSnapshot)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// scenarioInfo is the /scenarios listing entry.
+type scenarioInfo struct {
+	Name        string          `json:"name"`
+	Description string          `json:"description"`
+	Defaults    scenario.Params `json:"defaults"`
+}
+
+func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
+	var out []scenarioInfo
+	for _, name := range scenario.Names() {
+		sc, err := scenario.Get(name)
+		if err != nil {
+			continue
+		}
+		out = append(out, scenarioInfo{Name: sc.Name, Description: sc.Description, Defaults: sc.Defaults})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec scenario.Spec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding spec: %w", err))
+		return
+	}
+	view, err := s.Submit(spec)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrQueueFull) {
+			status = http.StatusServiceUnavailable
+		} else if _, scErr := scenario.Get(spec.Scenario); scErr != nil {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, err)
+		return
+	}
+	status := http.StatusAccepted
+	if view.State == StateCompleted {
+		status = http.StatusOK // cache hit: nothing to wait for
+	}
+	writeJSON(w, status, view)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	view, ok := s.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Server) handleInterrupt(kill bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		var err error
+		if kill {
+			err = s.Kill(id)
+		} else {
+			err = s.Cancel(id)
+		}
+		if err != nil {
+			writeError(w, http.StatusConflict, err)
+			return
+		}
+		view, _ := s.Get(id)
+		writeJSON(w, http.StatusOK, view)
+	}
+}
+
+// handleEvents streams job progress as server-sent events: one
+// `data: <JobView JSON>` frame per state/progress change (sampled at a
+// short poll interval), closing after the terminal frame.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	done, ok := s.Done(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", id))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	ticker := time.NewTicker(25 * time.Millisecond)
+	defer ticker.Stop()
+	var last string
+	for {
+		view, ok := s.Get(id)
+		if !ok {
+			return
+		}
+		b, err := json.Marshal(view)
+		if err != nil {
+			return
+		}
+		if frame := string(b); frame != last {
+			last = frame
+			if _, err := fmt.Fprintf(w, "data: %s\n\n", frame); err != nil {
+				return
+			}
+			flusher.Flush()
+		}
+		switch view.State {
+		case StateCompleted, StateFailed, StateCancelled:
+			return
+		}
+		// Wake on terminal state immediately; the ticker only paces
+		// progress frames while the job is live.
+		select {
+		case <-r.Context().Done():
+			return
+		case <-done:
+		case <-ticker.C:
+		}
+	}
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	view, ok := s.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", id))
+		return
+	}
+	snap, ok := s.Snapshot(id)
+	if !ok {
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("job %s is %s; snapshot requires completed", id, view.State))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%s.sph", id))
+	_, _ = w.Write(snap)
+}

@@ -1,0 +1,519 @@
+// Package server turns the mini-app into simulation-as-a-service: an HTTP
+// job subsystem that accepts named scenario specs (internal/scenario), runs
+// them through the distributed engine (core.RunParallelCapture) on a bounded
+// worker pool, streams per-step progress, caches completed results by
+// canonical spec hash, and serves final particle snapshots in the part
+// binary checkpoint format. Long jobs checkpoint through internal/ft at a
+// configurable step interval, so a killed job resumes from its last
+// checkpoint instead of recomputing from scratch.
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/domain"
+	"repro/internal/ft"
+	"repro/internal/perfmodel"
+	"repro/internal/scenario"
+)
+
+// JobState enumerates the lifecycle of a submitted job.
+type JobState string
+
+// Job lifecycle states. A killed job returns to StateQueued (crash-restart
+// semantics); an explicitly cancelled one terminates in StateCancelled.
+const (
+	StateQueued    JobState = "queued"
+	StateRunning   JobState = "running"
+	StateCompleted JobState = "completed"
+	StateFailed    JobState = "failed"
+	StateCancelled JobState = "cancelled"
+)
+
+// Progress is the externally visible execution state of a job.
+type Progress struct {
+	Step    int     `json:"step"`    // steps completed so far (incl. restored)
+	Total   int     `json:"total"`   // total steps requested
+	SimTime float64 `json:"simTime"` // cumulative simulated physical time
+	DT      float64 `json:"dt"`      // last step's dt
+}
+
+// Job is one submitted simulation. All mutable fields are guarded by the
+// owning Server's mutex; handlers read them through snapshots.
+type Job struct {
+	ID       string
+	Spec     scenario.Spec
+	Hash     string
+	State    JobState
+	Progress Progress
+	Err      string
+	// CacheHit marks a job whose result was served from the spec-hash
+	// cache without executing.
+	CacheHit bool
+	// Restarts counts how many times the job resumed after a kill.
+	Restarts int
+
+	cancel context.CancelFunc
+	// killed distinguishes a simulated kill (resume from checkpoint) from
+	// an explicit cancel (terminal).
+	killed bool
+	// done is closed when the job reaches a terminal state.
+	done chan struct{}
+}
+
+// JobView is an immutable snapshot of a job for JSON responses.
+type JobView struct {
+	ID       string        `json:"id"`
+	Spec     scenario.Spec `json:"spec"`
+	Hash     string        `json:"hash"`
+	State    JobState      `json:"state"`
+	Progress Progress      `json:"progress"`
+	Error    string        `json:"error,omitempty"`
+	CacheHit bool          `json:"cacheHit"`
+	Restarts int           `json:"restarts"`
+}
+
+// cachedResult is a completed simulation keyed by canonical spec hash.
+type cachedResult struct {
+	snapshot  []byte // part.Set binary encoding (WriteTo format)
+	particles int
+	checksum  uint64
+	simTime   float64
+	steps     int
+}
+
+// Options configures a Server.
+type Options struct {
+	// Workers bounds concurrent simulations (default 2).
+	Workers int
+	// QueueDepth bounds waiting jobs; submits beyond it are rejected
+	// (default 64).
+	QueueDepth int
+	// DataDir roots per-job checkpoint directories; empty disables
+	// checkpointing (jobs then restart from step 0 after a kill).
+	DataDir string
+	// CheckpointEvery is the step interval between checkpoints (default 10).
+	CheckpointEvery int
+	// Machine is the modeled machine for distributed runs (default
+	// perfmodel.PizDaint()).
+	Machine *perfmodel.Machine
+	// Cost calibrates modeled phase rates; the zero value selects a
+	// neutral default.
+	Cost core.CodeCost
+}
+
+// Server owns the job table, the result cache, and the worker pool.
+type Server struct {
+	opts Options
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string // submission order for listing
+	cache  map[string]*cachedResult
+	byHash map[string]*Job // active (queued/running) job per hash, for dedup
+	nextID int
+
+	queue   chan *Job
+	ctx     context.Context
+	stop    context.CancelFunc
+	workers sync.WaitGroup
+}
+
+// errKilled is the cancellation cause for a simulated kill.
+var errKilled = errors.New("server: job killed")
+
+// ErrQueueFull rejects submissions beyond QueueDepth (HTTP 503).
+var ErrQueueFull = errors.New("server: job queue full")
+
+// defaultCost is a neutral phase-rate calibration for service runs; it only
+// shapes the modeled clocks, not the physics.
+func defaultCost() core.CodeCost {
+	return core.CodeCost{
+		TreeRate: 1e6, SearchRate: 5e6, PairRate: 2e6, EOSRate: 1e8,
+		GravNodeRate: 3e6, GravPairRate: 3e6, UpdateRate: 1e8,
+		HSweeps: 3,
+	}
+}
+
+// New starts a Server and its worker pool.
+func New(opts Options) *Server {
+	if opts.Workers <= 0 {
+		opts.Workers = 2
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 64
+	}
+	if opts.CheckpointEvery <= 0 {
+		opts.CheckpointEvery = 10
+	}
+	if opts.Machine == nil {
+		opts.Machine = perfmodel.PizDaint()
+	}
+	if opts.Cost.PairRate == 0 {
+		opts.Cost = defaultCost()
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	s := &Server{
+		opts:   opts,
+		jobs:   map[string]*Job{},
+		cache:  map[string]*cachedResult{},
+		byHash: map[string]*Job{},
+		queue:  make(chan *Job, opts.QueueDepth),
+		ctx:    ctx,
+		stop:   stop,
+	}
+	for i := 0; i < opts.Workers; i++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Close stops accepting work and waits for in-flight jobs to finish their
+// current chunk and terminate.
+func (s *Server) Close() {
+	s.stop()
+	s.workers.Wait()
+}
+
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case job := <-s.queue:
+			s.run(job)
+		}
+	}
+}
+
+// Submit canonicalizes and enqueues a job. Identical specs coalesce: a hash
+// matching the result cache completes instantly (cache hit), one matching an
+// active job returns that job instead of enqueueing a duplicate.
+func (s *Server) Submit(spec scenario.Spec) (*JobView, error) {
+	cspec, hash, err := spec.CanonicalHash()
+	if err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	if active, ok := s.byHash[hash]; ok {
+		v := active.view()
+		return &v, nil
+	}
+
+	s.nextID++
+	job := &Job{
+		ID:   fmt.Sprintf("job-%06d", s.nextID),
+		Spec: cspec,
+		Hash: hash,
+		done: make(chan struct{}),
+	}
+	job.Progress.Total = cspec.Steps
+
+	if res, ok := s.cache[hash]; ok {
+		job.State = StateCompleted
+		job.CacheHit = true
+		job.Progress = Progress{Step: res.steps, Total: res.steps, SimTime: res.simTime}
+		close(job.done)
+		s.jobs[job.ID] = job
+		s.order = append(s.order, job.ID)
+		v := job.view()
+		return &v, nil
+	}
+
+	job.State = StateQueued
+	select {
+	case s.queue <- job:
+	default:
+		return nil, fmt.Errorf("%w (%d waiting)", ErrQueueFull, s.opts.QueueDepth)
+	}
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job.ID)
+	s.byHash[hash] = job
+	v := job.view()
+	return &v, nil
+}
+
+// Get returns a snapshot of the job, or false.
+func (s *Server) Get(id string) (JobView, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.jobs[id]
+	if !ok {
+		return JobView{}, false
+	}
+	return job.view(), true
+}
+
+// List returns snapshots of all jobs in submission order.
+func (s *Server) List() []JobView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobView, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].view())
+	}
+	return out
+}
+
+// Cancel terminally cancels a queued or running job.
+func (s *Server) Cancel(id string) error {
+	return s.interrupt(id, false)
+}
+
+// Kill simulates a crash of a running job: execution aborts, but the job
+// re-enters the queue and resumes from its newest checkpoint — the
+// fault-tolerance path of internal/ft exercised end to end.
+func (s *Server) Kill(id string) error {
+	return s.interrupt(id, true)
+}
+
+func (s *Server) interrupt(id string, kill bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.jobs[id]
+	if !ok {
+		return fmt.Errorf("server: no job %q", id)
+	}
+	switch job.State {
+	case StateCompleted, StateFailed, StateCancelled:
+		return fmt.Errorf("server: job %s already %s", id, job.State)
+	}
+	job.killed = kill
+	if job.cancel != nil {
+		if kill {
+			job.cancel() // run loop requeues on errKilled cause
+		} else {
+			job.cancel()
+		}
+		return nil
+	}
+	// Still queued: the worker will observe the terminal state and skip it.
+	if kill {
+		return fmt.Errorf("server: job %s is not running", id)
+	}
+	job.State = StateCancelled
+	delete(s.byHash, job.Hash)
+	close(job.done)
+	return nil
+}
+
+// Snapshot returns the completed job's final particle state in the part
+// binary checkpoint format.
+func (s *Server) Snapshot(id string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.jobs[id]
+	if !ok || job.State != StateCompleted {
+		return nil, false
+	}
+	res, ok := s.cache[job.Hash]
+	if !ok {
+		return nil, false
+	}
+	return res.snapshot, true
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (s *Server) Done(id string) (<-chan struct{}, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	return job.done, true
+}
+
+func (j *Job) view() JobView {
+	return JobView{
+		ID: j.ID, Spec: j.Spec, Hash: j.Hash, State: j.State,
+		Progress: j.Progress, Error: j.Err, CacheHit: j.CacheHit,
+		Restarts: j.Restarts,
+	}
+}
+
+// checkpointer returns the job's ft stack, or nil when checkpointing is
+// disabled. A single fast tier suffices: the server directory plays the
+// "node-local" role and jobs are re-queued, not migrated.
+func (s *Server) checkpointer(job *Job) *ft.Checkpointer {
+	if s.opts.DataDir == "" {
+		return nil
+	}
+	return &ft.Checkpointer{Levels: []ft.Level{{
+		Name: "local",
+		Dir:  filepath.Join(s.opts.DataDir, job.Hash),
+		Keep: 2,
+	}}}
+}
+
+// run executes one job to a terminal state (or back into the queue after a
+// simulated kill).
+func (s *Server) run(job *Job) {
+	s.mu.Lock()
+	if job.State != StateQueued { // cancelled while waiting
+		s.mu.Unlock()
+		return
+	}
+	job.State = StateRunning
+	ctx, cancel := context.WithCancelCause(s.ctx)
+	job.cancel = func() {
+		cause := context.Canceled
+		if job.killed {
+			cause = errKilled
+		}
+		cancel(cause)
+	}
+	spec := job.Spec
+	s.mu.Unlock()
+	defer cancel(nil)
+
+	fail := func(err error) {
+		s.mu.Lock()
+		job.State = StateFailed
+		job.Err = err.Error()
+		job.cancel = nil
+		delete(s.byHash, job.Hash)
+		close(job.done)
+		s.mu.Unlock()
+	}
+
+	sc, err := scenario.Get(spec.Scenario)
+	if err != nil {
+		fail(err)
+		return
+	}
+	ps, cfg, err := sc.Generate(spec.Params)
+	if err != nil {
+		fail(err)
+		return
+	}
+
+	// Resume from the newest checkpoint if a previous incarnation of this
+	// spec was killed mid-flight.
+	startStep, simTime := 0, 0.0
+	ck := s.checkpointer(job)
+	if ck != nil {
+		if restored, step, t, err := ck.Restore(); err == nil && step > 0 && step <= spec.Steps {
+			ps, startStep, simTime = restored, step, t
+		}
+	}
+
+	s.mu.Lock()
+	job.Progress = Progress{Step: startStep, Total: spec.Steps, SimTime: simTime}
+	s.mu.Unlock()
+
+	cores := spec.Cores
+	if cores <= 0 {
+		cores = 1
+	}
+
+	stepsDone := startStep
+	for stepsDone < spec.Steps {
+		chunk := s.opts.CheckpointEvery
+		if rem := spec.Steps - stepsDone; chunk > rem {
+			chunk = rem
+		}
+		base := stepsDone
+		pcfg := core.ParallelConfig{
+			Core:         cfg,
+			Machine:      s.opts.Machine,
+			Cores:        cores,
+			RanksPerNode: spec.RanksPerNode,
+			Decomp:       domain.MortonSFC,
+			Cost:         s.opts.Cost,
+			Steps:        chunk,
+			Ctx:          ctx,
+			OnStep: func(step int, simT, dt float64) {
+				s.mu.Lock()
+				job.Progress.Step = base + step + 1
+				job.Progress.SimTime = simTime + simT
+				job.Progress.DT = dt
+				s.mu.Unlock()
+			},
+		}
+		merged, res, err := core.RunParallelCapture(pcfg, ps)
+		if err != nil && (res == nil || !res.Cancelled) {
+			fail(err)
+			return
+		}
+		ps = merged
+		stepsDone += res.StepsCompleted
+		simTime += res.SimTime
+
+		if res.Cancelled {
+			cause := context.Cause(ctx)
+			if errors.Is(cause, errKilled) {
+				// Simulated crash: checkpoint what we have and requeue.
+				if ck != nil && res.StepsCompleted > 0 {
+					_ = ck.Write(0, stepsDone, simTime, ps)
+				}
+				s.mu.Lock()
+				job.State = StateQueued
+				job.killed = false
+				job.cancel = nil
+				job.Restarts++
+				requeued := false
+				select {
+				case s.queue <- job:
+					requeued = true
+				default:
+				}
+				if !requeued {
+					job.State = StateFailed
+					job.Err = "requeue after kill failed: queue full"
+					delete(s.byHash, job.Hash)
+					close(job.done)
+				}
+				s.mu.Unlock()
+				return
+			}
+			s.mu.Lock()
+			job.State = StateCancelled
+			job.cancel = nil
+			delete(s.byHash, job.Hash)
+			close(job.done)
+			s.mu.Unlock()
+			return
+		}
+
+		if ck != nil && stepsDone < spec.Steps {
+			if err := ck.Write(0, stepsDone, simTime, ps); err != nil {
+				fail(fmt.Errorf("checkpoint at step %d: %w", stepsDone, err))
+				return
+			}
+		}
+	}
+
+	var buf bytes.Buffer
+	if _, err := ps.WriteTo(&buf); err != nil {
+		fail(fmt.Errorf("encoding snapshot: %w", err))
+		return
+	}
+	result := &cachedResult{
+		snapshot:  buf.Bytes(),
+		particles: ps.NLocal,
+		checksum:  ps.Checksum(),
+		simTime:   simTime,
+		steps:     spec.Steps,
+	}
+
+	s.mu.Lock()
+	s.cache[job.Hash] = result
+	job.State = StateCompleted
+	job.Progress = Progress{Step: spec.Steps, Total: spec.Steps, SimTime: simTime, DT: job.Progress.DT}
+	job.cancel = nil
+	delete(s.byHash, job.Hash)
+	close(job.done)
+	s.mu.Unlock()
+}

@@ -1,0 +1,422 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ft"
+	"repro/internal/part"
+	"repro/internal/scenario"
+)
+
+// sedovSpec is the small, fast canonical job used across the tests.
+func sedovSpec(steps int) scenario.Spec {
+	return scenario.Spec{
+		Scenario: "sedov",
+		Params: scenario.Params{
+			N: 216, NNeighbors: 20,
+			Extra: map[string]float64{"energy": 1},
+		},
+		Steps: steps,
+		Cores: 4,
+	}
+}
+
+func waitState(t *testing.T, s *Server, id string, want JobState, timeout time.Duration) JobView {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		view, ok := s.Get(id)
+		if !ok {
+			t.Fatalf("job %s disappeared", id)
+		}
+		if view.State == want {
+			return view
+		}
+		switch view.State {
+		case StateFailed, StateCancelled:
+			if want != view.State {
+				t.Fatalf("job %s reached terminal state %s (err=%q) while waiting for %s",
+					id, view.State, view.Error, want)
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s (progress %+v) waiting for %s",
+				id, view.State, view.Progress, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func decodeSnapshot(t *testing.T, raw []byte) *part.Set {
+	t.Helper()
+	ps := part.New(0)
+	if _, err := ps.ReadFrom(bytes.NewReader(raw)); err != nil {
+		t.Fatalf("snapshot does not decode as a part checkpoint: %v", err)
+	}
+	return ps
+}
+
+// TestSubmitPollSnapshotAndCacheHit is the end-to-end acceptance path: the
+// same Sedov job submitted twice — the first executes the distributed
+// engine, the second is served from the result cache — and both snapshots
+// decode via part with matching CRC and particle count.
+func TestSubmitPollSnapshotAndCacheHit(t *testing.T) {
+	s := New(Options{Workers: 2, DataDir: t.TempDir()})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(sedovSpec(3))
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d, want 202", resp.StatusCode)
+	}
+	var first JobView
+	if err := json.NewDecoder(resp.Body).Decode(&first); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if first.CacheHit {
+		t.Fatal("first submission reported a cache hit")
+	}
+	if first.Hash == "" {
+		t.Fatal("submission response missing spec hash")
+	}
+
+	// Poll status over HTTP until completed.
+	deadline := time.Now().Add(60 * time.Second)
+	var polled JobView
+	for {
+		r, err := http.Get(ts.URL + "/jobs/" + first.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(r.Body).Decode(&polled); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if polled.State == StateCompleted {
+			break
+		}
+		if polled.State == StateFailed || polled.State == StateCancelled {
+			t.Fatalf("job failed: %+v", polled)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job did not complete: %+v", polled)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if polled.Progress.Step != 3 || polled.Progress.SimTime <= 0 {
+		t.Fatalf("completed progress %+v", polled.Progress)
+	}
+
+	snap1 := fetchSnapshot(t, ts.URL, first.ID, http.StatusOK)
+	ps1 := decodeSnapshot(t, snap1)
+	if ps1.NLocal != 216 {
+		t.Fatalf("snapshot particle count %d, want 216", ps1.NLocal)
+	}
+	if err := ps1.Validate(); err != nil {
+		t.Fatalf("snapshot state invalid: %v", err)
+	}
+
+	// Second submission of the identical spec: served from the cache.
+	resp2, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("cache-hit submit status %d, want 200", resp2.StatusCode)
+	}
+	var second JobView
+	if err := json.NewDecoder(resp2.Body).Decode(&second); err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if !second.CacheHit || second.State != StateCompleted {
+		t.Fatalf("second submission not a completed cache hit: %+v", second)
+	}
+	if second.ID == first.ID {
+		t.Fatal("cache hit reused the first job id")
+	}
+	if second.Hash != first.Hash {
+		t.Fatalf("identical specs hashed differently: %s vs %s", first.Hash, second.Hash)
+	}
+
+	snap2 := fetchSnapshot(t, ts.URL, second.ID, http.StatusOK)
+	ps2 := decodeSnapshot(t, snap2)
+	if ps2.NLocal != ps1.NLocal {
+		t.Fatalf("particle counts differ: %d vs %d", ps2.NLocal, ps1.NLocal)
+	}
+	if ps1.Checksum() != ps2.Checksum() {
+		t.Fatal("cached snapshot CRC differs from the executed run")
+	}
+	if !bytes.Equal(snap1, snap2) {
+		t.Fatal("cached snapshot bytes differ from the executed run")
+	}
+
+	s.mu.Lock()
+	cached := len(s.cache)
+	s.mu.Unlock()
+	if cached != 1 {
+		t.Fatalf("cache holds %d entries, want 1", cached)
+	}
+}
+
+func fetchSnapshot(t *testing.T, base, id string, wantStatus int) []byte {
+	t.Helper()
+	r, err := http.Get(base + "/jobs/" + id + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != wantStatus {
+		t.Fatalf("snapshot status %d, want %d", r.StatusCode, wantStatus)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r.Body); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestEventsStream: the SSE endpoint delivers progress frames and ends with
+// the terminal state.
+func TestEventsStream(t *testing.T) {
+	s := New(Options{Workers: 1})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	view, err := s.Submit(sedovSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/jobs/" + view.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	var frames []JobView
+	scanner := bufio.NewScanner(resp.Body)
+	for scanner.Scan() {
+		line := scanner.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var v JobView
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &v); err != nil {
+			t.Fatalf("bad frame %q: %v", line, err)
+		}
+		frames = append(frames, v)
+	}
+	if len(frames) == 0 {
+		t.Fatal("no progress frames received")
+	}
+	last := frames[len(frames)-1]
+	if last.State != StateCompleted {
+		t.Fatalf("stream ended in %s, want completed", last.State)
+	}
+	if last.Progress.Step != 2 {
+		t.Fatalf("final frame progress %+v", last.Progress)
+	}
+}
+
+// TestKillResumesFromCheckpoint: a killed job re-enters the queue and
+// finishes from its checkpoint instead of terminating — the internal/ft
+// crash-recovery path driven through the service.
+func TestKillResumesFromCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	s := New(Options{Workers: 1, DataDir: dir, CheckpointEvery: 2})
+	defer s.Close()
+
+	spec := sedovSpec(40)
+	spec.Params.N = 1000
+	spec.Params.NNeighbors = 30
+	view, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait until the job has progressed past at least one checkpoint.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		v, _ := s.Get(view.ID)
+		if v.State == StateRunning && v.Progress.Step >= 4 {
+			break
+		}
+		if v.State == StateCompleted || v.State == StateFailed {
+			t.Fatalf("job finished before it could be killed: %+v", v)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never progressed: %+v", v)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := s.Kill(view.ID); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+
+	final := waitState(t, s, view.ID, StateCompleted, 120*time.Second)
+	if final.Restarts != 1 {
+		t.Fatalf("restarts=%d, want 1", final.Restarts)
+	}
+	if final.Progress.Step != 40 {
+		t.Fatalf("final progress %+v", final.Progress)
+	}
+
+	// The checkpoint the resume consumed must exist and carry a mid-run step.
+	ck := &ft.Checkpointer{Levels: []ft.Level{{
+		Name: "local", Dir: filepath.Join(dir, final.Hash), Keep: 2,
+	}}}
+	ps, step, simTime, err := ck.Restore()
+	if err != nil {
+		t.Fatalf("no readable checkpoint after kill/resume: %v", err)
+	}
+	if step <= 0 || step >= 40 {
+		t.Fatalf("checkpoint step %d not strictly mid-run", step)
+	}
+	if simTime <= 0 || ps.NLocal != 1000 {
+		t.Fatalf("checkpoint state t=%g n=%d", simTime, ps.NLocal)
+	}
+
+	if _, ok := s.Snapshot(view.ID); !ok {
+		t.Fatal("completed job has no snapshot")
+	}
+}
+
+// TestCancelTerminates: explicit cancellation is terminal and frees the
+// hash for resubmission.
+func TestCancelTerminates(t *testing.T) {
+	s := New(Options{Workers: 1})
+	defer s.Close()
+
+	spec := sedovSpec(200)
+	spec.Params.N = 1000
+	spec.Params.NNeighbors = 30
+	view, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, view.ID, StateRunning, 60*time.Second)
+	if err := s.Cancel(view.ID); err != nil {
+		t.Fatal(err)
+	}
+	final := waitState(t, s, view.ID, StateCancelled, 60*time.Second)
+	if final.Progress.Step >= 200 {
+		t.Fatalf("cancelled job ran to completion: %+v", final.Progress)
+	}
+	if err := s.Cancel(view.ID); err == nil {
+		t.Fatal("second cancel of a terminal job must error")
+	}
+
+	// The hash is free again: a resubmission starts a fresh job.
+	again, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.ID == view.ID || again.CacheHit {
+		t.Fatalf("resubmission after cancel did not start fresh: %+v", again)
+	}
+	_ = s.Cancel(again.ID)
+}
+
+// TestSubmitCoalescesActiveDuplicates: submitting a spec identical to a
+// queued/running job returns that job instead of enqueueing a duplicate.
+func TestSubmitCoalescesActiveDuplicates(t *testing.T) {
+	s := New(Options{Workers: 1})
+	defer s.Close()
+
+	spec := sedovSpec(100)
+	spec.Params.N = 1000
+	spec.Params.NNeighbors = 30
+	first, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dup.ID != first.ID {
+		t.Fatalf("duplicate active spec created a second job: %s vs %s", dup.ID, first.ID)
+	}
+	_ = s.Cancel(first.ID)
+}
+
+// TestHTTPErrors covers the API's failure envelopes.
+func TestHTTPErrors(t *testing.T) {
+	s := New(Options{Workers: 1})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Unknown scenario: 404 with the registered names in the message.
+	body := []byte(`{"scenario":"warp-drive","steps":1}`)
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown scenario status %d, want 404", resp.StatusCode)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(e.Error, "sedov") {
+		t.Fatalf("error %q does not list registered scenarios", e.Error)
+	}
+
+	// Unknown job id.
+	r2, _ := http.Get(ts.URL + "/jobs/job-999999")
+	if r2.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job status %d, want 404", r2.StatusCode)
+	}
+	r2.Body.Close()
+
+	// Snapshot of a non-completed job: 409.
+	spec := sedovSpec(100)
+	spec.Params.N = 1000
+	spec.Params.NNeighbors = 30
+	view, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fetchSnapshot(t, ts.URL, view.ID, http.StatusConflict)
+	_ = s.Cancel(view.ID)
+
+	// Scenario listing includes the registry.
+	r3, _ := http.Get(ts.URL + "/scenarios")
+	var infos []scenarioInfo
+	if err := json.NewDecoder(r3.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	r3.Body.Close()
+	if len(infos) < 6 {
+		t.Fatalf("scenario listing has %d entries: %+v", len(infos), infos)
+	}
+
+	// Health.
+	r4, _ := http.Get(ts.URL + "/healthz")
+	if r4.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", r4.StatusCode)
+	}
+	r4.Body.Close()
+}
