@@ -1,10 +1,15 @@
 // Command sphexa-serve exposes the mini-app as a simulation service: an
 // HTTP API over the scenario registry and the distributed engine. Jobs are
-// submitted as canonical scenario specs, executed on a bounded worker pool,
-// checkpointed for crash recovery, cached by spec hash, and their final
-// particle snapshots served in the part binary checkpoint format.
+// submitted as canonical scenario specs (singly or as batches), executed on
+// a bounded worker pool, checkpointed for crash recovery, cached by spec
+// hash, and their final particle snapshots served in the part binary
+// checkpoint format. With -store-dir set, completed results persist in a
+// content-addressed disk store (internal/store) bounded by -store-ttl and
+// -store-max-bytes, so identical resubmissions hit disk even across
+// restarts.
 //
-//	sphexa-serve -addr :8080 -workers 4 -data-dir /var/lib/sphexa
+//	sphexa-serve -addr :8080 -workers 4 -data-dir /var/lib/sphexa \
+//	    -store-dir /var/lib/sphexa/results -store-ttl 168h -store-max-bytes 1073741824
 //
 // See the README for a curl walkthrough of the API.
 package main
@@ -22,6 +27,7 @@ import (
 	"repro/internal/perfmodel"
 	"repro/internal/scenario"
 	"repro/internal/server"
+	"repro/internal/store"
 )
 
 func main() {
@@ -32,26 +38,43 @@ func main() {
 		dataDir   = flag.String("data-dir", "", "checkpoint directory (empty disables crash recovery)")
 		ckptEvery = flag.Int("checkpoint-every", 10, "steps between job checkpoints")
 		machine   = flag.String("machine", "pizdaint", "modeled machine for distributed runs")
+		storeDir  = flag.String("store-dir", "", "persistent result store directory (empty keeps results in memory only)")
+		storeTTL  = flag.Duration("store-ttl", 7*24*time.Hour,
+			"evict stored results idle longer than this; terminal jobs leave the job table on the same clock (0 disables)")
+		storeMax = flag.Int64("store-max-bytes", 0, "cap on total stored snapshot bytes, LRU-evicted (0 = unbounded)")
 	)
 	flag.Parse()
-	if err := run(*addr, *workers, *queue, *dataDir, *ckptEvery, *machine); err != nil {
+	if err := run(*addr, *workers, *queue, *dataDir, *ckptEvery, *machine,
+		*storeDir, *storeTTL, *storeMax); err != nil {
 		fmt.Fprintln(os.Stderr, "sphexa-serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, queue int, dataDir string, ckptEvery int, machine string) error {
+func run(addr string, workers, queue int, dataDir string, ckptEvery int, machine,
+	storeDir string, storeTTL time.Duration, storeMax int64) error {
 	m, err := perfmodel.ByName(machine)
 	if err != nil {
 		return err
 	}
-	srv := server.New(server.Options{
+	opts := server.Options{
 		Workers:         workers,
 		QueueDepth:      queue,
 		DataDir:         dataDir,
 		CheckpointEvery: ckptEvery,
 		Machine:         m,
-	})
+	}
+	if storeDir != "" {
+		st, err := store.Open(storeDir, store.Options{TTL: storeTTL, MaxBytes: storeMax})
+		if err != nil {
+			return fmt.Errorf("opening result store: %w", err)
+		}
+		opts.Store = st
+		opts.JobTTL = storeTTL
+		fmt.Printf("sphexa-serve: result store %s (%d entries, %d bytes, %d quarantined)\n",
+			storeDir, st.Len(), st.TotalBytes(), st.Quarantined())
+	}
+	srv := server.New(opts)
 	defer srv.Close()
 
 	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}

@@ -1,7 +1,10 @@
 // Command sphexa runs a single SPH-EXA mini-app simulation on the local
-// machine: one of the paper's test cases (or a Sedov blast), with any
-// kernel/gradient/volume-element/time-stepping combination from Table 2,
-// optional checkpoint/restart, and silent-data-corruption detection.
+// machine: one of the paper's test cases (or a Sedov blast, Sod tube, ...),
+// with any kernel/gradient/volume-element/time-stepping combination from
+// Table 2, optional checkpoint/restart, and silent-data-corruption
+// detection. SIGINT/SIGTERM interrupt the run cleanly at a step boundary:
+// the state is synchronized, checkpointed (when enabled), and the
+// conservation summary still prints.
 //
 // Per the mini-app design guidance the paper cites [35], the interface is a
 // handful of command-line flags; workloads come from the scenario registry
@@ -13,11 +16,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 
 	"repro/internal/conserve"
 	"repro/internal/core"
@@ -150,22 +157,25 @@ func run(test string, n, steps int, kern, gradients, volumes, stepping string,
 
 	var ref conserve.State
 	var suite *ft.Suite
+	armed := false
 
-	fmt.Printf("sphexa: %s, %d particles, kernel=%s gradients=%s volumes=%s stepping=%s\n",
-		test, sim.PS.NLocal, kern, gradients, volumes, stepping)
-	fmt.Printf("%6s %14s %14s %14s %14s %14s\n", "step", "dt", "t", "E_total", "E_kin", "mean nbrs")
-	for i := 0; i < steps; i++ {
-		info, err := sim.Step()
-		if err != nil {
-			return err
-		}
+	// SIGINT/SIGTERM cancel the run cooperatively at the next step
+	// boundary; per-step work (printing, SDC detection, checkpointing)
+	// rides the OnStep hook and aborts through the same cancellation path.
+	sigCtx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	runCtx, abort := context.WithCancelCause(sigCtx)
+	defer abort(nil)
+	sim.Ctx = runCtx
+	sim.OnStep = func(info core.StepInfo) {
 		st := sim.Conservation()
 		fmt.Printf("%6d %14.6e %14.6e %14.6e %14.6e %14.1f\n",
 			info.Step, info.DT, info.Time, st.Total(), st.Kinetic, info.MeanNeighbors)
-		if i == 0 {
+		if !armed {
 			// Arm detectors after the first step: the gravitational
 			// potential diagnostic only exists once forces have been
 			// evaluated, so earlier totals are not comparable.
+			armed = true
 			ref = st
 			if sdc {
 				suite = &ft.Suite{Detectors: []ft.Detector{
@@ -176,17 +186,52 @@ func run(test string, n, steps int, kern, gradients, volumes, stepping string,
 		}
 		if suite != nil {
 			if v := suite.Check(sim.PS, st); v.Corrupted {
-				return fmt.Errorf("SDC detector %q tripped at step %d: %s", v.Detector, info.Step, v.Detail)
+				abort(fmt.Errorf("SDC detector %q tripped at step %d: %s", v.Detector, info.Step, v.Detail))
+				return
 			}
 		}
 		if ck != nil && ckptEvery > 0 && (info.Step+1)%ckptEvery == 0 {
 			sim.Synchronize()
 			if err := ck.Write(0, info.Step+1, sim.T, sim.PS); err != nil {
-				return fmt.Errorf("checkpoint: %w", err)
+				abort(fmt.Errorf("checkpoint: %w", err))
 			}
 		}
 	}
-	drift := conserve.Compare(ref, sim.Conservation())
-	fmt.Printf("conservation drift over run: %s\n", drift)
+
+	fmt.Printf("sphexa: %s, %d particles, kernel=%s gradients=%s volumes=%s stepping=%s\n",
+		test, sim.PS.NLocal, kern, gradients, volumes, stepping)
+	fmt.Printf("%6s %14s %14s %14s %14s %14s\n", "step", "dt", "t", "E_total", "E_kin", "mean nbrs")
+	_, runErr := sim.Run(steps, 0)
+	if runErr == nil {
+		// An abort raised by OnStep on the final step has no next step
+		// boundary for Run to observe; surface its cause here so a
+		// last-step SDC trip or checkpoint failure cannot exit 0.
+		if cause := context.Cause(runCtx); cause != nil && !errors.Is(cause, context.Canceled) {
+			runErr = cause
+		}
+	}
+	switch {
+	case runErr == nil:
+	case errors.Is(runErr, context.Canceled) && sigCtx.Err() != nil:
+		// Signal interruption: synchronize and checkpoint the consistent
+		// boundary state, then exit cleanly.
+		sim.Synchronize()
+		if ck != nil {
+			if err := ck.Write(0, sim.StepN, sim.T, sim.PS); err != nil {
+				return fmt.Errorf("checkpoint on interrupt: %w", err)
+			}
+			fmt.Printf("interrupted at step %d (t=%.6f); checkpoint written, resume with -restart\n",
+				sim.StepN, sim.T)
+		} else {
+			fmt.Printf("interrupted at step %d (t=%.6f)\n", sim.StepN, sim.T)
+		}
+	default:
+		// SDC trip, checkpoint failure, or an engine error.
+		return runErr
+	}
+	if armed {
+		drift := conserve.Compare(ref, sim.Conservation())
+		fmt.Printf("conservation drift over run: %s\n", drift)
+	}
 	return nil
 }

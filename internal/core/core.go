@@ -11,6 +11,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -103,6 +104,19 @@ type Sim struct {
 
 	T     float64
 	StepN int
+
+	// Ctx, when non-nil, cancels Run cooperatively: cancellation is
+	// observed at step boundaries, so the particle state is always left
+	// consistent (and checkpointable) — the shared-memory mirror of
+	// ParallelConfig.Ctx. Run returns the cancellation cause.
+	Ctx context.Context
+	// OnStep, when non-nil, is invoked by Run after every completed step
+	// with that step's info — the shared-memory mirror of
+	// ParallelConfig.OnStep. Unlike the distributed variant it runs
+	// synchronously on Run's goroutine between steps, so it may inspect
+	// the Sim (diagnostics, checkpointing, Synchronize) but must not
+	// advance it (no Step or Run calls).
+	OnStep func(info StepInfo)
 
 	ctrl     *ts.Controller
 	pot      []float64 // gravitational potential per particle (diagnostics)
@@ -289,16 +303,29 @@ func (s *Sim) Synchronize() {
 }
 
 // Run advances nSteps steps or until maxTime (0 = unbounded), returning
-// per-step infos.
+// per-step infos. When Sim.Ctx is set and cancelled, Run stops at the next
+// step boundary and returns the infos so far together with the cancellation
+// cause; the particle state remains consistent, so callers can synchronize
+// and checkpoint it. Sim.OnStep, when set, observes every completed step.
 func (s *Sim) Run(nSteps int, maxTime float64) ([]StepInfo, error) {
 	var infos []StepInfo
 	for i := 0; i < nSteps; i++ {
+		if s.Ctx != nil {
+			select {
+			case <-s.Ctx.Done():
+				return infos, context.Cause(s.Ctx)
+			default:
+			}
+		}
 		if maxTime > 0 && s.T >= maxTime {
 			break
 		}
 		info, err := s.Step()
 		if err != nil {
 			return infos, err
+		}
+		if s.OnStep != nil {
+			s.OnStep(info)
 		}
 		infos = append(infos, info)
 	}

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/core"
@@ -116,6 +117,35 @@ func init() {
 			nh.U0 = p.Extra["u0"]
 			ps, pbc, box := nh.Generate()
 			return ps, baseConfig(p, pbc, box, eos.NewIdealGas(5.0/3.0)), nil
+		},
+	})
+
+	Register(&Scenario{
+		Name:        "sod",
+		Description: "Sod shock tube: the classic 1D Riemann problem (shock + contact + rarefaction, analytic solution)",
+		Defaults: Params{
+			N: 8000, NNeighbors: 100,
+			Extra: map[string]float64{
+				"rhoL": 1, "pL": 1, "rhoR": 0.125, "pR": 0.1, "gamma": 1.4,
+			},
+		},
+		Build: func(p Params) (*part.Set, core.Config, error) {
+			sd := ic.DefaultSod(p.N)
+			sd.NNeighbors = p.NNeighbors
+			sd.RhoL = p.Extra["rhoL"]
+			sd.PL = p.Extra["pL"]
+			sd.RhoR = p.Extra["rhoR"]
+			sd.PR = p.Extra["pR"]
+			sd.Gamma = p.Extra["gamma"]
+			// u = P/((gamma-1) rho) demands gamma > 1 and positive states;
+			// anything else would cache Inf/NaN as a completed result.
+			if sd.Gamma <= 1 || sd.RhoL <= 0 || sd.RhoR <= 0 || sd.PL <= 0 || sd.PR <= 0 {
+				return nil, core.Config{}, fmt.Errorf(
+					"scenario sod: require gamma > 1 and positive densities/pressures (gamma=%g rhoL=%g rhoR=%g pL=%g pR=%g)",
+					sd.Gamma, sd.RhoL, sd.RhoR, sd.PL, sd.PR)
+			}
+			ps, pbc, box := sd.Generate()
+			return ps, baseConfig(p, pbc, box, eos.NewIdealGas(sd.Gamma)), nil
 		},
 	})
 

@@ -3,6 +3,8 @@ package scenario
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/core"
 )
 
 // TestRegistryRoundTrip: every registered scenario must generate a valid
@@ -41,6 +43,60 @@ func TestRegistryRoundTrip(t *testing.T) {
 				t.Fatalf("NNeighbors not threaded through: %d", cfg.SPH.NNeighbors)
 			}
 		})
+	}
+}
+
+// TestSodDevelopsRightwardFlow: a few steps of the sod scenario must start
+// the Riemann fan — material near the interface accelerates from the
+// high-pressure left state toward the low-pressure right state (+x).
+func TestSodDevelopsRightwardFlow(t *testing.T) {
+	s, err := Get("sod")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, cfg, err := s.Generate(Params{N: 500, NNeighbors: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := core.New(cfg, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(3, 0); err != nil {
+		t.Fatal(err)
+	}
+	var vx float64
+	var n int
+	for i := 0; i < ps.NLocal; i++ {
+		if x := ps.Pos[i].X; x > 0.4 && x < 0.6 {
+			vx += ps.Vel[i].X
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatal("no particles near the interface")
+	}
+	if mean := vx / float64(n); mean <= 0 {
+		t.Fatalf("mean interface x-velocity %g after 3 steps, want > 0", mean)
+	}
+}
+
+// TestSodRejectsDegenerateStates: gamma <= 1 or non-positive states would
+// cache Inf/NaN as a completed result; Build must reject them.
+func TestSodRejectsDegenerateStates(t *testing.T) {
+	s, err := Get("sod")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []map[string]float64{
+		{"gamma": 1},
+		{"gamma": 0.9},
+		{"rhoR": 0},
+		{"pL": -1},
+	} {
+		if _, _, err := s.Generate(Params{N: 300, NNeighbors: 20, Extra: bad}); err == nil {
+			t.Errorf("degenerate state %v accepted", bad)
+		}
 	}
 }
 

@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/scenario"
@@ -15,7 +17,8 @@ import (
 //	GET  /healthz              liveness probe
 //	GET  /scenarios            registered scenarios with defaults
 //	POST /jobs                 submit a job (scenario.Spec JSON body)
-//	GET  /jobs                 list jobs
+//	POST /jobs/batch           submit an array of specs (per-item outcome)
+//	GET  /jobs                 list jobs; ?state= filters by lifecycle state
 //	GET  /jobs/{id}            job status + progress
 //	GET  /jobs/{id}/events     server-sent progress events until terminal
 //	POST /jobs/{id}/cancel     terminal cancellation
@@ -28,9 +31,8 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /scenarios", s.handleScenarios)
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
-	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, s.List())
-	})
+	mux.HandleFunc("POST /jobs/batch", s.handleSubmitBatch)
+	mux.HandleFunc("GET /jobs", s.handleList)
 	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleInterrupt(false))
@@ -92,6 +94,46 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusOK // cache hit: nothing to wait for
 	}
 	writeJSON(w, status, view)
+}
+
+// MaxBatch bounds one POST /jobs/batch array. Every item — even a cache
+// hit or coalesced duplicate — creates a job record, so an uncapped array
+// would let a single request grow the job table without limit.
+const MaxBatch = 256
+
+// handleSubmitBatch decodes a JSON array of specs and submits each through
+// the coalescing path; the response mirrors the array with one {job|error}
+// per item. The request as a whole only fails on malformed JSON, an empty
+// array, or one longer than MaxBatch.
+func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
+	var specs []scenario.Spec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&specs); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding spec array: %w", err))
+		return
+	}
+	if len(specs) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
+		return
+	}
+	if len(specs) > MaxBatch {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("batch of %d specs exceeds the %d-item limit", len(specs), MaxBatch))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.SubmitBatch(specs))
+}
+
+// handleList serves GET /jobs with an optional ?state= lifecycle filter.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	state := JobState(r.URL.Query().Get("state"))
+	if state != "" && !ValidState(state) {
+		writeError(w, http.StatusBadRequest, fmt.Errorf(
+			"unknown state %q (one of queued, running, completed, failed, cancelled)", state))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.List(state))
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -181,13 +223,22 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", id))
 		return
 	}
-	snap, ok := s.Snapshot(id)
+	rc, size, ok := s.SnapshotReader(id)
 	if !ok {
+		if view.State == StateCompleted {
+			// Completed, but the result store has since evicted (or
+			// quarantined) the snapshot: resubmitting the spec recomputes.
+			writeError(w, http.StatusGone,
+				fmt.Errorf("job %s snapshot no longer in the result store; resubmit to recompute", id))
+			return
+		}
 		writeError(w, http.StatusConflict,
 			fmt.Errorf("job %s is %s; snapshot requires completed", id, view.State))
 		return
 	}
+	defer rc.Close()
 	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
 	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%s.sph", id))
-	_, _ = w.Write(snap)
+	_, _ = io.Copy(w, rc)
 }

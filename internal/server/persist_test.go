@@ -1,0 +1,438 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/scenario"
+	"repro/internal/store"
+)
+
+// testClock is a race-safe adjustable clock shared between the test and the
+// server's worker goroutines.
+type testClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newTestClock() *testClock { return &testClock{t: time.Unix(1_000_000, 0)} }
+
+func (c *testClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *testClock) advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+// TestRestartServesStoredResult is the acceptance path of the persistent
+// store: a second server over the same store directory serves a previously
+// completed spec as a cache hit with a byte-identical snapshot.
+func TestRestartServesStoredResult(t *testing.T) {
+	storeDir := t.TempDir()
+	spec := sedovSpec(3)
+
+	st1, err := store.Open(storeDir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := New(Options{Workers: 2, DataDir: t.TempDir(), Store: st1})
+	ts1 := httptest.NewServer(s1.Handler())
+
+	view, err := s1.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.CacheHit {
+		t.Fatal("fresh store reported a cache hit")
+	}
+	waitState(t, s1, view.ID, StateCompleted, 60*time.Second)
+	snap1 := fetchSnapshot(t, ts1.URL, view.ID, http.StatusOK)
+	ps1 := decodeSnapshot(t, snap1)
+	ts1.Close()
+	s1.Close()
+
+	if st1.Len() != 1 {
+		t.Fatalf("store holds %d entries after completion, want 1", st1.Len())
+	}
+
+	// "Restart": a brand-new store handle and server over the same dir.
+	st2, err := store.Open(storeDir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Len() != 1 {
+		t.Fatalf("reopened store holds %d entries, want 1", st2.Len())
+	}
+	s2 := New(Options{Workers: 2, Store: st2})
+	defer s2.Close()
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+
+	again, err := s2.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.CacheHit || again.State != StateCompleted {
+		t.Fatalf("restarted server did not serve the stored result: %+v", again)
+	}
+	if again.Hash != view.Hash {
+		t.Fatalf("hash changed across restart: %s vs %s", again.Hash, view.Hash)
+	}
+	if again.Progress.Step != 3 || again.Progress.SimTime <= 0 {
+		t.Fatalf("stored progress %+v", again.Progress)
+	}
+
+	snap2 := fetchSnapshot(t, ts2.URL, again.ID, http.StatusOK)
+	if !bytes.Equal(snap1, snap2) {
+		t.Fatal("snapshot bytes differ across restart")
+	}
+	ps2 := decodeSnapshot(t, snap2)
+	if ps1.Checksum() != ps2.Checksum() {
+		t.Fatal("snapshot CRC differs across restart")
+	}
+}
+
+// TestCorruptStoredResultRecomputed: a snapshot corrupted on disk between
+// restarts is quarantined at reopen, and the spec silently recomputes
+// instead of serving bad bytes.
+func TestCorruptStoredResultRecomputed(t *testing.T) {
+	storeDir := t.TempDir()
+	spec := sedovSpec(2)
+
+	st1, err := store.Open(storeDir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := New(Options{Workers: 1, Store: st1})
+	view, err := s1.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s1, view.ID, StateCompleted, 60*time.Second)
+	s1.Close()
+
+	// Flip a byte in the stored object.
+	objects, err := filepath.Glob(filepath.Join(storeDir, "objects", "*.sph"))
+	if err != nil || len(objects) != 1 {
+		t.Fatalf("objects on disk: %v (err %v)", objects, err)
+	}
+	raw, err := os.ReadFile(objects[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xFF
+	if err := os.WriteFile(objects[0], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := store.Open(storeDir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Quarantined() != 1 {
+		t.Fatalf("quarantined %d, want 1", st2.Quarantined())
+	}
+	s2 := New(Options{Workers: 1, Store: st2})
+	defer s2.Close()
+
+	again, err := s2.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.CacheHit {
+		t.Fatal("corrupt entry served as a cache hit")
+	}
+	final := waitState(t, s2, again.ID, StateCompleted, 60*time.Second)
+	if final.Restarts != 0 {
+		t.Fatalf("recompute restarted %d times", final.Restarts)
+	}
+	if _, ok := s2.Snapshot(again.ID); !ok {
+		t.Fatal("recomputed job has no snapshot")
+	}
+}
+
+// TestBatchSubmission: POST /jobs/batch coalesces duplicates within the
+// array and reports per-item errors without rejecting the batch.
+func TestBatchSubmission(t *testing.T) {
+	s := New(Options{Workers: 1})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	a := sedovSpec(50)
+	a.Params.N = 1000
+	a.Params.NNeighbors = 30
+	b := a
+	b.Steps = 60 // distinct job
+	bad := scenario.Spec{Scenario: "warp-drive", Steps: 1}
+
+	body, _ := json.Marshal([]scenario.Spec{a, a, bad, b})
+	resp, err := http.Post(ts.URL+"/jobs/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d, want 200", resp.StatusCode)
+	}
+	var items []BatchItem
+	if err := json.NewDecoder(resp.Body).Decode(&items); err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 4 {
+		t.Fatalf("batch returned %d items, want 4", len(items))
+	}
+	if items[0].Job == nil || items[1].Job == nil || items[3].Job == nil {
+		t.Fatalf("valid specs missing jobs: %+v", items)
+	}
+	if items[0].Job.ID != items[1].Job.ID {
+		t.Fatalf("duplicate specs did not coalesce: %s vs %s", items[0].Job.ID, items[1].Job.ID)
+	}
+	if items[3].Job.ID == items[0].Job.ID {
+		t.Fatal("distinct specs coalesced")
+	}
+	if items[2].Error == "" || !strings.Contains(items[2].Error, "warp-drive") {
+		t.Fatalf("bad spec item: %+v", items[2])
+	}
+	if items[2].Job != nil {
+		t.Fatal("failed item carries a job")
+	}
+
+	_ = s.Cancel(items[0].Job.ID)
+	_ = s.Cancel(items[3].Job.ID)
+
+	// Malformed JSON rejects the whole request.
+	r2, err := http.Post(ts.URL+"/jobs/batch", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed batch status %d, want 400", r2.StatusCode)
+	}
+
+	// An over-limit array is rejected before any item is submitted.
+	big := make([]scenario.Spec, MaxBatch+1)
+	for i := range big {
+		big[i] = a
+	}
+	bigBody, _ := json.Marshal(big)
+	r3, err := http.Post(ts.URL+"/jobs/batch", "application/json", bytes.NewReader(bigBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3.Body.Close()
+	if r3.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized batch status %d, want 400", r3.StatusCode)
+	}
+	if got := len(s.List("")); got != 2 {
+		t.Fatalf("job table has %d entries after rejected batch, want 2", got)
+	}
+}
+
+// TestListStateFilter: GET /jobs?state= returns only matching jobs and
+// rejects unknown states.
+func TestListStateFilter(t *testing.T) {
+	s := New(Options{Workers: 1})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	fast, err := s.Submit(sedovSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, fast.ID, StateCompleted, 60*time.Second)
+
+	slow := sedovSpec(500)
+	slow.Params.N = 1000
+	slow.Params.NNeighbors = 30
+	running, err := s.Submit(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, running.ID, StateRunning, 60*time.Second)
+
+	listJobs := func(query string, wantStatus int) []JobView {
+		t.Helper()
+		r, err := http.Get(ts.URL + "/jobs" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Body.Close()
+		if r.StatusCode != wantStatus {
+			t.Fatalf("list %q status %d, want %d", query, r.StatusCode, wantStatus)
+		}
+		if wantStatus != http.StatusOK {
+			return nil
+		}
+		var views []JobView
+		if err := json.NewDecoder(r.Body).Decode(&views); err != nil {
+			t.Fatal(err)
+		}
+		return views
+	}
+
+	all := listJobs("", http.StatusOK)
+	if len(all) != 2 {
+		t.Fatalf("unfiltered list has %d jobs, want 2", len(all))
+	}
+	completed := listJobs("?state=completed", http.StatusOK)
+	if len(completed) != 1 || completed[0].ID != fast.ID {
+		t.Fatalf("completed filter returned %+v", completed)
+	}
+	runningList := listJobs("?state=running", http.StatusOK)
+	if len(runningList) != 1 || runningList[0].ID != running.ID {
+		t.Fatalf("running filter returned %+v", runningList)
+	}
+	if got := listJobs("?state=cancelled", http.StatusOK); len(got) != 0 {
+		t.Fatalf("cancelled filter returned %+v", got)
+	}
+	listJobs("?state=warp", http.StatusBadRequest)
+
+	_ = s.Cancel(running.ID)
+}
+
+// TestJobTablePruning: terminal jobs older than JobTTL leave the job table,
+// while their results stay addressable through the store (a resubmission is
+// still a cache hit).
+func TestJobTablePruning(t *testing.T) {
+	clock := newTestClock()
+	st, err := store.Open(t.TempDir(), store.Options{Now: clock.now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Options{Workers: 1, Store: st, JobTTL: time.Hour, Clock: clock.now})
+	defer s.Close()
+
+	view, err := s.Submit(sedovSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, view.ID, StateCompleted, 60*time.Second)
+
+	// Within the TTL the job is listed; past it, pruned.
+	clock.advance(30 * time.Minute)
+	if got := s.List(""); len(got) != 1 {
+		t.Fatalf("list has %d jobs before TTL, want 1", len(got))
+	}
+	clock.advance(45 * time.Minute)
+	if got := s.List(""); len(got) != 0 {
+		t.Fatalf("list has %d jobs after TTL, want 0", len(got))
+	}
+	if _, ok := s.Get(view.ID); ok {
+		t.Fatal("pruned job still resolvable by id")
+	}
+
+	// The result outlives the job record: same spec is still a cache hit.
+	again, err := s.Submit(sedovSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.CacheHit {
+		t.Fatal("stored result lost when its job was pruned")
+	}
+
+	// A running job is never pruned, however old.
+	slow := sedovSpec(500)
+	slow.Params.N = 1000
+	slow.Params.NNeighbors = 30
+	run, err := s.Submit(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, run.ID, StateRunning, 60*time.Second)
+	clock.advance(24 * time.Hour)
+	views := s.List("")
+	for _, v := range views {
+		if v.ID == run.ID {
+			_ = s.Cancel(run.ID)
+			return
+		}
+	}
+	t.Fatalf("running job pruned: %+v", views)
+}
+
+// TestOversizedSnapshotStaysFetchable: when the snapshot exceeds the whole
+// store byte budget, the store's own eviction drops it immediately — the
+// server must then keep the bytes in memory so the completed job's snapshot
+// is still served and resubmissions still cache-hit.
+func TestOversizedSnapshotStaysFetchable(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{MaxBytes: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Options{Workers: 1, Store: st})
+	defer s.Close()
+
+	view, err := s.Submit(sedovSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, view.ID, StateCompleted, 60*time.Second)
+	if st.Len() != 0 {
+		t.Fatalf("store retained %d entries over a 10-byte budget", st.Len())
+	}
+	snap, ok := s.Snapshot(view.ID)
+	if !ok {
+		t.Fatal("completed job's snapshot unfetchable after store-side eviction")
+	}
+	decodeSnapshot(t, snap)
+
+	again, err := s.Submit(sedovSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.CacheHit {
+		t.Fatal("resubmission recomputed despite the in-memory result")
+	}
+}
+
+// TestStoreEvictionSurfacesAsGone: a completed job whose snapshot the store
+// has evicted answers 410 on the snapshot endpoint, and a resubmission of
+// the spec recomputes instead of cache-hitting.
+func TestStoreEvictionSurfacesAsGone(t *testing.T) {
+	clock := newTestClock()
+	st, err := store.Open(t.TempDir(), store.Options{TTL: time.Hour, Now: clock.now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Options{Workers: 1, Store: st, Clock: clock.now})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	view, err := s.Submit(sedovSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, view.ID, StateCompleted, 60*time.Second)
+	fetchSnapshot(t, ts.URL, view.ID, http.StatusOK)
+
+	clock.advance(2 * time.Hour)
+	st.Sweep()
+	fetchSnapshot(t, ts.URL, view.ID, http.StatusGone)
+
+	again, err := s.Submit(sedovSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.CacheHit {
+		t.Fatal("evicted result served as a cache hit")
+	}
+	waitState(t, s, again.ID, StateCompleted, 60*time.Second)
+	fetchSnapshot(t, ts.URL, again.ID, http.StatusOK)
+}

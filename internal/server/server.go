@@ -6,6 +6,12 @@
 // binary checkpoint format. Long jobs checkpoint through internal/ft at a
 // configurable step interval, so a killed job resumes from its last
 // checkpoint instead of recomputing from scratch.
+//
+// When a result store (internal/store) is attached, the in-memory cache is
+// only a metadata layer: snapshot bytes persist on disk, survive restarts,
+// and are streamed straight from the store's CRC-verified object files; the
+// store's TTL + size-capped LRU policy bounds the footprint, and the job
+// table itself is pruned of terminal jobs older than JobTTL.
 package server
 
 import (
@@ -13,14 +19,17 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/domain"
 	"repro/internal/ft"
 	"repro/internal/perfmodel"
 	"repro/internal/scenario"
+	"repro/internal/store"
 )
 
 // JobState enumerates the lifecycle of a submitted job.
@@ -65,6 +74,8 @@ type Job struct {
 	killed bool
 	// done is closed when the job reaches a terminal state.
 	done chan struct{}
+	// doneAt is when the job turned terminal; JobTTL pruning keys on it.
+	doneAt time.Time
 }
 
 // JobView is an immutable snapshot of a job for JSON responses.
@@ -79,9 +90,11 @@ type JobView struct {
 	Restarts int           `json:"restarts"`
 }
 
-// cachedResult is a completed simulation keyed by canonical spec hash.
+// cachedResult is the in-memory layer of the result cache: metadata always,
+// snapshot bytes only when no persistent store backs the server (with a
+// store attached the bytes live on disk and are streamed from there).
 type cachedResult struct {
-	snapshot  []byte // part.Set binary encoding (WriteTo format)
+	snapshot  []byte // part.Set binary encoding; nil when store-backed
 	particles int
 	checksum  uint64
 	simTime   float64
@@ -106,6 +119,14 @@ type Options struct {
 	// Cost calibrates modeled phase rates; the zero value selects a
 	// neutral default.
 	Cost core.CodeCost
+	// Store persists completed results across restarts; nil keeps the
+	// legacy memory-only cache.
+	Store *store.Store
+	// JobTTL prunes completed/failed/cancelled jobs from the job table
+	// this long after they turned terminal; 0 disables pruning.
+	JobTTL time.Duration
+	// Clock overrides the time source (tests); nil means time.Now.
+	Clock func() time.Time
 }
 
 // Server owns the job table, the result cache, and the worker pool.
@@ -123,6 +144,7 @@ type Server struct {
 	ctx     context.Context
 	stop    context.CancelFunc
 	workers sync.WaitGroup
+	now     func() time.Time
 }
 
 // errKilled is the cancellation cause for a simulated kill.
@@ -158,6 +180,9 @@ func New(opts Options) *Server {
 	if opts.Cost.PairRate == 0 {
 		opts.Cost = defaultCost()
 	}
+	if opts.Clock == nil {
+		opts.Clock = time.Now
+	}
 	ctx, stop := context.WithCancel(context.Background())
 	s := &Server{
 		opts:   opts,
@@ -167,6 +192,7 @@ func New(opts Options) *Server {
 		queue:  make(chan *Job, opts.QueueDepth),
 		ctx:    ctx,
 		stop:   stop,
+		now:    opts.Clock,
 	}
 	for i := 0; i < opts.Workers; i++ {
 		s.workers.Add(1)
@@ -195,8 +221,9 @@ func (s *Server) worker() {
 }
 
 // Submit canonicalizes and enqueues a job. Identical specs coalesce: a hash
-// matching the result cache completes instantly (cache hit), one matching an
-// active job returns that job instead of enqueueing a duplicate.
+// matching the result cache or the persistent store completes instantly
+// (cache hit), one matching an active job returns that job instead of
+// enqueueing a duplicate.
 func (s *Server) Submit(spec scenario.Spec) (*JobView, error) {
 	cspec, hash, err := spec.CanonicalHash()
 	if err != nil {
@@ -204,8 +231,24 @@ func (s *Server) Submit(spec scenario.Spec) (*JobView, error) {
 	}
 
 	s.mu.Lock()
+	s.pruneLocked()
+	if active, ok := s.byHash[hash]; ok {
+		v := active.view()
+		s.mu.Unlock()
+		return &v, nil
+	}
+	s.mu.Unlock()
+
+	// Resolve the result cache with the server lock released: the store
+	// can touch disk (expiry eviction, index rewrite) and must not stall
+	// running jobs' progress updates behind it.
+	res, hit := s.resolveResult(hash)
+
+	s.mu.Lock()
 	defer s.mu.Unlock()
 
+	// Re-check active jobs: an identical Submit may have raced in while
+	// the lock was released.
 	if active, ok := s.byHash[hash]; ok {
 		v := active.view()
 		return &v, nil
@@ -220,10 +263,11 @@ func (s *Server) Submit(spec scenario.Spec) (*JobView, error) {
 	}
 	job.Progress.Total = cspec.Steps
 
-	if res, ok := s.cache[hash]; ok {
+	if hit {
 		job.State = StateCompleted
 		job.CacheHit = true
 		job.Progress = Progress{Step: res.steps, Total: res.steps, SimTime: res.simTime}
+		job.doneAt = s.now()
 		close(job.done)
 		s.jobs[job.ID] = job
 		s.order = append(s.order, job.ID)
@@ -244,6 +288,103 @@ func (s *Server) Submit(spec scenario.Spec) (*JobView, error) {
 	return &v, nil
 }
 
+// BatchItem is the per-spec outcome of a batch submission: exactly one of
+// Job and Error is set.
+type BatchItem struct {
+	Job   *JobView `json:"job,omitempty"`
+	Error string   `json:"error,omitempty"`
+}
+
+// SubmitBatch submits each spec in order through the same coalescing path as
+// Submit, so duplicates within the batch — and against active jobs or stored
+// results — collapse onto one execution. Failures are per-item: one bad spec
+// does not reject the rest of the array.
+func (s *Server) SubmitBatch(specs []scenario.Spec) []BatchItem {
+	out := make([]BatchItem, len(specs))
+	for i, spec := range specs {
+		view, err := s.Submit(spec)
+		if err != nil {
+			out[i].Error = err.Error()
+			continue
+		}
+		out[i].Job = view
+	}
+	return out
+}
+
+// resolveResult consults the in-memory cache layer (under the server lock),
+// then the persistent store (outside it — the store does its own locking);
+// store hits are promoted into memory as metadata. A memory entry whose
+// backing object was evicted from the store is dropped (miss).
+func (s *Server) resolveResult(hash string) (*cachedResult, bool) {
+	st := s.opts.Store
+	s.mu.Lock()
+	res, ok := s.cache[hash]
+	s.mu.Unlock()
+	if ok && (st == nil || res.snapshot != nil) {
+		return res, true
+	}
+	if st == nil {
+		return nil, false
+	}
+	m, inStore := st.Get(hash)
+	if !inStore {
+		if ok {
+			s.mu.Lock()
+			delete(s.cache, hash)
+			s.mu.Unlock()
+		}
+		return nil, false
+	}
+	if ok {
+		return res, true
+	}
+	res = &cachedResult{
+		particles: m.Particles,
+		checksum:  m.Checksum,
+		simTime:   m.SimTime,
+		steps:     m.Steps,
+	}
+	s.mu.Lock()
+	s.cache[hash] = res
+	s.mu.Unlock()
+	return res, true
+}
+
+// pruneLocked drops terminal jobs older than JobTTL from the job table, so
+// it cannot grow without bound under sustained traffic. Their results stay
+// addressable through the store by spec hash.
+func (s *Server) pruneLocked() {
+	ttl := s.opts.JobTTL
+	if ttl <= 0 || len(s.jobs) == 0 {
+		return
+	}
+	cutoff := s.now().Add(-ttl)
+	kept := s.order[:0]
+	dropped := map[string]bool{}
+	for _, id := range s.order {
+		job := s.jobs[id]
+		switch job.State {
+		case StateCompleted, StateFailed, StateCancelled:
+			if !job.doneAt.IsZero() && job.doneAt.Before(cutoff) {
+				delete(s.jobs, id)
+				dropped[job.Hash] = true
+				continue
+			}
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+	// Drop cache entries whose hash no longer backs any live job; with a
+	// store attached the result stays addressable on disk regardless.
+	for _, id := range s.order {
+		delete(dropped, s.jobs[id].Hash)
+	}
+	for hash := range dropped {
+		delete(s.cache, hash)
+	}
+}
+
 // Get returns a snapshot of the job, or false.
 func (s *Server) Get(id string) (JobView, bool) {
 	s.mu.Lock()
@@ -255,15 +396,31 @@ func (s *Server) Get(id string) (JobView, bool) {
 	return job.view(), true
 }
 
-// List returns snapshots of all jobs in submission order.
-func (s *Server) List() []JobView {
+// List returns snapshots of all jobs in submission order; a non-empty state
+// restricts the listing to jobs currently in it.
+func (s *Server) List(state JobState) []JobView {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.pruneLocked()
 	out := make([]JobView, 0, len(s.order))
 	for _, id := range s.order {
-		out = append(out, s.jobs[id].view())
+		job := s.jobs[id]
+		if state != "" && job.State != state {
+			continue
+		}
+		out = append(out, job.view())
 	}
 	return out
+}
+
+// ValidState reports whether st names a job lifecycle state (the HTTP layer
+// rejects unknown ?state= filters with it).
+func ValidState(st JobState) bool {
+	switch st {
+	case StateQueued, StateRunning, StateCompleted, StateFailed, StateCancelled:
+		return true
+	}
+	return false
 }
 
 // Cancel terminally cancels a queued or running job.
@@ -303,25 +460,53 @@ func (s *Server) interrupt(id string, kill bool) error {
 		return fmt.Errorf("server: job %s is not running", id)
 	}
 	job.State = StateCancelled
+	job.doneAt = s.now()
 	delete(s.byHash, job.Hash)
 	close(job.done)
 	return nil
 }
 
 // Snapshot returns the completed job's final particle state in the part
-// binary checkpoint format.
+// binary checkpoint format, materialized in memory.
 func (s *Server) Snapshot(id string) ([]byte, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	job, ok := s.jobs[id]
-	if !ok || job.State != StateCompleted {
-		return nil, false
-	}
-	res, ok := s.cache[job.Hash]
+	rc, _, ok := s.SnapshotReader(id)
 	if !ok {
 		return nil, false
 	}
-	return res.snapshot, true
+	defer rc.Close()
+	b, err := io.ReadAll(rc)
+	if err != nil {
+		return nil, false
+	}
+	return b, true
+}
+
+// SnapshotReader returns a stream of the completed job's snapshot plus its
+// byte size. With a store attached the stream is the store's CRC-verified
+// object file — the bytes go from disk to the client without re-encoding
+// (and without being held in the server's memory).
+func (s *Server) SnapshotReader(id string) (io.ReadCloser, int64, bool) {
+	s.mu.Lock()
+	job, ok := s.jobs[id]
+	if !ok || job.State != StateCompleted {
+		s.mu.Unlock()
+		return nil, 0, false
+	}
+	hash := job.Hash
+	res, hit := s.cache[hash]
+	s.mu.Unlock()
+
+	if hit && res.snapshot != nil {
+		return io.NopCloser(bytes.NewReader(res.snapshot)), int64(len(res.snapshot)), true
+	}
+	if s.opts.Store == nil {
+		return nil, 0, false
+	}
+	f, m, err := s.opts.Store.OpenObject(hash)
+	if err != nil {
+		return nil, 0, false
+	}
+	return f, m.Size, true
 }
 
 // Done returns a channel closed when the job reaches a terminal state.
@@ -382,6 +567,7 @@ func (s *Server) run(job *Job) {
 		s.mu.Lock()
 		job.State = StateFailed
 		job.Err = err.Error()
+		job.doneAt = s.now()
 		job.cancel = nil
 		delete(s.byHash, job.Hash)
 		close(job.done)
@@ -472,6 +658,7 @@ func (s *Server) run(job *Job) {
 				if !requeued {
 					job.State = StateFailed
 					job.Err = "requeue after kill failed: queue full"
+					job.doneAt = s.now()
 					delete(s.byHash, job.Hash)
 					close(job.done)
 				}
@@ -480,6 +667,7 @@ func (s *Server) run(job *Job) {
 			}
 			s.mu.Lock()
 			job.State = StateCancelled
+			job.doneAt = s.now()
 			job.cancel = nil
 			delete(s.byHash, job.Hash)
 			close(job.done)
@@ -507,11 +695,31 @@ func (s *Server) run(job *Job) {
 		simTime:   simTime,
 		steps:     spec.Steps,
 	}
+	if st := s.opts.Store; st != nil {
+		err := st.Put(store.Meta{
+			Hash:      job.Hash,
+			Particles: result.particles,
+			Steps:     result.steps,
+			SimTime:   result.simTime,
+			Checksum:  result.checksum,
+		}, result.snapshot)
+		if err == nil {
+			// The disk copy is authoritative; the memory layer keeps only
+			// metadata. If the Put failed — or the store's own eviction
+			// policy immediately dropped the entry (snapshot larger than
+			// the whole byte budget) — keep the bytes in memory so the
+			// completed job's snapshot stays fetchable.
+			if _, ok := st.Get(job.Hash); ok {
+				result.snapshot = nil
+			}
+		}
+	}
 
 	s.mu.Lock()
 	s.cache[job.Hash] = result
 	job.State = StateCompleted
 	job.Progress = Progress{Step: spec.Steps, Total: spec.Steps, SimTime: simTime, DT: job.Progress.DT}
+	job.doneAt = s.now()
 	job.cancel = nil
 	delete(s.byHash, job.Hash)
 	close(job.done)

@@ -1,0 +1,406 @@
+// Package store is the persistent, content-addressed result store of the
+// simulation service: completed snapshots keyed by canonical spec hash
+// (scenario.Spec.Hash), written atomically (temp file + rename), read back
+// with whole-file CRC verification, and bounded by a combined TTL +
+// size-capped LRU eviction policy. A server restart reopens the same
+// directory and serves prior results as cache hits; entries whose bytes no
+// longer match their recorded CRC are quarantined, not trusted and not
+// fatal — the store degrades to recomputation, never to corrupt data.
+//
+// Layout under the root directory:
+//
+//	index.json          entry metadata (rewritten atomically on mutation)
+//	objects/<hash>.sph  snapshot payloads (part binary checkpoint format)
+//	quarantine/         corrupt or unindexed objects moved aside on detection
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// Meta describes one stored result. The identifying fields (Particles,
+// Steps, SimTime, Checksum) are supplied by the caller at Put time; the
+// bookkeeping fields (Size, CRC, CreatedAt, LastUsed) are owned by the store.
+type Meta struct {
+	// Hash is the canonical spec hash the entry is addressed by.
+	Hash string `json:"hash"`
+	// Particles is the snapshot's particle count.
+	Particles int `json:"particles"`
+	// Steps and SimTime record how far the producing job ran.
+	Steps   int     `json:"steps"`
+	SimTime float64 `json:"simTime"`
+	// Checksum is the part payload CRC-64 fingerprint of the particle
+	// state (part.Set.Checksum), used by callers to compare results.
+	Checksum uint64 `json:"checksum"`
+	// Size is the object file size in bytes.
+	Size int64 `json:"size"`
+	// CRC is the CRC-64/ECMA of the whole object file; reads verify
+	// against it and quarantine on mismatch.
+	CRC uint64 `json:"crc"`
+	// CreatedAt and LastUsed are unix seconds; LastUsed drives both the
+	// TTL (idle expiry) and the LRU eviction order.
+	CreatedAt int64 `json:"createdAt"`
+	LastUsed  int64 `json:"lastUsed"`
+}
+
+// Options bounds the store.
+type Options struct {
+	// TTL evicts entries idle (not Put or read) for longer than this;
+	// 0 disables expiry.
+	TTL time.Duration
+	// MaxBytes caps the total object bytes on disk; least-recently-used
+	// entries are evicted to stay under it. 0 disables the cap.
+	MaxBytes int64
+	// Now overrides the clock (tests); nil means time.Now.
+	Now func() time.Time
+}
+
+// Store is a disk-backed content-addressed result store. All methods are
+// safe for concurrent use.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu      sync.Mutex
+	entries map[string]*Meta
+	total   int64 // sum of entry sizes
+	// quarantined counts objects moved aside by the last Open or by a
+	// failed read since.
+	quarantined int
+}
+
+type indexFile struct {
+	Version int              `json:"version"`
+	Entries map[string]*Meta `json:"entries"`
+}
+
+// Open loads (or initializes) a store rooted at dir. Every indexed object is
+// re-verified against its recorded CRC: corrupt or missing-from-index files
+// are moved to the quarantine directory and dropped, then the TTL and size
+// policies are applied — so a freshly opened store is always consistent and
+// within budget.
+func Open(dir string, opts Options) (*Store, error) {
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	s := &Store{dir: dir, opts: opts, entries: map[string]*Meta{}}
+	if err := os.MkdirAll(s.objectsDir(), 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating %s: %w", s.objectsDir(), err)
+	}
+
+	idx, err := readIndex(s.indexPath())
+	if err != nil {
+		// A corrupt index is recoverable: quarantine every object (their
+		// provenance is unverifiable) and start empty.
+		idx = &indexFile{Entries: map[string]*Meta{}}
+	}
+
+	for hash, m := range idx.Entries {
+		path := s.objectPath(hash)
+		crc, size, err := fileCRC(path)
+		if err != nil || crc != m.CRC || size != m.Size {
+			if err == nil {
+				s.quarantineLocked(hash)
+			}
+			continue
+		}
+		m.Hash = hash
+		s.entries[hash] = m
+		s.total += m.Size
+	}
+
+	// Objects on disk that the index does not vouch for are quarantined.
+	if names, err := filepath.Glob(filepath.Join(s.objectsDir(), "*.sph")); err == nil {
+		for _, path := range names {
+			hash := fileHash(path)
+			if _, ok := s.entries[hash]; !ok {
+				s.quarantineLocked(hash)
+			}
+		}
+	}
+
+	s.evictLocked(s.opts.Now())
+	if err := s.saveIndexLocked(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Store) indexPath() string  { return filepath.Join(s.dir, "index.json") }
+func (s *Store) objectsDir() string { return filepath.Join(s.dir, "objects") }
+func (s *Store) objectPath(h string) string {
+	return filepath.Join(s.objectsDir(), h+".sph")
+}
+
+// fileHash recovers the hash from an object path ("<hash>.sph").
+func fileHash(path string) string {
+	base := filepath.Base(path)
+	return base[:len(base)-len(".sph")]
+}
+
+func readIndex(path string) (*indexFile, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var idx indexFile
+	if err := json.Unmarshal(b, &idx); err != nil {
+		return nil, fmt.Errorf("store: corrupt index %s: %w", path, err)
+	}
+	if idx.Entries == nil {
+		idx.Entries = map[string]*Meta{}
+	}
+	return &idx, nil
+}
+
+// saveIndexLocked rewrites index.json atomically.
+func (s *Store) saveIndexLocked() error {
+	b, err := json.MarshalIndent(indexFile{Version: 1, Entries: s.entries}, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := s.indexPath() + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, s.indexPath())
+}
+
+// fileCRC returns the CRC-64/ECMA and size of the file's bytes.
+func fileCRC(path string) (uint64, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	h := crc64.New(crcTable)
+	n, err := io.Copy(h, f)
+	if err != nil {
+		return 0, 0, err
+	}
+	return h.Sum64(), n, nil
+}
+
+// quarantineLocked moves an object aside instead of deleting it, so corrupt
+// data remains inspectable but is never served.
+func (s *Store) quarantineLocked(hash string) {
+	qdir := filepath.Join(s.dir, "quarantine")
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		_ = os.Remove(s.objectPath(hash))
+		return
+	}
+	dst := filepath.Join(qdir, hash+".sph")
+	if err := os.Rename(s.objectPath(hash), dst); err != nil {
+		_ = os.Remove(s.objectPath(hash))
+	}
+	s.quarantined++
+}
+
+// removeLocked evicts an entry and deletes its object file.
+func (s *Store) removeLocked(hash string) {
+	if m, ok := s.entries[hash]; ok {
+		s.total -= m.Size
+		delete(s.entries, hash)
+	}
+	_ = os.Remove(s.objectPath(hash))
+}
+
+// evictLocked applies the TTL then the size cap: expired entries go first,
+// then least-recently-used ones until the total fits MaxBytes.
+func (s *Store) evictLocked(now time.Time) {
+	if s.opts.TTL > 0 {
+		cutoff := now.Add(-s.opts.TTL).Unix()
+		for hash, m := range s.entries {
+			if m.LastUsed < cutoff {
+				s.removeLocked(hash)
+			}
+		}
+	}
+	if s.opts.MaxBytes <= 0 || s.total <= s.opts.MaxBytes {
+		return
+	}
+	type cand struct {
+		hash     string
+		lastUsed int64
+	}
+	order := make([]cand, 0, len(s.entries))
+	for hash, m := range s.entries {
+		order = append(order, cand{hash, m.LastUsed})
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].lastUsed != order[j].lastUsed {
+			return order[i].lastUsed < order[j].lastUsed
+		}
+		return order[i].hash < order[j].hash
+	})
+	for _, c := range order {
+		if s.total <= s.opts.MaxBytes {
+			break
+		}
+		s.removeLocked(c.hash)
+	}
+}
+
+// Put stores snapshot under meta.Hash, replacing any existing entry. The
+// write is atomic (temp file in the objects directory, then rename), the
+// index is persisted, and the eviction policy runs afterwards — so the
+// on-disk total never exceeds MaxBytes once Put returns. Note that under a
+// tight cap the just-written entry itself may be evicted (a snapshot larger
+// than the whole budget is never retained).
+func (s *Store) Put(meta Meta, snapshot []byte) error {
+	if meta.Hash == "" {
+		return fmt.Errorf("store: Put with empty hash")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	path := s.objectPath(meta.Hash)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, snapshot, 0o644); err != nil {
+		return fmt.Errorf("store: writing %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+
+	now := s.opts.Now().Unix()
+	if old, ok := s.entries[meta.Hash]; ok {
+		s.total -= old.Size
+	}
+	meta.Size = int64(len(snapshot))
+	meta.CRC = crc64.Checksum(snapshot, crcTable)
+	meta.CreatedAt = now
+	meta.LastUsed = now
+	s.entries[meta.Hash] = &meta
+	s.total += meta.Size
+
+	s.evictLocked(s.opts.Now())
+	return s.saveIndexLocked()
+}
+
+// Get returns the entry's metadata and marks it used (refreshing its LRU and
+// TTL position). An expired entry is evicted and reported as a miss.
+func (s *Store) Get(hash string) (Meta, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.touchLocked(hash)
+	if !ok {
+		return Meta{}, false
+	}
+	return *m, true
+}
+
+// touchLocked looks up hash, applying TTL expiry and refreshing LastUsed.
+// The refresh is in-memory only — rewriting the whole index on every read
+// would put O(entries) disk I/O on the hot lookup path; the new timestamp
+// is persisted by the next mutation (Put, eviction, Sweep). Across a crash
+// the LRU/TTL order is therefore approximate, never the served bytes.
+func (s *Store) touchLocked(hash string) (*Meta, bool) {
+	m, ok := s.entries[hash]
+	if !ok {
+		return nil, false
+	}
+	now := s.opts.Now()
+	if s.opts.TTL > 0 && m.LastUsed < now.Add(-s.opts.TTL).Unix() {
+		s.removeLocked(hash)
+		_ = s.saveIndexLocked()
+		return nil, false
+	}
+	m.LastUsed = now.Unix()
+	return m, true
+}
+
+// OpenObject returns the entry's object file positioned at the start, after
+// verifying the file bytes against the recorded CRC — callers stream the
+// snapshot straight from disk. A corrupt object is quarantined and reported
+// as an error; the caller should treat it as a miss and recompute.
+func (s *Store) OpenObject(hash string) (*os.File, Meta, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.touchLocked(hash)
+	if !ok {
+		return nil, Meta{}, fmt.Errorf("store: no entry %s", hash)
+	}
+	f, err := os.Open(s.objectPath(hash))
+	if err != nil {
+		s.total -= m.Size
+		delete(s.entries, hash)
+		_ = s.saveIndexLocked()
+		return nil, Meta{}, fmt.Errorf("store: entry %s lost: %w", hash, err)
+	}
+	h := crc64.New(crcTable)
+	n, err := io.Copy(h, f)
+	if err != nil || h.Sum64() != m.CRC || n != m.Size {
+		f.Close()
+		s.total -= m.Size
+		delete(s.entries, hash)
+		s.quarantineLocked(hash)
+		_ = s.saveIndexLocked()
+		return nil, Meta{}, fmt.Errorf("store: entry %s failed CRC verification, quarantined", hash)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		f.Close()
+		return nil, Meta{}, err
+	}
+	return f, *m, nil
+}
+
+// ReadObject is OpenObject materialized: the verified snapshot bytes.
+func (s *Store) ReadObject(hash string) ([]byte, Meta, error) {
+	f, m, err := s.OpenObject(hash)
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	defer f.Close()
+	b, err := io.ReadAll(f)
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	return b, m, nil
+}
+
+// Sweep applies the TTL + size eviction policy now (Put and Open already do;
+// Sweep lets long-lived owners expire idle entries without traffic).
+func (s *Store) Sweep() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.evictLocked(s.opts.Now())
+	_ = s.saveIndexLocked()
+}
+
+// Len returns the number of live entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// TotalBytes returns the tracked on-disk size of all live objects.
+func (s *Store) TotalBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// Quarantined reports how many objects this store instance has moved to
+// quarantine (at Open or on a failed read).
+func (s *Store) Quarantined() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.quarantined
+}
+
+// TTL exposes the configured idle expiry (0 = none); the job server reuses
+// it to prune its job table in lockstep with the result store.
+func (s *Store) TTL() time.Duration { return s.opts.TTL }

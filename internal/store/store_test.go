@@ -1,0 +1,363 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// fakeClock is an adjustable test clock.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newClock() *fakeClock                   { return &fakeClock{t: time.Unix(1_000_000, 0)} }
+
+func put(t *testing.T, s *Store, hash string, size int) []byte {
+	t.Helper()
+	payload := bytes.Repeat([]byte(hash[:1]), size)
+	if err := s.Put(Meta{Hash: hash, Particles: size, Steps: 1}, payload); err != nil {
+		t.Fatalf("put %s: %v", hash, err)
+	}
+	return payload
+}
+
+// diskBytes sums the object files actually on disk.
+func diskBytes(t *testing.T, dir string) int64 {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "objects", "*.sph"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, n := range names {
+		fi, err := os.Stat(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += fi.Size()
+	}
+	return total
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := put(t, s, "aaaa", 100)
+
+	m, ok := s.Get("aaaa")
+	if !ok {
+		t.Fatal("entry missing after Put")
+	}
+	if m.Size != 100 || m.Particles != 100 {
+		t.Fatalf("meta %+v", m)
+	}
+	got, _, err := s.ReadObject("aaaa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload round trip mismatch")
+	}
+	if _, ok := s.Get("bbbb"); ok {
+		t.Fatal("phantom entry")
+	}
+}
+
+// TestReopenServesPriorEntries: the persistence contract — a new Store over
+// the same directory serves everything a previous instance stored.
+func TestReopenServesPriorEntries(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := put(t, s1, "aaaa", 256)
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, m, err := s2.ReadObject("aaaa")
+	if err != nil {
+		t.Fatalf("reopened store lost the entry: %v", err)
+	}
+	if !bytes.Equal(got, payload) || m.Particles != 256 {
+		t.Fatal("reopened entry does not match what was stored")
+	}
+	if q := s2.Quarantined(); q != 0 {
+		t.Fatalf("clean reopen quarantined %d objects", q)
+	}
+}
+
+// TestTTLExpiry: entries idle past the TTL disappear — lazily on access and
+// wholesale on Sweep and reopen.
+func TestTTLExpiry(t *testing.T) {
+	dir := t.TempDir()
+	clock := newClock()
+	s, err := Open(dir, Options{TTL: time.Hour, Now: clock.now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	put(t, s, "aaaa", 10)
+	put(t, s, "bbbb", 10)
+
+	// Keep bbbb warm past aaaa's expiry.
+	clock.advance(45 * time.Minute)
+	if _, ok := s.Get("bbbb"); !ok {
+		t.Fatal("bbbb should be live")
+	}
+	clock.advance(30 * time.Minute) // aaaa idle 75m, bbbb idle 30m
+
+	if _, ok := s.Get("aaaa"); ok {
+		t.Fatal("aaaa should have expired")
+	}
+	if _, ok := s.Get("bbbb"); !ok {
+		t.Fatal("bbbb was recently used and must survive")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("store holds %d entries, want 1", s.Len())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "objects", "aaaa.sph")); !os.IsNotExist(err) {
+		t.Fatal("expired object file still on disk")
+	}
+
+	// Sweep expires without traffic.
+	clock.advance(2 * time.Hour)
+	s.Sweep()
+	if s.Len() != 0 {
+		t.Fatalf("sweep left %d entries", s.Len())
+	}
+
+	// Reopen applies the TTL too.
+	put(t, s, "cccc", 10)
+	clock.advance(2 * time.Hour)
+	s2, err := Open(dir, Options{TTL: time.Hour, Now: clock.now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 0 {
+		t.Fatalf("reopen kept %d expired entries", s2.Len())
+	}
+}
+
+// TestLRUSizeEviction: the size cap evicts least-recently-used entries, and
+// the on-disk object total never exceeds MaxBytes after any Put.
+func TestLRUSizeEviction(t *testing.T) {
+	dir := t.TempDir()
+	clock := newClock()
+	s, err := Open(dir, Options{MaxBytes: 250, Now: clock.now})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i, hash := range []string{"aaaa", "bbbb", "cccc"} {
+		put(t, s, hash, 100)
+		clock.advance(time.Second)
+		if got := diskBytes(t, dir); got > 250 {
+			t.Fatalf("after put %d disk holds %d bytes > cap 250", i, got)
+		}
+	}
+	// aaaa (oldest) must have been evicted to fit cccc.
+	if _, ok := s.Get("aaaa"); ok {
+		t.Fatal("LRU entry survived eviction")
+	}
+	if _, ok := s.Get("bbbb"); !ok {
+		t.Fatal("bbbb evicted prematurely")
+	}
+
+	// Touch bbbb, then insert dddd: cccc is now the LRU and must go.
+	clock.advance(time.Second)
+	if _, ok := s.Get("bbbb"); !ok {
+		t.Fatal("bbbb missing")
+	}
+	clock.advance(time.Second)
+	put(t, s, "dddd", 100)
+	if _, ok := s.Get("cccc"); ok {
+		t.Fatal("recently-touched bbbb was evicted instead of cccc")
+	}
+	if _, ok := s.Get("bbbb"); !ok {
+		t.Fatal("bbbb lost after touch")
+	}
+	if got := diskBytes(t, dir); got > 250 {
+		t.Fatalf("disk holds %d bytes > cap", got)
+	}
+
+	// An oversized snapshot is never retained.
+	put(t, s, "eeee", 300)
+	if _, ok := s.Get("eeee"); ok {
+		t.Fatal("entry larger than the whole budget was retained")
+	}
+	if got := diskBytes(t, dir); got > 250 {
+		t.Fatalf("disk holds %d bytes > cap after oversized put", got)
+	}
+}
+
+// TestCorruptEntryQuarantinedOnReopen: flipping bytes in a stored object
+// must not be served; reopen detects the CRC mismatch and moves the file to
+// quarantine.
+func TestCorruptEntryQuarantinedOnReopen(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	put(t, s1, "aaaa", 64)
+	put(t, s1, "bbbb", 64)
+
+	// Corrupt aaaa on disk behind the store's back.
+	path := filepath.Join(dir, "objects", "aaaa.sph")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[10] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen over a corrupt object must not fail: %v", err)
+	}
+	if _, ok := s2.Get("aaaa"); ok {
+		t.Fatal("corrupt entry still indexed after reopen")
+	}
+	if _, ok := s2.Get("bbbb"); !ok {
+		t.Fatal("intact entry lost during quarantine")
+	}
+	if q := s2.Quarantined(); q != 1 {
+		t.Fatalf("quarantined %d objects, want 1", q)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "quarantine", "aaaa.sph")); err != nil {
+		t.Fatalf("quarantine file missing: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupt object left in objects/")
+	}
+}
+
+// TestCorruptionDetectedOnRead: corruption appearing while the store is
+// open is caught by the read-path CRC check.
+func TestCorruptionDetectedOnRead(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	put(t, s, "aaaa", 64)
+	path := filepath.Join(dir, "objects", "aaaa.sph")
+	raw, _ := os.ReadFile(path)
+	raw[0] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.ReadObject("aaaa"); err == nil {
+		t.Fatal("read of a corrupt object succeeded")
+	}
+	if _, ok := s.Get("aaaa"); ok {
+		t.Fatal("corrupt entry still indexed after failed read")
+	}
+	if s.Quarantined() != 1 {
+		t.Fatal("corrupt object not quarantined")
+	}
+}
+
+// TestUnindexedObjectQuarantined: stray files in objects/ (e.g. from a
+// crashed writer with a clobbered index) are moved aside at reopen.
+func TestUnindexedObjectQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	put(t, s1, "aaaa", 16)
+	if err := os.WriteFile(filepath.Join(dir, "objects", "stray.sph"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 1 {
+		t.Fatalf("store holds %d entries, want 1", s2.Len())
+	}
+	if s2.Quarantined() != 1 {
+		t.Fatalf("quarantined %d, want 1 (the stray)", s2.Quarantined())
+	}
+}
+
+// TestCorruptIndexRecovered: a mangled index.json degrades to an empty
+// store with everything quarantined, never an error.
+func TestCorruptIndexRecovered(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	put(t, s1, "aaaa", 16)
+	if err := os.WriteFile(filepath.Join(dir, "index.json"), []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("open over corrupt index: %v", err)
+	}
+	if s2.Len() != 0 {
+		t.Fatalf("recovered store holds %d entries, want 0", s2.Len())
+	}
+	if s2.Quarantined() != 1 {
+		t.Fatalf("quarantined %d, want 1", s2.Quarantined())
+	}
+}
+
+// TestPutReplacesExisting: re-putting a hash replaces bytes and accounting.
+func TestPutReplacesExisting(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	put(t, s, "aaaa", 100)
+	put(t, s, "aaaa", 40)
+	if got := s.TotalBytes(); got != 40 {
+		t.Fatalf("total %d after replacement, want 40", got)
+	}
+	b, _, err := s.ReadObject("aaaa")
+	if err != nil || len(b) != 40 {
+		t.Fatalf("replacement read len=%d err=%v", len(b), err)
+	}
+}
+
+func TestManyEntriesEvictionOrder(t *testing.T) {
+	dir := t.TempDir()
+	clock := newClock()
+	s, err := Open(dir, Options{MaxBytes: 500, Now: clock.now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		put(t, s, fmt.Sprintf("h%03d", i), 100)
+		clock.advance(time.Second)
+	}
+	// Only the 5 newest fit.
+	for i := 0; i < 5; i++ {
+		if _, ok := s.Get(fmt.Sprintf("h%03d", i)); ok {
+			t.Fatalf("old entry h%03d survived", i)
+		}
+	}
+	for i := 5; i < 10; i++ {
+		if _, ok := s.Get(fmt.Sprintf("h%03d", i)); !ok {
+			t.Fatalf("new entry h%03d evicted", i)
+		}
+	}
+	if diskBytes(t, dir) > 500 {
+		t.Fatal("disk over budget")
+	}
+}
