@@ -3,10 +3,14 @@
 // submitted as canonical scenario specs (singly or as batches), executed on
 // a bounded worker pool, checkpointed for crash recovery, cached by spec
 // hash, and their final particle snapshots served in the part binary
-// checkpoint format. With -store-dir set, completed results persist in a
+// checkpoint format. Completed jobs are scored against their scenario's
+// analytic reference (GET /jobs/{id}/metrics). With -store-dir set,
+// completed results and their verification reports persist in a
 // content-addressed disk store (internal/store) bounded by -store-ttl and
 // -store-max-bytes, so identical resubmissions hit disk even across
-// restarts.
+// restarts; a background goroutine sweeps the TTL/LRU eviction policy
+// every -store-sweep so idle entries expire without traffic, and
+// GET /storez reports store metrics.
 //
 //	sphexa-serve -addr :8080 -workers 4 -data-dir /var/lib/sphexa \
 //	    -store-dir /var/lib/sphexa/results -store-ttl 168h -store-max-bytes 1073741824
@@ -42,17 +46,19 @@ func main() {
 		storeTTL  = flag.Duration("store-ttl", 7*24*time.Hour,
 			"evict stored results idle longer than this; terminal jobs leave the job table on the same clock (0 disables)")
 		storeMax = flag.Int64("store-max-bytes", 0, "cap on total stored snapshot bytes, LRU-evicted (0 = unbounded)")
+		sweep    = flag.Duration("store-sweep", time.Minute,
+			"interval between background TTL/LRU eviction sweeps of the result store (0 leaves eviction to submissions/reads)")
 	)
 	flag.Parse()
 	if err := run(*addr, *workers, *queue, *dataDir, *ckptEvery, *machine,
-		*storeDir, *storeTTL, *storeMax); err != nil {
+		*storeDir, *storeTTL, *storeMax, *sweep); err != nil {
 		fmt.Fprintln(os.Stderr, "sphexa-serve:", err)
 		os.Exit(1)
 	}
 }
 
 func run(addr string, workers, queue int, dataDir string, ckptEvery int, machine,
-	storeDir string, storeTTL time.Duration, storeMax int64) error {
+	storeDir string, storeTTL time.Duration, storeMax int64, sweep time.Duration) error {
 	m, err := perfmodel.ByName(machine)
 	if err != nil {
 		return err
@@ -73,6 +79,25 @@ func run(addr string, workers, queue int, dataDir string, ckptEvery int, machine
 		opts.JobTTL = storeTTL
 		fmt.Printf("sphexa-serve: result store %s (%d entries, %d bytes, %d quarantined)\n",
 			storeDir, st.Len(), st.TotalBytes(), st.Quarantined())
+		if sweep > 0 {
+			// Background eviction sweep: without it, TTL/LRU evictions only
+			// run on submissions and reads, so an idle server never expires
+			// stale entries (and never frees their disk).
+			stopSweep := make(chan struct{})
+			defer close(stopSweep)
+			go func() {
+				ticker := time.NewTicker(sweep)
+				defer ticker.Stop()
+				for {
+					select {
+					case <-stopSweep:
+						return
+					case <-ticker.C:
+						st.Sweep()
+					}
+				}
+			}()
+		}
 	}
 	srv := server.New(opts)
 	defer srv.Close()

@@ -2,9 +2,17 @@
 // machine: one of the paper's test cases (or a Sedov blast, Sod tube, ...),
 // with any kernel/gradient/volume-element/time-stepping combination from
 // Table 2, optional checkpoint/restart, and silent-data-corruption
-// detection. SIGINT/SIGTERM interrupt the run cleanly at a step boundary:
-// the state is synchronized, checkpointed (when enabled), and the
-// conservation summary still prints.
+// detection. The run executes through the same chunked checkpoint/resume
+// loop as the job server (internal/runloop), so SIGINT/SIGTERM interrupt
+// cleanly at a step boundary — the state is synchronized, checkpointed
+// (when enabled), and the conservation summary still prints — and
+// -restart resumes from the newest checkpoint toward the same -steps
+// total.
+//
+// With -verify, the final snapshot is scored against the scenario's
+// analytic reference solution (internal/analytic) and the quantitative
+// verification report (internal/verify) prints after the run; the exit
+// status is non-zero if the registered acceptance thresholds fail.
 //
 // Per the mini-app design guidance the paper cites [35], the interface is a
 // handful of command-line flags; workloads come from the scenario registry
@@ -12,6 +20,7 @@
 //
 //	sphexa -scenario evrard -n 10000 -steps 20
 //	sphexa -scenario square -kernel wendland-c2 -gradients kd -steps 10
+//	sphexa -scenario sod -n 8000 -steps 20 -verify
 //	sphexa -scenario noh -checkpoint-dir /tmp/ck -restart
 package main
 
@@ -31,9 +40,12 @@ import (
 	"repro/internal/ft"
 	"repro/internal/gravity"
 	"repro/internal/kernel"
+	"repro/internal/part"
+	"repro/internal/runloop"
 	"repro/internal/scenario"
 	"repro/internal/sph"
 	"repro/internal/ts"
+	"repro/internal/verify"
 )
 
 func main() {
@@ -41,7 +53,7 @@ func main() {
 		test = flag.String("scenario", "evrard",
 			"workload from the scenario registry: "+strings.Join(scenario.Names(), ", "))
 		n         = flag.Int("n", 10000, "approximate particle count")
-		steps     = flag.Int("steps", 20, "time steps to run")
+		steps     = flag.Int("steps", 20, "total time steps (a restored run continues to this total)")
 		kern      = flag.String("kernel", "sinc-5", "SPH kernel (m4, wendland-c2/c4/c6, sinc-<n>)")
 		gradients = flag.String("gradients", "iad", "gradient mode: iad or kd (kernel derivatives)")
 		volumes   = flag.String("volumes", "generalized", "volume elements: generalized or standard")
@@ -53,11 +65,13 @@ func main() {
 		ckptEvery = flag.Int("checkpoint-every", 5, "steps between checkpoints")
 		restart   = flag.Bool("restart", false, "restore from the newest checkpoint before running")
 		sdc       = flag.Bool("sdc", true, "run silent-data-corruption detectors every step")
+		doVerify  = flag.Bool("verify", false,
+			"score the final snapshot against the scenario's analytic reference and print the verification report; exit non-zero if the registered acceptance thresholds fail")
 	)
 	flag.StringVar(test, "test", *test, "deprecated alias for -scenario")
 	flag.Parse()
 	if err := run(*test, *n, *steps, *kern, *gradients, *volumes, *stepping,
-		*neighbors, *gravOrder, *workers, *ckptDir, *ckptEvery, *restart, *sdc); err != nil {
+		*neighbors, *gravOrder, *workers, *ckptDir, *ckptEvery, *restart, *sdc, *doVerify); err != nil {
 		fmt.Fprintln(os.Stderr, "sphexa:", err)
 		os.Exit(1)
 	}
@@ -65,7 +79,7 @@ func main() {
 
 func run(test string, n, steps int, kern, gradients, volumes, stepping string,
 	neighbors int, gravOrder string, workers int, ckptDir string, ckptEvery int,
-	restart, sdc bool) error {
+	restart, sdc, doVerify bool) error {
 
 	k, err := kernel.New(kern)
 	if err != nil {
@@ -122,7 +136,11 @@ func run(test string, n, steps int, kern, gradients, volumes, stepping string,
 	if err != nil {
 		return err
 	}
-	set, scCfg, err := sc.Generate(scenario.Params{N: n, NNeighbors: neighbors})
+	rp, err := sc.Resolve(scenario.Params{N: n, NNeighbors: neighbors})
+	if err != nil {
+		return err
+	}
+	set, scCfg, err := sc.Build(rp)
 	if err != nil {
 		return err
 	}
@@ -132,106 +150,206 @@ func run(test string, n, steps int, kern, gradients, volumes, stepping string,
 	if cfg.Gravity {
 		cfg.Theta, cfg.Eps, cfg.G = scCfg.Theta, scCfg.Eps, scCfg.G
 	}
-	sim, err := core.New(cfg, set)
-	if err != nil {
-		return err
-	}
+	// Conservation reference for -verify: the freshly generated t=0 state
+	// (before any checkpoint restore replaces it).
+	initialState := conserve.Measure(set, nil)
 
 	var ck *ft.Checkpointer
 	if ckptDir != "" {
 		ck = ft.NewTwoLevel(ckptDir)
-		if restart {
-			set, step, simTime, err := ck.Restore()
-			if err != nil {
-				return fmt.Errorf("restart: %w", err)
-			}
-			sim, err = core.New(cfg, set)
-			if err != nil {
-				return err
-			}
-			sim.StepN = step
-			sim.T = simTime
-			fmt.Printf("restored checkpoint: step %d, t=%.6f\n", step, simTime)
-		}
 	}
 
-	var ref conserve.State
-	var suite *ft.Suite
-	armed := false
-
 	// SIGINT/SIGTERM cancel the run cooperatively at the next step
-	// boundary; per-step work (printing, SDC detection, checkpointing)
-	// rides the OnStep hook and aborts through the same cancellation path.
+	// boundary; per-step work (printing, SDC detection) rides the OnStep
+	// hook and aborts through the same cancellation path.
 	sigCtx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
 	runCtx, abort := context.WithCancelCause(sigCtx)
 	defer abort(nil)
-	sim.Ctx = runCtx
-	sim.OnStep = func(info core.StepInfo) {
-		st := sim.Conservation()
-		fmt.Printf("%6d %14.6e %14.6e %14.6e %14.6e %14.1f\n",
-			info.Step, info.DT, info.Time, st.Total(), st.Kinetic, info.MeanNeighbors)
-		if !armed {
-			// Arm detectors after the first step: the gravitational
-			// potential diagnostic only exists once forces have been
-			// evaluated, so earlier totals are not comparable.
-			armed = true
-			ref = st
-			if sdc {
-				suite = &ft.Suite{Detectors: []ft.Detector{
-					ft.StructuralDetector{},
-					&ft.ConservationDetector{Ref: ref, Tolerance: 0.2},
-				}}
-			}
-		}
-		if suite != nil {
-			if v := suite.Check(sim.PS, st); v.Corrupted {
-				abort(fmt.Errorf("SDC detector %q tripped at step %d: %s", v.Detector, info.Step, v.Detail))
-				return
-			}
-		}
-		if ck != nil && ckptEvery > 0 && (info.Step+1)%ckptEvery == 0 {
-			sim.Synchronize()
-			if err := ck.Write(0, info.Step+1, sim.T, sim.PS); err != nil {
-				abort(fmt.Errorf("checkpoint: %w", err))
-			}
-		}
-	}
+
+	var sim *core.Sim
+	var ref conserve.State
+	var suite *ft.Suite
+	armed := false
 
 	fmt.Printf("sphexa: %s, %d particles, kernel=%s gradients=%s volumes=%s stepping=%s\n",
-		test, sim.PS.NLocal, kern, gradients, volumes, stepping)
+		test, set.NLocal, kern, gradients, volumes, stepping)
 	fmt.Printf("%6s %14s %14s %14s %14s %14s\n", "step", "dt", "t", "E_total", "E_kin", "mean nbrs")
-	_, runErr := sim.Run(steps, 0)
-	if runErr == nil {
-		// An abort raised by OnStep on the final step has no next step
-		// boundary for Run to observe; surface its cause here so a
-		// last-step SDC trip or checkpoint failure cannot exit 0.
-		if cause := context.Cause(runCtx); cause != nil && !errors.Is(cause, context.Canceled) {
-			runErr = cause
+
+	// One chunk = one shared-memory engine run of up to checkpoint-every
+	// steps; the shared loop (internal/runloop) handles restore and
+	// interim checkpoints — the same path the job server recovers through.
+	chunk := func(ctx context.Context, ps *part.Set, base runloop.Base, steps int) (runloop.ChunkResult, error) {
+		if sim == nil {
+			var err error
+			sim, err = core.New(cfg, ps)
+			if err != nil {
+				return runloop.ChunkResult{}, err
+			}
+			sim.StepN, sim.T = base.Step, base.Time
+			sim.Ctx = ctx
+			sim.OnStep = func(info core.StepInfo) {
+				st := sim.Conservation()
+				fmt.Printf("%6d %14.6e %14.6e %14.6e %14.6e %14.1f\n",
+					info.Step, info.DT, info.Time, st.Total(), st.Kinetic, info.MeanNeighbors)
+				if !armed {
+					// Arm detectors after the first step: the gravitational
+					// potential diagnostic only exists once forces have been
+					// evaluated, so earlier totals are not comparable.
+					armed = true
+					ref = st
+					if sdc {
+						suite = &ft.Suite{Detectors: []ft.Detector{
+							ft.StructuralDetector{},
+							&ft.ConservationDetector{Ref: ref, Tolerance: 0.2},
+						}}
+					}
+				}
+				if suite != nil {
+					if v := suite.Check(sim.PS, st); v.Corrupted {
+						abort(fmt.Errorf("SDC detector %q tripped at step %d: %s", v.Detector, info.Step, v.Detail))
+					}
+				}
+			}
 		}
+		startT := sim.T
+		_, runErr := sim.Run(steps, 0)
+		cancelled := runErr != nil && ctx.Err() != nil
+		if runErr != nil && !cancelled {
+			return runloop.ChunkResult{}, runErr
+		}
+		if ck != nil || cancelled {
+			// The loop checkpoints chunk-boundary states, and an
+			// interrupted state is checkpointed below; either way the KDK
+			// half-kick must be completed first.
+			sim.Synchronize()
+		}
+		return runloop.ChunkResult{
+			PS:        sim.PS,
+			Steps:     sim.StepN - base.Step,
+			SimTime:   sim.T - startT,
+			Cancelled: cancelled,
+		}, nil
 	}
+
+	chunkSteps := 0
+	if ck != nil && ckptEvery > 0 {
+		chunkSteps = ckptEvery
+	}
+	res, err := runloop.Run(runloop.Options{
+		Ctx:          runCtx,
+		Checkpointer: ck,
+		Resume:       restart,
+		MustResume:   restart,
+		TotalSteps:   steps,
+		ChunkSteps:   chunkSteps,
+		OnRestore: func(step int, simTime float64) {
+			fmt.Printf("restored checkpoint: step %d, t=%.6f\n", step, simTime)
+		},
+	}, set, chunk)
+	if err != nil {
+		return err
+	}
+
 	switch {
-	case runErr == nil:
-	case errors.Is(runErr, context.Canceled) && sigCtx.Err() != nil:
-		// Signal interruption: synchronize and checkpoint the consistent
-		// boundary state, then exit cleanly.
-		sim.Synchronize()
-		if ck != nil {
-			if err := ck.Write(0, sim.StepN, sim.T, sim.PS); err != nil {
+	case res.Cancelled && sigCtx.Err() != nil:
+		// Signal interruption: the chunk synchronized the boundary state;
+		// checkpoint it and exit cleanly. A step-0 state is not worth a
+		// checkpoint (and -restart rejects one): rerunning from scratch
+		// loses nothing.
+		if ck != nil && res.Steps > 0 {
+			if err := ck.Write(0, res.Steps, res.SimTime, res.PS); err != nil {
 				return fmt.Errorf("checkpoint on interrupt: %w", err)
 			}
 			fmt.Printf("interrupted at step %d (t=%.6f); checkpoint written, resume with -restart\n",
-				sim.StepN, sim.T)
+				res.Steps, res.SimTime)
 		} else {
-			fmt.Printf("interrupted at step %d (t=%.6f)\n", sim.StepN, sim.T)
+			fmt.Printf("interrupted at step %d (t=%.6f)\n", res.Steps, res.SimTime)
 		}
+	case res.Cancelled:
+		// SDC trip or another programmatic abort.
+		if cause := context.Cause(runCtx); cause != nil && !errors.Is(cause, context.Canceled) {
+			return cause
+		}
+		return fmt.Errorf("run cancelled at step %d", res.Steps)
 	default:
-		// SDC trip, checkpoint failure, or an engine error.
-		return runErr
+		// An abort raised by OnStep on the final step has no next step
+		// boundary for Run to observe; surface its cause here so a
+		// last-step SDC trip cannot exit 0.
+		if cause := context.Cause(runCtx); cause != nil && !errors.Is(cause, context.Canceled) {
+			return cause
+		}
 	}
 	if armed {
 		drift := conserve.Compare(ref, sim.Conservation())
 		fmt.Printf("conservation drift over run: %s\n", drift)
 	}
+
+	if doVerify && !res.Cancelled {
+		sol, err := sc.BuildReference(rp)
+		if err != nil {
+			return fmt.Errorf("building analytic reference: %w", err)
+		}
+		rep := verify.Evaluate(verify.Input{
+			Scenario:    test,
+			PS:          res.PS,
+			SimTime:     res.SimTime,
+			Solution:    sol,
+			EOS:         cfg.SPH.EOS,
+			Thresholds:  sc.Accept,
+			Initial:     initialState,
+			HaveInitial: true,
+		})
+		printReport(rep)
+		if !rep.Pass {
+			return fmt.Errorf("verification failed: %s", failedChecks(rep))
+		}
+	}
 	return nil
+}
+
+// printReport renders the verification report for terminal consumption.
+func printReport(rep *verify.Report) {
+	refName := rep.Reference
+	if refName == "" {
+		refName = "(none: conservation only)"
+	}
+	fmt.Printf("\nverification report: scenario=%s reference=%s t=%.6f particles=%d compared=%d\n",
+		rep.Scenario, refName, rep.SimTime, rep.Particles, rep.Compared)
+	if len(rep.Fields) > 0 {
+		fmt.Printf("  %-9s %10s %10s %10s | %10s %10s %10s\n",
+			"field", "L1", "L2", "Linf", "trim-L1", "trim-L2", "trim-Linf")
+		for _, f := range rep.Fields {
+			fmt.Printf("  %-9s %10.4f %10.4f %10.4f | %10.4f %10.4f %10.4f\n",
+				f.Field, f.L1, f.L2, f.LInf, f.TrimmedL1, f.TrimmedL2, f.TrimmedLInf)
+		}
+	}
+	if rep.Plateau != nil {
+		fmt.Printf("  plateau: analytic=%.5f measured=%.5f relerr=%.2f%% (%d particles)\n",
+			rep.Plateau.Analytic, rep.Plateau.Measured, 100*rep.Plateau.RelError, rep.Plateau.Particles)
+	}
+	fmt.Printf("  conservation drift: %s\n", rep.Conservation)
+	for _, c := range rep.Checks {
+		status := "PASS"
+		if !c.Pass {
+			status = "FAIL"
+		}
+		fmt.Printf("  check %-22s %.4g <= %.4g  %s\n", c.Name, c.Value, c.Limit, status)
+	}
+	overall := "PASS"
+	if !rep.Pass {
+		overall = "FAIL"
+	}
+	fmt.Printf("  overall: %s\n", overall)
+}
+
+// failedChecks summarizes the failing checks for the error message.
+func failedChecks(rep *verify.Report) string {
+	var parts []string
+	for _, c := range rep.Checks {
+		if !c.Pass {
+			parts = append(parts, fmt.Sprintf("%s %.4g > %.4g", c.Name, c.Value, c.Limit))
+		}
+	}
+	return strings.Join(parts, "; ")
 }

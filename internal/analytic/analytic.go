@@ -1,0 +1,63 @@
+// Package analytic computes closed-form and exact reference solutions for
+// the registered scenarios: the exact Riemann solution of the Sod shock
+// tube, the Noh spherical implosion, the Sedov-Taylor self-similar blast,
+// and the Gresho-Chan vortex steady state. The paper's position (§5) is
+// that SPH code comparisons are only meaningful when constrained by
+// quantitative fidelity checks; these solutions are the references that
+// internal/verify scores simulation snapshots against.
+package analytic
+
+import (
+	"repro/internal/vec"
+)
+
+// State is the reference fluid state at one point: density, velocity, and
+// pressure.
+type State struct {
+	Rho float64
+	Vel vec.V3
+	P   float64
+}
+
+// Solution evaluates a reference solution at a position and time. The
+// boolean reports validity: outside the solution's domain (e.g. regions a
+// free boundary has disturbed) the point must not be scored.
+type Solution interface {
+	// Name identifies the solution in reports ("riemann-sod", "noh", ...).
+	Name() string
+	// Eval returns the reference state at pos and time t, and whether the
+	// solution is valid there.
+	Eval(pos vec.V3, t float64) (State, bool)
+}
+
+// Plateau describes a constant-density region of a solution (e.g. the Noh
+// post-shock plateau, the Sod star region between contact and shock):
+// the analytic value and a membership predicate at a fixed time.
+type Plateau struct {
+	// Value is the analytic plateau density.
+	Value float64
+	// In reports whether a position lies inside the plateau region.
+	In func(pos vec.V3) bool
+}
+
+// PlateauSolution is implemented by solutions that expose a post-shock
+// density plateau; internal/verify compares the measured mean density over
+// the region against the analytic value.
+type PlateauSolution interface {
+	Solution
+	// Plateau returns the plateau at time t, or false if the solution has
+	// none (or none has formed yet).
+	Plateau(t float64) (Plateau, bool)
+}
+
+// ScaledSolution is implemented by solutions whose characteristic field
+// magnitudes are not represented among the sampled reference values — e.g.
+// the Noh problem before any particle crosses the shock: the sampled
+// reference pressure is the cold-gas ~0 while the problem's pressure scale
+// is the post-shock value. Error norms normalize by the larger of the
+// sampled maximum and these scales, keeping relative errors meaningful.
+type ScaledSolution interface {
+	Solution
+	// Scales returns characteristic magnitudes (zero fields are ignored).
+	Scales() State
+}

@@ -1,0 +1,160 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+func TestNohSolution(t *testing.T) {
+	n := &Noh{Rho0: 1, VIn: 1, Gamma: 5.0 / 3.0, U0: 1e-6, RMax: 0.5}
+
+	// Post-shock plateau: ((gamma+1)/(gamma-1))^3 = 4^3 = 64 for 5/3.
+	if got := n.PlateauDensity(); math.Abs(got-64) > 1e-9 {
+		t.Errorf("plateau density = %g, want 64", got)
+	}
+	// Shock radius: (gamma-1)/2 * v * t = t/3.
+	tm := 0.09
+	rs := n.shockRadius(tm)
+	if math.Abs(rs-0.03) > 1e-12 {
+		t.Errorf("shock radius at t=%g: %g, want 0.03", tm, rs)
+	}
+	// Inside: plateau density, zero velocity, p = (gamma-1)/2 rho2 v^2.
+	st, ok := n.Eval(vec.V3{X: 0.01}, tm)
+	if !ok {
+		t.Fatal("post-shock point invalid")
+	}
+	if math.Abs(st.Rho-64) > 1e-9 || st.Vel.Norm() != 0 {
+		t.Errorf("post-shock state = %+v", st)
+	}
+	if math.Abs(st.P-64.0/3.0) > 1e-9 {
+		t.Errorf("post-shock pressure = %g, want 64/3", st.P)
+	}
+	// Outside: geometric buildup rho0 (1 + v t / r)^2 and inward unit speed.
+	r := 0.2
+	st, ok = n.Eval(vec.V3{X: r}, tm)
+	if !ok {
+		t.Fatal("pre-shock point invalid")
+	}
+	wantRho := math.Pow(1+tm/r, 2)
+	if math.Abs(st.Rho-wantRho) > 1e-12 {
+		t.Errorf("pre-shock density = %g, want %g", st.Rho, wantRho)
+	}
+	if math.Abs(st.Vel.X - -1) > 1e-12 {
+		t.Errorf("pre-shock velocity = %+v, want -1 x-hat", st.Vel)
+	}
+	// Points the free faces may have disturbed are invalid.
+	if _, ok := n.Eval(vec.V3{X: 0.45}, tm); ok {
+		t.Error("point inside the face-disturbance margin reported valid")
+	}
+}
+
+// TestSedovAlpha pins the energy integral against the published Sedov
+// values: alpha = 0.851 for gamma = 1.4 and 0.494 for gamma = 5/3
+// (spherical, uniform ambient), validating the whole ODE integration.
+func TestSedovAlpha(t *testing.T) {
+	for _, tc := range []struct {
+		gamma, alpha float64
+	}{
+		{1.4, 0.8511},
+		{5.0 / 3.0, 0.4936},
+	} {
+		s, err := NewSedov(1, 1, tc.gamma, vec.V3{}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(s.Alpha-tc.alpha) / tc.alpha; rel > 0.01 {
+			t.Errorf("gamma=%.3f: alpha = %.5f, want %.4f (rel err %.3f)", tc.gamma, s.Alpha, tc.alpha, rel)
+		}
+	}
+}
+
+func TestSedovProfile(t *testing.T) {
+	g := 5.0 / 3.0
+	s, err := NewSedov(1, 1, g, vec.V3{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := 0.05
+	R := s.ShockRadius(tm)
+	if R <= 0 {
+		t.Fatal("non-positive shock radius")
+	}
+	// Immediately behind the shock: the strong-shock jump values.
+	st, ok := s.Eval(vec.V3{X: R * (1 - 1e-9)}, tm)
+	if !ok {
+		t.Fatal("post-shock point invalid")
+	}
+	if want := (g + 1) / (g - 1); math.Abs(st.Rho-want) > 1e-3 {
+		t.Errorf("post-shock density = %g, want %g", st.Rho, want)
+	}
+	shockSpeed := 2 * R / (5 * tm)
+	if want := 2 * shockSpeed / (g + 1); math.Abs(st.Vel.X-want) > 1e-3*want {
+		t.Errorf("post-shock velocity = %g, want %g", st.Vel.X, want)
+	}
+	if want := 2 * shockSpeed * shockSpeed / (g + 1); math.Abs(st.P-want) > 1e-3*want {
+		t.Errorf("post-shock pressure = %g, want %g", st.P, want)
+	}
+	// Ahead of the shock: ambient.
+	if st, ok := s.Eval(vec.V3{X: 2 * R}, tm); !ok || st.Rho != 1 || st.Vel.Norm() != 0 {
+		t.Errorf("ambient state = %+v ok=%v", st, ok)
+	}
+	// The interior density drops toward zero and pressure stays finite.
+	inner, ok := s.Eval(vec.V3{X: R * 0.05}, tm)
+	if !ok {
+		t.Fatal("interior point invalid")
+	}
+	if inner.Rho >= st.Rho || inner.Rho < 0 {
+		t.Errorf("interior density %g not in (0, ambient-jump range)", inner.Rho)
+	}
+	if inner.P <= 0 || math.IsInf(inner.P, 0) || math.IsNaN(inner.P) {
+		t.Errorf("interior pressure %g not finite-positive", inner.P)
+	}
+	// Validity bound: once R(t) reaches RValid every point is invalid.
+	sb, err := NewSedov(1, 1, g, vec.V3{}, R/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sb.Eval(vec.V3{}, tm); ok {
+		t.Error("point reported valid after the shock reached RValid")
+	}
+}
+
+func TestGreshoProfile(t *testing.T) {
+	g := &Gresho{Rho0: 1, Center: vec.V3{X: 0.5, Y: 0.5}}
+
+	// Peak azimuthal speed 1 at r=0.2; zero at center and beyond r=0.4.
+	st, _ := g.Eval(vec.V3{X: 0.7, Y: 0.5}, 1.0)
+	if math.Abs(st.Vel.Norm()-1) > 1e-12 {
+		t.Errorf("speed at r=0.2: %g, want 1", st.Vel.Norm())
+	}
+	// Azimuthal direction: at (x>center, y=center) the velocity is +y.
+	if st.Vel.Y <= 0 || math.Abs(st.Vel.X) > 1e-12 {
+		t.Errorf("velocity at r=0.2 on +x axis = %+v, want +y-hat", st.Vel)
+	}
+	st, _ = g.Eval(vec.V3{X: 0.95, Y: 0.5}, 0)
+	if st.Vel.Norm() != 0 {
+		t.Errorf("speed at r=0.45: %g, want 0", st.Vel.Norm())
+	}
+	if want := 3 + 4*math.Log(2); math.Abs(st.P-want) > 1e-12 {
+		t.Errorf("outer pressure %g, want %g", st.P, want)
+	}
+	// Pressure continuity at the profile breaks.
+	for _, r := range []float64{0.2, 0.4} {
+		below := GreshoPressure(r - 1e-9)
+		above := GreshoPressure(r + 1e-9)
+		if math.Abs(below-above) > 1e-6 {
+			t.Errorf("pressure discontinuous at r=%g: %g vs %g", r, below, above)
+		}
+	}
+	// Centrifugal balance: dp/dr = rho v^2 / r (midpoints of both branches).
+	for _, r := range []float64{0.1, 0.3} {
+		h := 1e-6
+		dpdr := (GreshoPressure(r+h) - GreshoPressure(r-h)) / (2 * h)
+		v := GreshoVPhi(r)
+		if math.Abs(dpdr-v*v/r) > 1e-5 {
+			t.Errorf("balance broken at r=%g: dp/dr=%g, v^2/r=%g", r, dpdr, v*v/r)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package analytic
+
+import (
+	"math"
+
+	"repro/internal/vec"
+)
+
+// Noh is the exact solution of the Noh spherical implosion (Noh 1987): a
+// cold uniform gas converging on the origin at speed VIn forms an outward
+// accretion shock at radius (gamma-1)/2 * VIn * t with post-shock plateau
+// density Rho0 * ((gamma+1)/(gamma-1))^3; the pre-shock density builds up
+// geometrically as Rho0 * (1 + VIn t / r)^2.
+//
+// (The frequently-quoted (gamma+1)^2/(gamma-1)^2 plateau is the cylindrical
+// form; the registry's workload is a 3D spherical implosion, whose plateau
+// carries the cube.)
+type Noh struct {
+	// Rho0 and VIn are the initial uniform density and inward speed.
+	Rho0, VIn float64
+	// Gamma is the adiabatic index.
+	Gamma float64
+	// U0 is the tiny initial specific internal energy of the cold gas; it
+	// sets the (near-zero) pre-shock reference pressure.
+	U0 float64
+	// RMax is the half-width of the initial cube; the free faces disturb
+	// the solution inward from it.
+	RMax float64
+}
+
+// Name implements Solution.
+func (n *Noh) Name() string { return "noh-spherical" }
+
+// shockRadius returns the accretion shock position at time t.
+func (n *Noh) shockRadius(t float64) float64 {
+	return 0.5 * (n.Gamma - 1) * n.VIn * t
+}
+
+// PlateauDensity returns the analytic post-shock density
+// Rho0 ((gamma+1)/(gamma-1))^3.
+func (n *Noh) PlateauDensity() float64 {
+	r := (n.Gamma + 1) / (n.Gamma - 1)
+	return n.Rho0 * r * r * r
+}
+
+// Eval implements Solution. Points the free cube faces may have disturbed
+// (the evacuation front runs inward at ~VIn, with margin for kernel
+// smearing) are invalid.
+func (n *Noh) Eval(pos vec.V3, t float64) (State, bool) {
+	r := pos.Norm()
+	if r >= n.RMax-2*n.VIn*t {
+		return State{}, false
+	}
+	rs := n.shockRadius(t)
+	if r < rs {
+		rho := n.PlateauDensity()
+		return State{
+			Rho: rho,
+			P:   0.5 * (n.Gamma - 1) * rho * n.VIn * n.VIn,
+		}, true
+	}
+	if r == 0 {
+		return State{}, false
+	}
+	q := 1 + n.VIn*t/r
+	rho := n.Rho0 * q * q
+	return State{
+		Rho: rho,
+		Vel: pos.Scale(-n.VIn / r),
+		P:   (n.Gamma - 1) * rho * n.U0,
+	}, true
+}
+
+// Scales implements ScaledSolution: the cold pre-shock gas samples near-
+// zero reference pressure, so norms normalize by the post-shock scales
+// instead of the sampled maxima.
+func (n *Noh) Scales() State {
+	rho := n.PlateauDensity()
+	return State{
+		Rho: rho,
+		Vel: vec.V3{X: n.VIn},
+		P:   0.5 * (n.Gamma - 1) * rho * n.VIn * n.VIn,
+	}
+}
+
+// Plateau implements PlateauSolution: the post-shock region r < shock
+// radius, with the analytic plateau density.
+func (n *Noh) Plateau(t float64) (Plateau, bool) {
+	rs := n.shockRadius(t)
+	if rs <= 0 {
+		return Plateau{}, false
+	}
+	return Plateau{
+		Value: n.PlateauDensity(),
+		In:    func(pos vec.V3) bool { return pos.Norm() < rs },
+	}, true
+}
+
+// Gresho is the steady state of the Gresho-Chan vortex (Gresho & Chan
+// 1990): a triangular azimuthal velocity profile whose centrifugal force is
+// exactly balanced by the pressure gradient, so the reference is
+// time-independent — any evolution away from it is numerical error.
+type Gresho struct {
+	// Rho0 is the uniform density; the pressure profile scales with it.
+	Rho0 float64
+	// Center is the vortex axis position (the axis is parallel to z).
+	Center vec.V3
+}
+
+// Name implements Solution.
+func (g *Gresho) Name() string { return "gresho-vortex" }
+
+// GreshoVPhi returns the azimuthal speed of the standard profile at
+// cylindrical radius r: 5r inside r=0.2, 2-5r out to r=0.4, zero beyond.
+func GreshoVPhi(r float64) float64 {
+	switch {
+	case r <= 0.2:
+		return 5 * r
+	case r <= 0.4:
+		return 2 - 5*r
+	default:
+		return 0
+	}
+}
+
+// GreshoPressure returns the balancing pressure of the standard profile at
+// cylindrical radius r, for unit density.
+func GreshoPressure(r float64) float64 {
+	switch {
+	case r <= 0.2:
+		return 5 + 12.5*r*r
+	case r <= 0.4:
+		return 9 + 12.5*r*r - 20*r + 4*math.Log(5*r)
+	default:
+		return 3 + 4*math.Log(2)
+	}
+}
+
+// Eval implements Solution; the steady profile is independent of t.
+func (g *Gresho) Eval(pos vec.V3, t float64) (State, bool) {
+	dx := pos.X - g.Center.X
+	dy := pos.Y - g.Center.Y
+	r := math.Hypot(dx, dy)
+	st := State{Rho: g.Rho0, P: g.Rho0 * GreshoPressure(r)}
+	if r > 0 {
+		v := GreshoVPhi(r)
+		st.Vel = vec.V3{X: -dy / r * v, Y: dx / r * v}
+	}
+	return st, true
+}

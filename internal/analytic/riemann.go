@@ -1,0 +1,271 @@
+package analytic
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/vec"
+)
+
+// RiemannState is one side of a Riemann problem: density, normal velocity,
+// and pressure.
+type RiemannState struct {
+	Rho, U, P float64
+}
+
+// Riemann is the exact solution of the 1D Euler Riemann problem for an
+// ideal gas (Toro, "Riemann Solvers and Numerical Methods for Fluid
+// Dynamics", ch. 4): the star-region pressure and velocity from Newton
+// iteration on the pressure function, and a full wave-pattern sampler.
+type Riemann struct {
+	L, R  RiemannState
+	Gamma float64
+
+	cL, cR float64 // initial sound speeds
+	pStar  float64
+	uStar  float64
+}
+
+// NewRiemann solves the Riemann problem (l | r) for adiabatic index gamma.
+// It returns an error for non-physical states or initial conditions that
+// generate vacuum (which the sampler does not cover).
+func NewRiemann(l, r RiemannState, gamma float64) (*Riemann, error) {
+	if gamma <= 1 {
+		return nil, fmt.Errorf("analytic: riemann gamma %g <= 1", gamma)
+	}
+	if l.Rho <= 0 || r.Rho <= 0 || l.P <= 0 || r.P <= 0 {
+		return nil, fmt.Errorf("analytic: riemann requires positive densities and pressures (L=%+v R=%+v)", l, r)
+	}
+	rp := &Riemann{L: l, R: r, Gamma: gamma}
+	rp.cL = math.Sqrt(gamma * l.P / l.Rho)
+	rp.cR = math.Sqrt(gamma * r.P / r.Rho)
+
+	// Pressure positivity (no-vacuum) condition, Toro eq. 4.40.
+	if 2*(rp.cL+rp.cR)/(gamma-1) <= r.U-l.U {
+		return nil, fmt.Errorf("analytic: riemann initial states generate vacuum")
+	}
+	rp.solveStar()
+	return rp, nil
+}
+
+// fK evaluates one side's pressure function f_K(p) and its derivative
+// (Toro eqs. 4.6-4.7): the velocity change across the K wave when the star
+// pressure is p — a shock branch for p > p_K, a rarefaction branch below.
+func (rp *Riemann) fK(p float64, s RiemannState, c float64) (f, df float64) {
+	g := rp.Gamma
+	if p > s.P {
+		a := 2 / ((g + 1) * s.Rho)
+		b := (g - 1) / (g + 1) * s.P
+		sq := math.Sqrt(a / (p + b))
+		f = (p - s.P) * sq
+		df = sq * (1 - (p-s.P)/(2*(p+b)))
+		return f, df
+	}
+	pr := p / s.P
+	f = 2 * c / (g - 1) * (math.Pow(pr, (g-1)/(2*g)) - 1)
+	df = math.Pow(pr, -(g+1)/(2*g)) / (s.Rho * c)
+	return f, df
+}
+
+// solveStar finds p* by Newton iteration on f_L + f_R + Δu = 0, seeded
+// with the two-rarefaction approximation (Toro eq. 4.46), then u* from
+// the solved p*.
+func (rp *Riemann) solveStar() {
+	g := rp.Gamma
+	du := rp.R.U - rp.L.U
+
+	// Two-rarefaction initial guess; positive by the no-vacuum condition.
+	z := (g - 1) / (2 * g)
+	num := rp.cL + rp.cR - 0.5*(g-1)*du
+	den := rp.cL/math.Pow(rp.L.P, z) + rp.cR/math.Pow(rp.R.P, z)
+	p := math.Pow(num/den, 1/z)
+	if p < 1e-14 {
+		p = 1e-14
+	}
+
+	for i := 0; i < 100; i++ {
+		fL, dL := rp.fK(p, rp.L, rp.cL)
+		fR, dR := rp.fK(p, rp.R, rp.cR)
+		dp := (fL + fR + du) / (dL + dR)
+		pn := p - dp
+		if pn <= 0 {
+			pn = 0.5 * p // bisect toward zero rather than overshooting
+		}
+		rel := 2 * math.Abs(pn-p) / (pn + p)
+		p = pn
+		if rel < 1e-14 {
+			break
+		}
+	}
+	rp.pStar = p
+	fL, _ := rp.fK(p, rp.L, rp.cL)
+	fR, _ := rp.fK(p, rp.R, rp.cR)
+	rp.uStar = 0.5*(rp.L.U+rp.R.U) + 0.5*(fR-fL)
+}
+
+// Star returns the star-region pressure and velocity.
+func (rp *Riemann) Star() (pStar, uStar float64) { return rp.pStar, rp.uStar }
+
+// StarDensities returns the densities adjacent to the contact: rho*L behind
+// the left wave and rho*R behind the right wave.
+func (rp *Riemann) StarDensities() (rhoL, rhoR float64) {
+	g := rp.Gamma
+	gr := (g - 1) / (g + 1)
+	side := func(s RiemannState) float64 {
+		pr := rp.pStar / s.P
+		if rp.pStar > s.P { // shock (Toro eq. 4.50/4.57)
+			return s.Rho * (pr + gr) / (gr*pr + 1)
+		}
+		return s.Rho * math.Pow(pr, 1/g) // isentropic rarefaction
+	}
+	return side(rp.L), side(rp.R)
+}
+
+// ShockSpeeds returns the left and right wave shock speeds; a side whose
+// wave is a rarefaction reports ok=false for that side.
+func (rp *Riemann) ShockSpeeds() (sL float64, okL bool, sR float64, okR bool) {
+	g := rp.Gamma
+	if rp.pStar > rp.L.P {
+		sL = rp.L.U - rp.cL*math.Sqrt((g+1)/(2*g)*rp.pStar/rp.L.P+(g-1)/(2*g))
+		okL = true
+	}
+	if rp.pStar > rp.R.P {
+		sR = rp.R.U + rp.cR*math.Sqrt((g+1)/(2*g)*rp.pStar/rp.R.P+(g-1)/(2*g))
+		okR = true
+	}
+	return sL, okL, sR, okR
+}
+
+// Sample evaluates the self-similar solution at xi = x/t (Toro's SAMPLE
+// routine): the full wave pattern of shock, contact, and rarefaction
+// including rarefaction-fan interiors.
+func (rp *Riemann) Sample(xi float64) RiemannState {
+	g := rp.Gamma
+	gr := (g - 1) / (g + 1)
+	if xi <= rp.uStar {
+		// Left of the contact.
+		s, c := rp.L, rp.cL
+		if rp.pStar > s.P {
+			// Left shock.
+			sh := s.U - c*math.Sqrt((g+1)/(2*g)*rp.pStar/s.P+(g-1)/(2*g))
+			if xi <= sh {
+				return s
+			}
+			pr := rp.pStar / s.P
+			return RiemannState{Rho: s.Rho * (pr + gr) / (gr*pr + 1), U: rp.uStar, P: rp.pStar}
+		}
+		// Left rarefaction.
+		head := s.U - c
+		cStar := c * math.Pow(rp.pStar/s.P, (g-1)/(2*g))
+		tail := rp.uStar - cStar
+		switch {
+		case xi <= head:
+			return s
+		case xi >= tail:
+			return RiemannState{Rho: s.Rho * math.Pow(rp.pStar/s.P, 1/g), U: rp.uStar, P: rp.pStar}
+		default:
+			// Inside the fan (Toro eq. 4.56).
+			u := 2 / (g + 1) * (c + (g-1)/2*s.U + xi)
+			cf := 2 / (g + 1) * (c + (g-1)/2*(s.U-xi))
+			return RiemannState{
+				Rho: s.Rho * math.Pow(cf/c, 2/(g-1)),
+				U:   u,
+				P:   s.P * math.Pow(cf/c, 2*g/(g-1)),
+			}
+		}
+	}
+	// Right of the contact (mirror of the left branch).
+	s, c := rp.R, rp.cR
+	if rp.pStar > s.P {
+		sh := s.U + c*math.Sqrt((g+1)/(2*g)*rp.pStar/s.P+(g-1)/(2*g))
+		if xi >= sh {
+			return s
+		}
+		pr := rp.pStar / s.P
+		return RiemannState{Rho: s.Rho * (pr + gr) / (gr*pr + 1), U: rp.uStar, P: rp.pStar}
+	}
+	head := s.U + c
+	cStar := c * math.Pow(rp.pStar/s.P, (g-1)/(2*g))
+	tail := rp.uStar + cStar
+	switch {
+	case xi >= head:
+		return s
+	case xi <= tail:
+		return RiemannState{Rho: s.Rho * math.Pow(rp.pStar/s.P, 1/g), U: rp.uStar, P: rp.pStar}
+	default:
+		u := 2 / (g + 1) * (-c + (g-1)/2*s.U + xi)
+		cf := 2 / (g + 1) * (c - (g-1)/2*(s.U-xi))
+		return RiemannState{
+			Rho: s.Rho * math.Pow(cf/c, 2/(g-1)),
+			U:   u,
+			P:   s.P * math.Pow(cf/c, 2*g/(g-1)),
+		}
+	}
+}
+
+// SodTube is the exact Riemann solution mapped onto the registry's Sod
+// shock-tube geometry: a tube along x with the diaphragm at X0, free
+// (vacuum) x ends at XMin/XMax whose inward-running disturbances bound the
+// validity domain.
+type SodTube struct {
+	RP         *Riemann
+	X0         float64
+	XMin, XMax float64
+}
+
+// NewSodTube builds the exact solution of a Sod-class tube with left state
+// (rhoL, pL), right state (rhoR, pR), both at rest, diaphragm at x0 in the
+// tube [xmin, xmax].
+func NewSodTube(rhoL, pL, rhoR, pR, gamma, x0, xmin, xmax float64) (*SodTube, error) {
+	rp, err := NewRiemann(RiemannState{Rho: rhoL, P: pL}, RiemannState{Rho: rhoR, P: pR}, gamma)
+	if err != nil {
+		return nil, err
+	}
+	return &SodTube{RP: rp, X0: x0, XMin: xmin, XMax: xmax}, nil
+}
+
+// Name implements Solution.
+func (sd *SodTube) Name() string { return "riemann-sod" }
+
+// Eval implements Solution. Points the free tube ends have disturbed (the
+// end rarefactions run inward at the local sound speed) are invalid.
+func (sd *SodTube) Eval(pos vec.V3, t float64) (State, bool) {
+	x := pos.X
+	if x < sd.XMin+sd.RP.cL*t || x > sd.XMax-sd.RP.cR*t {
+		return State{}, false
+	}
+	if t <= 0 {
+		s := sd.RP.L
+		if x >= sd.X0 {
+			s = sd.RP.R
+		}
+		return State{Rho: s.Rho, Vel: vec.V3{X: s.U}, P: s.P}, true
+	}
+	s := sd.RP.Sample((x - sd.X0) / t)
+	return State{Rho: s.Rho, Vel: vec.V3{X: s.U}, P: s.P}, true
+}
+
+// Plateau implements PlateauSolution: the star region between the contact
+// discontinuity and the right shock (density rho*R), inset by 15% on both
+// sides to keep clear of the smeared wave fronts. Absent when the right
+// wave is not a shock or the region has not yet opened.
+func (sd *SodTube) Plateau(t float64) (Plateau, bool) {
+	_, _, sR, okR := sd.RP.ShockSpeeds()
+	if !okR || t <= 0 {
+		return Plateau{}, false
+	}
+	_, uStar := sd.RP.Star()
+	lo := sd.X0 + uStar*t
+	hi := sd.X0 + sR*t
+	if hi <= lo {
+		return Plateau{}, false
+	}
+	w := hi - lo
+	lo += 0.15 * w
+	hi -= 0.15 * w
+	_, rhoR := sd.RP.StarDensities()
+	return Plateau{
+		Value: rhoR,
+		In:    func(pos vec.V3) bool { return pos.X > lo && pos.X < hi },
+	}, true
+}

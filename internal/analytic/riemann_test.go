@@ -1,0 +1,167 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+// sodRiemann is Toro's Test 1 (the Sod problem): the canonical validation
+// values come from Toro, "Riemann Solvers and Numerical Methods for Fluid
+// Dynamics", Table 4.3.
+func sodRiemann(t *testing.T) *Riemann {
+	t.Helper()
+	rp, err := NewRiemann(
+		RiemannState{Rho: 1, U: 0, P: 1},
+		RiemannState{Rho: 0.125, U: 0, P: 0.1},
+		1.4)
+	if err != nil {
+		t.Fatalf("NewRiemann: %v", err)
+	}
+	return rp
+}
+
+func TestRiemannSodStarRegion(t *testing.T) {
+	rp := sodRiemann(t)
+	pStar, uStar := rp.Star()
+	// Toro Table 4.3, test 1: p* = 0.30313, u* = 0.92745.
+	if math.Abs(pStar-0.30313) > 5e-5 {
+		t.Errorf("p* = %.6f, want 0.30313", pStar)
+	}
+	if math.Abs(uStar-0.92745) > 5e-5 {
+		t.Errorf("u* = %.6f, want 0.92745", uStar)
+	}
+	rhoL, rhoR := rp.StarDensities()
+	// Toro Table 4.3: rho*L = 0.42632 (rarefaction side), rho*R = 0.26557
+	// (shock side).
+	if math.Abs(rhoL-0.42632) > 5e-5 {
+		t.Errorf("rho*L = %.6f, want 0.42632", rhoL)
+	}
+	if math.Abs(rhoR-0.26557) > 5e-5 {
+		t.Errorf("rho*R = %.6f, want 0.26557", rhoR)
+	}
+	_, okL, sR, okR := rp.ShockSpeeds()
+	if okL {
+		t.Error("left wave reported as a shock; the Sod left wave is a rarefaction")
+	}
+	if !okR {
+		t.Fatal("right wave not reported as a shock")
+	}
+	// S = u_R + c_R sqrt((g+1)/(2g) p*/p_R + (g-1)/(2g)) = 1.75216.
+	if math.Abs(sR-1.75216) > 5e-4 {
+		t.Errorf("right shock speed = %.6f, want 1.75216", sR)
+	}
+}
+
+// TestRiemannSodSampledProfile checks the sampled wave pattern region by
+// region at a fixed xi = x/t for each regime.
+func TestRiemannSodSampledProfile(t *testing.T) {
+	rp := sodRiemann(t)
+	pStar, uStar := rp.Star()
+	rhoStarL, rhoStarR := rp.StarDensities()
+	cL := math.Sqrt(1.4 * 1.0 / 1.0) // ~1.18322
+
+	// Far left: undisturbed left state.
+	if s := rp.Sample(-2); s.Rho != 1 || s.U != 0 || s.P != 1 {
+		t.Errorf("far-left sample = %+v, want the left state", s)
+	}
+	// Far right: undisturbed right state.
+	if s := rp.Sample(2); s.Rho != 0.125 || s.U != 0 || s.P != 0.1 {
+		t.Errorf("far-right sample = %+v, want the right state", s)
+	}
+	// Between rarefaction tail and contact: the left star state.
+	cStarL := cL * math.Pow(pStar/1.0, 0.4/2.8)
+	tail := uStar - cStarL
+	xi := 0.5 * (tail + uStar)
+	if s := rp.Sample(xi); math.Abs(s.Rho-rhoStarL) > 1e-9 || math.Abs(s.U-uStar) > 1e-9 {
+		t.Errorf("star-L sample = %+v, want rho=%.5f u=%.5f", s, rhoStarL, uStar)
+	}
+	// Between contact and shock: the right star state.
+	_, _, sR, _ := rp.ShockSpeeds()
+	xi = 0.5 * (uStar + sR)
+	if s := rp.Sample(xi); math.Abs(s.Rho-rhoStarR) > 1e-9 || math.Abs(s.P-pStar) > 1e-9 {
+		t.Errorf("star-R sample = %+v, want rho=%.5f p=%.5f", s, rhoStarR, pStar)
+	}
+	// Inside the left rarefaction fan: continuous, characteristics exact
+	// (u - c = xi along the fan).
+	xi = 0.5 * (-cL + tail)
+	s := rp.Sample(xi)
+	c := math.Sqrt(1.4 * s.P / s.Rho)
+	if math.Abs((s.U-c)-xi) > 1e-9 {
+		t.Errorf("fan sample at xi=%.4f: u-c = %.6f, want xi", xi, s.U-c)
+	}
+	// The fan is isentropic: p/rho^gamma matches the left state.
+	if sEnt := s.P / math.Pow(s.Rho, 1.4); math.Abs(sEnt-1.0) > 1e-9 {
+		t.Errorf("fan entropy p/rho^gamma = %.6f, want 1", sEnt)
+	}
+}
+
+// TestRiemannRankineHugoniot verifies mass and momentum flux continuity
+// across the sampled right shock in the shock frame.
+func TestRiemannRankineHugoniot(t *testing.T) {
+	rp := sodRiemann(t)
+	_, _, sR, _ := rp.ShockSpeeds()
+	ahead := rp.Sample(sR + 1e-9)
+	behind := rp.Sample(sR - 1e-9)
+	mAhead := ahead.Rho * (ahead.U - sR)
+	mBehind := behind.Rho * (behind.U - sR)
+	if math.Abs(mAhead-mBehind) > 1e-6 {
+		t.Errorf("mass flux jump across shock: %.8f vs %.8f", mAhead, mBehind)
+	}
+	pAhead := ahead.P + ahead.Rho*(ahead.U-sR)*(ahead.U-sR)
+	pBehind := behind.P + behind.Rho*(behind.U-sR)*(behind.U-sR)
+	if math.Abs(pAhead-pBehind) > 1e-6 {
+		t.Errorf("momentum flux jump across shock: %.8f vs %.8f", pAhead, pBehind)
+	}
+}
+
+func TestRiemannRejectsVacuumAndBadStates(t *testing.T) {
+	if _, err := NewRiemann(RiemannState{Rho: 1, P: 1}, RiemannState{Rho: -1, P: 1}, 1.4); err == nil {
+		t.Error("negative density accepted")
+	}
+	if _, err := NewRiemann(RiemannState{Rho: 1, P: 1}, RiemannState{Rho: 1, P: 1}, 0.9); err == nil {
+		t.Error("gamma < 1 accepted")
+	}
+	// Strongly receding states generate vacuum.
+	if _, err := NewRiemann(
+		RiemannState{Rho: 1, U: -20, P: 0.01},
+		RiemannState{Rho: 1, U: 20, P: 0.01}, 1.4); err == nil {
+		t.Error("vacuum-generating states accepted")
+	}
+}
+
+func TestSodTubeEvalAndPlateau(t *testing.T) {
+	sd, err := NewSodTube(1, 1, 0.125, 0.1, 1.4, 0.5, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// t=0: the initial discontinuity.
+	if st, ok := sd.Eval(vec.V3{X: 0.25}, 0); !ok || st.Rho != 1 {
+		t.Errorf("t=0 left eval = %+v ok=%v", st, ok)
+	}
+	if st, ok := sd.Eval(vec.V3{X: 0.75}, 0); !ok || st.Rho != 0.125 {
+		t.Errorf("t=0 right eval = %+v ok=%v", st, ok)
+	}
+	// Points the free ends have disturbed are invalid.
+	if _, ok := sd.Eval(vec.V3{X: 0.01}, 0.1); ok {
+		t.Error("point inside the left end-disturbance reported valid")
+	}
+	// Plateau: between contact and shock at t=0.1, value rho*R.
+	pl, ok := sd.Plateau(0.1)
+	if !ok {
+		t.Fatal("no plateau reported")
+	}
+	_, rhoStarR := sd.RP.StarDensities()
+	if math.Abs(pl.Value-rhoStarR) > 1e-9 {
+		t.Errorf("plateau value = %.5f, want rho*R = %.5f", pl.Value, rhoStarR)
+	}
+	_, uStar := sd.RP.Star()
+	mid := 0.5 + 0.1*0.5*(uStar+1.75216)
+	if !pl.In(vec.V3{X: mid}) {
+		t.Errorf("plateau does not contain its own midpoint %.4f", mid)
+	}
+	if pl.In(vec.V3{X: 0.4}) {
+		t.Error("plateau contains a point left of the contact")
+	}
+}

@@ -1,0 +1,142 @@
+// Package runloop is the shared chunked checkpoint/resume execution loop
+// of the mini-app: restore from the newest checkpoint, run the engine in
+// chunks of the checkpoint interval, write a checkpoint between chunks,
+// and stop cleanly at a chunk boundary on cancellation. The job server
+// (internal/server) and the CLI (cmd/sphexa) both route their runs through
+// it, so crash recovery, -restart, and SIGINT interruption share one code
+// path regardless of which engine executes the chunk.
+package runloop
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/ft"
+	"repro/internal/part"
+)
+
+// Base is the global position a chunk starts from: completed steps and
+// accumulated simulation time.
+type Base struct {
+	Step int
+	Time float64
+}
+
+// ChunkResult reports one executed chunk: the (possibly re-merged)
+// particle state, steps completed within the chunk, simulation time
+// advanced within the chunk, and whether the chunk stopped on
+// cancellation.
+type ChunkResult struct {
+	PS        *part.Set
+	Steps     int
+	SimTime   float64
+	Cancelled bool
+}
+
+// Chunk advances the simulation by up to `steps` steps from `ps` at
+// `base`. Implementations must observe ctx at step boundaries and return
+// Cancelled (not an error) when interrupted; the state they return must be
+// consistent — synchronized if the engine needs it — because the loop
+// checkpoints it.
+type Chunk func(ctx context.Context, ps *part.Set, base Base, steps int) (ChunkResult, error)
+
+// Options configures one loop execution.
+type Options struct {
+	// Ctx cancels the loop cooperatively; the zero value never cancels.
+	Ctx context.Context
+	// Checkpointer persists state between chunks; nil disables both
+	// checkpointing and resume.
+	Checkpointer *ft.Checkpointer
+	// Resume attempts to restore the newest checkpoint before running.
+	Resume bool
+	// MustResume makes a failed restore an error instead of a fresh start
+	// (the CLI's -restart contract).
+	MustResume bool
+	// TotalSteps is the run length including any restored steps.
+	TotalSteps int
+	// ChunkSteps is the checkpoint interval; <= 0 runs one monolithic
+	// chunk (no interim checkpoints).
+	ChunkSteps int
+	// OnRestore observes a successful checkpoint restore before the first
+	// chunk runs.
+	OnRestore func(step int, simTime float64)
+}
+
+// Result is the loop outcome.
+type Result struct {
+	// PS is the final particle state (at the last completed chunk
+	// boundary when cancelled).
+	PS *part.Set
+	// Start is the step the run began from (> 0 after a restore).
+	Start int
+	// Steps counts completed steps including restored ones; SimTime is
+	// the matching simulation time.
+	Steps   int
+	SimTime float64
+	// Cancelled reports a cooperative interruption; the caller decides
+	// whether to checkpoint, requeue, or surface it.
+	Cancelled bool
+	// Restored reports that the run resumed from a checkpoint.
+	Restored bool
+}
+
+// Run executes the loop: optional restore, then chunks of ChunkSteps with
+// a checkpoint between consecutive chunks, until TotalSteps, cancellation,
+// or an error. Interim checkpoint failures are errors (a run that cannot
+// honor its durability contract must not keep computing past it).
+func Run(opts Options, ps *part.Set, chunk Chunk) (Result, error) {
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	res := Result{PS: ps}
+
+	if ck := opts.Checkpointer; ck != nil && opts.Resume {
+		restored, step, simTime, err := ck.Restore()
+		switch {
+		case err == nil && step > 0 && step <= opts.TotalSteps:
+			res.PS, res.Start, res.Steps, res.SimTime = restored, step, step, simTime
+			res.Restored = true
+			if opts.OnRestore != nil {
+				opts.OnRestore(step, simTime)
+			}
+		case opts.MustResume:
+			if err == nil {
+				return res, fmt.Errorf("runloop: checkpoint at step %d unusable for a %d-step run", step, opts.TotalSteps)
+			}
+			return res, fmt.Errorf("runloop: restore: %w", err)
+		}
+	}
+
+	for res.Steps < opts.TotalSteps {
+		select {
+		case <-ctx.Done():
+			res.Cancelled = true
+			return res, nil
+		default:
+		}
+		n := opts.TotalSteps - res.Steps
+		if opts.ChunkSteps > 0 && n > opts.ChunkSteps {
+			n = opts.ChunkSteps
+		}
+		cr, err := chunk(ctx, res.PS, Base{Step: res.Steps, Time: res.SimTime}, n)
+		if err != nil && !cr.Cancelled {
+			return res, err
+		}
+		if cr.PS != nil {
+			res.PS = cr.PS
+		}
+		res.Steps += cr.Steps
+		res.SimTime += cr.SimTime
+		if cr.Cancelled {
+			res.Cancelled = true
+			return res, nil
+		}
+		if ck := opts.Checkpointer; ck != nil && res.Steps < opts.TotalSteps {
+			if err := ck.Write(0, res.Steps, res.SimTime, res.PS); err != nil {
+				return res, fmt.Errorf("runloop: checkpoint at step %d: %w", res.Steps, err)
+			}
+		}
+	}
+	return res, nil
+}

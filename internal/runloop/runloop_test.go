@@ -1,0 +1,170 @@
+package runloop
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/ft"
+	"repro/internal/part"
+)
+
+// fakeChunk advances a counter instead of a simulation: each "step" costs
+// 0.5 time units, and the particle state's first ID records the step count
+// so checkpoints are distinguishable.
+func fakeChunk(t *testing.T, calls *[]Base) Chunk {
+	return func(ctx context.Context, ps *part.Set, base Base, steps int) (ChunkResult, error) {
+		*calls = append(*calls, base)
+		out := ps.Clone()
+		out.ID[0] = int64(base.Step + steps)
+		return ChunkResult{PS: out, Steps: steps, SimTime: 0.5 * float64(steps)}, nil
+	}
+}
+
+func newSet() *part.Set {
+	ps := part.New(4)
+	for i := range ps.Mass {
+		ps.Mass[i] = 1
+		ps.H[i] = 1
+	}
+	return ps
+}
+
+func ck(t *testing.T) *ft.Checkpointer {
+	t.Helper()
+	return &ft.Checkpointer{Levels: []ft.Level{{
+		Name: "local", Dir: filepath.Join(t.TempDir(), "ck"), Keep: 2,
+	}}}
+}
+
+func TestRunChunksAndCheckpoints(t *testing.T) {
+	var calls []Base
+	c := ck(t)
+	res, err := Run(Options{
+		Checkpointer: c, TotalSteps: 10, ChunkSteps: 4,
+	}, newSet(), fakeChunk(t, &calls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 10 || res.SimTime != 5 || res.Cancelled || res.Restored {
+		t.Fatalf("result %+v, want 10 steps, simTime 5", res)
+	}
+	want := []Base{{0, 0}, {4, 2}, {8, 4}}
+	if len(calls) != len(want) {
+		t.Fatalf("chunk calls %+v, want %+v", calls, want)
+	}
+	for i := range want {
+		if calls[i] != want[i] {
+			t.Fatalf("chunk %d base %+v, want %+v", i, calls[i], want[i])
+		}
+	}
+	// Interim checkpoints exist (the last one at step 8); no final-step
+	// checkpoint is written by the loop itself.
+	ps, step, simTime, err := c.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step != 8 || simTime != 4 || ps.ID[0] != 8 {
+		t.Fatalf("restored step %d simTime %g id %d, want 8 / 4 / 8", step, simTime, ps.ID[0])
+	}
+}
+
+func TestRunResumesFromCheckpoint(t *testing.T) {
+	var calls []Base
+	c := ck(t)
+	st := newSet()
+	st.ID[0] = 6
+	if err := c.Write(0, 6, 3, st); err != nil {
+		t.Fatal(err)
+	}
+	var restored []int
+	res, err := Run(Options{
+		Checkpointer: c, Resume: true, TotalSteps: 10, ChunkSteps: 4,
+		OnRestore: func(step int, simTime float64) { restored = append(restored, step) },
+	}, newSet(), fakeChunk(t, &calls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Restored || res.Start != 6 || res.Steps != 10 || res.SimTime != 5 {
+		t.Fatalf("result %+v, want restored start=6 steps=10 simTime=5", res)
+	}
+	if len(restored) != 1 || restored[0] != 6 {
+		t.Fatalf("OnRestore calls %v, want [6]", restored)
+	}
+	if len(calls) != 1 || calls[0] != (Base{6, 3}) {
+		t.Fatalf("chunk calls %+v, want one chunk from base {6 3}", calls)
+	}
+}
+
+func TestRunIgnoresOversizedCheckpointUnlessMustResume(t *testing.T) {
+	c := ck(t)
+	if err := c.Write(0, 50, 25, newSet()); err != nil {
+		t.Fatal(err)
+	}
+	// Without MustResume a checkpoint beyond TotalSteps means a fresh run
+	// (the server's semantics: the spec hash owns the directory, so this
+	// only happens across spec changes).
+	var calls []Base
+	res, err := Run(Options{
+		Checkpointer: c, Resume: true, TotalSteps: 10, ChunkSteps: 0,
+	}, newSet(), fakeChunk(t, &calls))
+	if err != nil || res.Restored || res.Steps != 10 {
+		t.Fatalf("res=%+v err=%v, want fresh 10-step run", res, err)
+	}
+	// With MustResume it is an explicit error.
+	if _, err := Run(Options{
+		Checkpointer: c, Resume: true, MustResume: true, TotalSteps: 10,
+	}, newSet(), fakeChunk(t, &calls)); err == nil {
+		t.Fatal("oversized checkpoint accepted under MustResume")
+	}
+	// MustResume with no checkpoint at all is also an error.
+	if _, err := Run(Options{
+		Checkpointer: ck(t), Resume: true, MustResume: true, TotalSteps: 10,
+	}, newSet(), fakeChunk(t, &calls)); err == nil {
+		t.Fatal("missing checkpoint accepted under MustResume")
+	}
+}
+
+func TestRunStopsOnCancelledChunk(t *testing.T) {
+	var calls []Base
+	cancelAfter := func(ctx context.Context, ps *part.Set, base Base, steps int) (ChunkResult, error) {
+		calls = append(calls, base)
+		if base.Step >= 4 {
+			// Simulate an engine observing cancellation mid-chunk.
+			return ChunkResult{PS: ps, Steps: 1, SimTime: 0.5, Cancelled: true}, nil
+		}
+		return ChunkResult{PS: ps, Steps: steps, SimTime: 0.5 * float64(steps)}, nil
+	}
+	res, err := Run(Options{TotalSteps: 12, ChunkSteps: 4}, newSet(), cancelAfter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Cancelled || res.Steps != 5 {
+		t.Fatalf("result %+v, want cancelled at 5 steps", res)
+	}
+}
+
+func TestRunPropagatesChunkError(t *testing.T) {
+	boom := errors.New("engine exploded")
+	_, err := Run(Options{TotalSteps: 4}, newSet(),
+		func(ctx context.Context, ps *part.Set, base Base, steps int) (ChunkResult, error) {
+			return ChunkResult{}, boom
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the chunk error", err)
+	}
+}
+
+func TestRunObservesContextBeforeChunk(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var calls []Base
+	res, err := Run(Options{Ctx: ctx, TotalSteps: 4}, newSet(), fakeChunk(t, &calls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Cancelled || len(calls) != 0 {
+		t.Fatalf("res=%+v calls=%d, want immediate cancellation with no chunks", res, len(calls))
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/analytic"
 	"repro/internal/core"
 	"repro/internal/eos"
 	"repro/internal/ic"
@@ -12,6 +13,8 @@ import (
 	"repro/internal/sfc"
 	"repro/internal/sph"
 	"repro/internal/tree"
+	"repro/internal/vec"
+	"repro/internal/verify"
 )
 
 // baseConfig assembles the engine defaults every scenario shares (SPHYNX's
@@ -90,6 +93,21 @@ func init() {
 			ps, pbc, box := ic.Sedov(cbrtSide(p.N), p.NNeighbors, p.Extra["energy"])
 			return ps, baseConfig(p, pbc, box, eos.NewIdealGas(5.0/3.0)), nil
 		},
+		// The self-similar profile is exact, but the kernel-smoothed energy
+		// deposit only converges to it once the shock clears the deposit
+		// region — so the norms are reported, and acceptance binds on
+		// conservation only. The energy bound is calibrated to the current
+		// engine: the extreme central temperatures dissipate ~12% of the
+		// blast energy at service resolutions, so 0.2 documents today's
+		// quality and catches regressions beyond it.
+		Reference: func(p Params) (analytic.Solution, error) {
+			return analytic.NewSedov(p.Extra["energy"], 1, 5.0/3.0,
+				vec.V3{X: 0.5, Y: 0.5, Z: 0.5}, 0.45)
+		},
+		Accept: verify.Thresholds{
+			MaxEnergyDrift:   0.2,
+			MaxMomentumDrift: 0.05,
+		},
 	})
 
 	Register(&Scenario{
@@ -99,6 +117,13 @@ func init() {
 		Build: func(p Params) (*part.Set, core.Config, error) {
 			ps, pbc, box := ic.UniformCube(cbrtSide(p.N), p.NNeighbors)
 			return ps, baseConfig(p, pbc, box, eos.NewIdealGas(5.0/3.0)), nil
+		},
+		// No analytic profile needed: the equilibrium must simply conserve.
+		// (Momentum is normalized by the kinetic scale, which is pure
+		// lattice noise here, so its bound is looser than it looks.)
+		Accept: verify.Thresholds{
+			MaxEnergyDrift:   0.02,
+			MaxMomentumDrift: 0.1,
 		},
 	})
 
@@ -117,6 +142,23 @@ func init() {
 			nh.U0 = p.Extra["u0"]
 			ps, pbc, box := nh.Generate()
 			return ps, baseConfig(p, pbc, box, eos.NewIdealGas(5.0/3.0)), nil
+		},
+		Reference: func(p Params) (analytic.Solution, error) {
+			return &analytic.Noh{
+				Rho0:  p.Extra["rho0"],
+				VIn:   p.Extra["vin"],
+				Gamma: 5.0 / 3.0,
+				U0:    p.Extra["u0"],
+				RMax:  0.5,
+			}, nil
+		},
+		// The geometric pre-shock density buildup is resolution-limited in
+		// SPH at service-scale particle counts; the density bound is
+		// correspondingly loose and tightens as N grows.
+		Accept: verify.Thresholds{
+			L1Density:        0.5,
+			MaxEnergyDrift:   0.05,
+			MaxMomentumDrift: 0.05,
 		},
 	})
 
@@ -147,6 +189,22 @@ func init() {
 			ps, pbc, box := sd.Generate()
 			return ps, baseConfig(p, pbc, box, eos.NewIdealGas(sd.Gamma)), nil
 		},
+		Reference: func(p Params) (analytic.Solution, error) {
+			return analytic.NewSodTube(
+				p.Extra["rhoL"], p.Extra["pL"], p.Extra["rhoR"], p.Extra["pR"],
+				p.Extra["gamma"], 0.5, 0, 1)
+		},
+		// Calibrated on the exact Riemann reference: the default spec
+		// (n=8000, 20 steps) scores ~0.04 trimmed-L1 density and the norms
+		// shrink with N, so these bounds catch regressions while passing
+		// service-scale runs down to ~1000 particles.
+		Accept: verify.Thresholds{
+			L1Density:        0.1,
+			L1Velocity:       0.25,
+			L1Pressure:       0.15,
+			MaxEnergyDrift:   0.1,
+			MaxMomentumDrift: 0.05,
+		},
 	})
 
 	Register(&Scenario{
@@ -168,6 +226,42 @@ func init() {
 			kh.VSeed = p.Extra["seed"]
 			ps, pbc, box := kh.Generate()
 			return ps, baseConfig(p, pbc, box, eos.NewIdealGas(kh.Gamma)), nil
+		},
+	})
+
+	Register(&Scenario{
+		Name:        "gresho",
+		Description: "Gresho-Chan vortex: triangular azimuthal velocity profile in exact pressure balance (steady state)",
+		Defaults: Params{
+			N: 8000, NNeighbors: 100,
+			Extra: map[string]float64{"rho0": 1, "gamma": 5.0 / 3.0},
+		},
+		Build: func(p Params) (*part.Set, core.Config, error) {
+			gr := ic.DefaultGresho(p.N)
+			gr.NNeighbors = p.NNeighbors
+			gr.Rho0 = p.Extra["rho0"]
+			gr.Gamma = p.Extra["gamma"]
+			if gr.Gamma <= 1 || gr.Rho0 <= 0 {
+				return nil, core.Config{}, fmt.Errorf(
+					"scenario gresho: require gamma > 1 and positive density (gamma=%g rho0=%g)",
+					gr.Gamma, gr.Rho0)
+			}
+			ps, pbc, box := gr.Generate()
+			return ps, baseConfig(p, pbc, box, eos.NewIdealGas(gr.Gamma)), nil
+		},
+		// The steady state is its own reference at every time: any drift
+		// from the initial profile is numerical error.
+		Reference: func(p Params) (analytic.Solution, error) {
+			return &analytic.Gresho{
+				Rho0:   p.Extra["rho0"],
+				Center: vec.V3{X: 0.5, Y: 0.5},
+			}, nil
+		},
+		Accept: verify.Thresholds{
+			L1Density:        0.08,
+			L1Pressure:       0.1,
+			MaxEnergyDrift:   0.05,
+			MaxMomentumDrift: 0.05,
 		},
 	})
 }

@@ -15,8 +15,10 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/analytic"
 	"repro/internal/core"
 	"repro/internal/part"
+	"repro/internal/verify"
 )
 
 // Params parameterizes one scenario instance. N and NNeighbors are common
@@ -45,6 +47,27 @@ type Scenario struct {
 	Defaults Params
 	// Build realizes the workload from fully-resolved parameters.
 	Build func(p Params) (*part.Set, core.Config, error)
+	// Reference, when non-nil, constructs the scenario's analytic
+	// reference solution for fully-resolved parameters; internal/verify
+	// scores final snapshots against it. Scenarios without a closed-form
+	// solution leave it nil and are scored on conservation drift alone.
+	Reference func(p Params) (analytic.Solution, error)
+	// Accept holds the per-scenario acceptance thresholds applied to the
+	// verification report (zero fields are unchecked).
+	Accept verify.Thresholds
+}
+
+// BuildReference resolves p against the defaults and constructs the
+// analytic reference solution, or (nil, nil) when the scenario has none.
+func (s *Scenario) BuildReference(p Params) (analytic.Solution, error) {
+	if s.Reference == nil {
+		return nil, nil
+	}
+	rp, err := s.Resolve(p)
+	if err != nil {
+		return nil, err
+	}
+	return s.Reference(rp)
 }
 
 // Resolve fills unset fields of p from the scenario defaults and validates

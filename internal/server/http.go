@@ -24,6 +24,10 @@ import (
 //	POST /jobs/{id}/cancel     terminal cancellation
 //	POST /jobs/{id}/kill       simulated crash (job resumes from checkpoint)
 //	GET  /jobs/{id}/snapshot   final particle state, part binary format
+//	GET  /jobs/{id}/metrics    verification report (error norms vs analytic
+//	                           reference, plateau, conservation, pass/fail)
+//	GET  /storez               result-store metrics (entries, bytes,
+//	                           hit rate, quarantine count)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -38,6 +42,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleInterrupt(false))
 	mux.HandleFunc("POST /jobs/{id}/kill", s.handleInterrupt(true))
 	mux.HandleFunc("GET /jobs/{id}/snapshot", s.handleSnapshot)
+	mux.HandleFunc("GET /jobs/{id}/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /storez", s.handleStorez)
 	return mux
 }
 
@@ -214,6 +220,42 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		case <-ticker.C:
 		}
 	}
+}
+
+// handleMetrics serves the completed job's verification report exactly as
+// recorded (the persisted bytes, so restarts serve identical reports).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	view, ok := s.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", id))
+		return
+	}
+	report, completed := s.Metrics(id)
+	if !completed {
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("job %s is %s; metrics require completed", id, view.State))
+		return
+	}
+	if report == nil {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("job %s has no verification report recorded", id))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(report)
+}
+
+// handleStorez serves the result-store metrics; without a persistent store
+// attached there is nothing to report.
+func (s *Server) handleStorez(w http.ResponseWriter, r *http.Request) {
+	st := s.opts.Store
+	if st == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no result store attached"))
+		return
+	}
+	writeJSON(w, http.StatusOK, st.Stats())
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {

@@ -17,6 +17,7 @@ package server
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -24,12 +25,16 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/conserve"
 	"repro/internal/core"
 	"repro/internal/domain"
 	"repro/internal/ft"
+	"repro/internal/part"
 	"repro/internal/perfmodel"
+	"repro/internal/runloop"
 	"repro/internal/scenario"
 	"repro/internal/store"
+	"repro/internal/verify"
 )
 
 // JobState enumerates the lifecycle of a submitted job.
@@ -67,6 +72,9 @@ type Job struct {
 	CacheHit bool
 	// Restarts counts how many times the job resumed after a kill.
 	Restarts int
+	// Verify is the verification rollup of a completed job (nil until
+	// completion, and for pre-verification store entries).
+	Verify *VerifySummary
 
 	cancel context.CancelFunc
 	// killed distinguishes a simulated kill (resume from checkpoint) from
@@ -78,27 +86,45 @@ type Job struct {
 	doneAt time.Time
 }
 
+// VerifySummary is the compact verification rollup carried by job views:
+// the full Report is served by GET /jobs/{id}/metrics, this is the
+// at-a-glance line for job listings and batch responses.
+type VerifySummary struct {
+	// Reference names the analytic solution ("" = conservation only).
+	Reference string `json:"reference,omitempty"`
+	// Pass reports the report's overall acceptance outcome.
+	Pass bool `json:"pass"`
+	// L1Density is the trimmed relative L1 density error against the
+	// reference (0 when there is none).
+	L1Density float64 `json:"l1Density,omitempty"`
+}
+
 // JobView is an immutable snapshot of a job for JSON responses.
 type JobView struct {
-	ID       string        `json:"id"`
-	Spec     scenario.Spec `json:"spec"`
-	Hash     string        `json:"hash"`
-	State    JobState      `json:"state"`
-	Progress Progress      `json:"progress"`
-	Error    string        `json:"error,omitempty"`
-	CacheHit bool          `json:"cacheHit"`
-	Restarts int           `json:"restarts"`
+	ID       string         `json:"id"`
+	Spec     scenario.Spec  `json:"spec"`
+	Hash     string         `json:"hash"`
+	State    JobState       `json:"state"`
+	Progress Progress       `json:"progress"`
+	Error    string         `json:"error,omitempty"`
+	CacheHit bool           `json:"cacheHit"`
+	Restarts int            `json:"restarts"`
+	Verify   *VerifySummary `json:"verify,omitempty"`
 }
 
 // cachedResult is the in-memory layer of the result cache: metadata always,
 // snapshot bytes only when no persistent store backs the server (with a
-// store attached the bytes live on disk and are streamed from there).
+// store attached the bytes live on disk and are streamed from there). The
+// verification report rides along: bytes for GET /jobs/{id}/metrics, the
+// summary for job-view rollups.
 type cachedResult struct {
 	snapshot  []byte // part.Set binary encoding; nil when store-backed
 	particles int
 	checksum  uint64
 	simTime   float64
 	steps     int
+	report    []byte // verification Report JSON; nil if none recorded
+	summary   *VerifySummary
 }
 
 // Options configures a Server.
@@ -267,6 +293,7 @@ func (s *Server) Submit(spec scenario.Spec) (*JobView, error) {
 		job.State = StateCompleted
 		job.CacheHit = true
 		job.Progress = Progress{Step: res.steps, Total: res.steps, SimTime: res.simTime}
+		job.Verify = res.summary
 		job.doneAt = s.now()
 		close(job.done)
 		s.jobs[job.ID] = job
@@ -345,10 +372,28 @@ func (s *Server) resolveResult(hash string) (*cachedResult, bool) {
 		simTime:   m.SimTime,
 		steps:     m.Steps,
 	}
+	// Promote the persisted verification report (if the entry has one) so
+	// cache-hit jobs carry the rollup and serve metrics without recompute.
+	if m.ReportSize > 0 {
+		if b, ok := st.ReadReport(hash); ok {
+			res.report = b
+			res.summary = parseSummary(b)
+		}
+	}
 	s.mu.Lock()
 	s.cache[hash] = res
 	s.mu.Unlock()
 	return res, true
+}
+
+// parseSummary extracts the job-view rollup from report JSON; the Report's
+// top-level reference/pass/l1Density keys are a stable contract.
+func parseSummary(report []byte) *VerifySummary {
+	var sum VerifySummary
+	if err := json.Unmarshal(report, &sum); err != nil {
+		return nil
+	}
+	return &sum
 }
 
 // pruneLocked drops terminal jobs older than JobTTL from the job table, so
@@ -524,7 +569,7 @@ func (j *Job) view() JobView {
 	return JobView{
 		ID: j.ID, Spec: j.Spec, Hash: j.Hash, State: j.State,
 		Progress: j.Progress, Error: j.Err, CacheHit: j.CacheHit,
-		Restarts: j.Restarts,
+		Restarts: j.Restarts, Verify: j.Verify,
 	}
 }
 
@@ -584,19 +629,12 @@ func (s *Server) run(job *Job) {
 		fail(err)
 		return
 	}
-
-	// Resume from the newest checkpoint if a previous incarnation of this
-	// spec was killed mid-flight.
-	startStep, simTime := 0, 0.0
-	ck := s.checkpointer(job)
-	if ck != nil {
-		if restored, step, t, err := ck.Restore(); err == nil && step > 0 && step <= spec.Steps {
-			ps, startStep, simTime = restored, step, t
-		}
-	}
+	// Conservation reference for the verification report: the freshly
+	// generated t=0 state (before any checkpoint restore replaces it).
+	initial := conserve.Measure(ps, nil)
 
 	s.mu.Lock()
-	job.Progress = Progress{Step: startStep, Total: spec.Steps, SimTime: simTime}
+	job.Progress = Progress{Total: spec.Steps}
 	s.mu.Unlock()
 
 	cores := spec.Cores
@@ -604,13 +642,10 @@ func (s *Server) run(job *Job) {
 		cores = 1
 	}
 
-	stepsDone := startStep
-	for stepsDone < spec.Steps {
-		chunk := s.opts.CheckpointEvery
-		if rem := spec.Steps - stepsDone; chunk > rem {
-			chunk = rem
-		}
-		base := stepsDone
+	// One chunk = one distributed engine run of up to CheckpointEvery
+	// steps; the shared loop (internal/runloop) handles restore and
+	// interim checkpoints — the same path cmd/sphexa interrupts through.
+	chunk := func(ctx context.Context, cps *part.Set, base runloop.Base, steps int) (runloop.ChunkResult, error) {
 		pcfg := core.ParallelConfig{
 			Core:         cfg,
 			Machine:      s.opts.Machine,
@@ -618,83 +653,97 @@ func (s *Server) run(job *Job) {
 			RanksPerNode: spec.RanksPerNode,
 			Decomp:       domain.MortonSFC,
 			Cost:         s.opts.Cost,
-			Steps:        chunk,
+			Steps:        steps,
 			Ctx:          ctx,
 			OnStep: func(step int, simT, dt float64) {
 				s.mu.Lock()
-				job.Progress.Step = base + step + 1
-				job.Progress.SimTime = simTime + simT
+				job.Progress.Step = base.Step + step + 1
+				job.Progress.SimTime = base.Time + simT
 				job.Progress.DT = dt
 				s.mu.Unlock()
 			},
 		}
-		merged, res, err := core.RunParallelCapture(pcfg, ps)
+		merged, res, err := core.RunParallelCapture(pcfg, cps)
 		if err != nil && (res == nil || !res.Cancelled) {
-			fail(err)
-			return
+			return runloop.ChunkResult{}, err
 		}
-		ps = merged
-		stepsDone += res.StepsCompleted
-		simTime += res.SimTime
+		return runloop.ChunkResult{
+			PS:        merged,
+			Steps:     res.StepsCompleted,
+			SimTime:   res.SimTime,
+			Cancelled: res.Cancelled,
+		}, nil
+	}
 
-		if res.Cancelled {
-			cause := context.Cause(ctx)
-			if errors.Is(cause, errKilled) {
-				// Simulated crash: checkpoint what we have and requeue.
-				if ck != nil && res.StepsCompleted > 0 {
-					_ = ck.Write(0, stepsDone, simTime, ps)
-				}
-				s.mu.Lock()
-				job.State = StateQueued
-				job.killed = false
-				job.cancel = nil
-				job.Restarts++
-				requeued := false
-				select {
-				case s.queue <- job:
-					requeued = true
-				default:
-				}
-				if !requeued {
-					job.State = StateFailed
-					job.Err = "requeue after kill failed: queue full"
-					job.doneAt = s.now()
-					delete(s.byHash, job.Hash)
-					close(job.done)
-				}
-				s.mu.Unlock()
-				return
+	res, err := runloop.Run(runloop.Options{
+		Ctx:          ctx,
+		Checkpointer: s.checkpointer(job),
+		Resume:       true,
+		TotalSteps:   spec.Steps,
+		ChunkSteps:   s.opts.CheckpointEvery,
+		OnRestore: func(step int, simTime float64) {
+			s.mu.Lock()
+			job.Progress = Progress{Step: step, Total: spec.Steps, SimTime: simTime}
+			s.mu.Unlock()
+		},
+	}, ps, chunk)
+	if err != nil {
+		fail(err)
+		return
+	}
+	simTime := res.SimTime
+
+	if res.Cancelled {
+		cause := context.Cause(ctx)
+		if errors.Is(cause, errKilled) {
+			// Simulated crash: checkpoint what we have and requeue.
+			if ck := s.checkpointer(job); ck != nil && res.Steps > 0 {
+				_ = ck.Write(0, res.Steps, simTime, res.PS)
 			}
 			s.mu.Lock()
-			job.State = StateCancelled
-			job.doneAt = s.now()
+			job.State = StateQueued
+			job.killed = false
 			job.cancel = nil
-			delete(s.byHash, job.Hash)
-			close(job.done)
+			job.Restarts++
+			requeued := false
+			select {
+			case s.queue <- job:
+				requeued = true
+			default:
+			}
+			if !requeued {
+				job.State = StateFailed
+				job.Err = "requeue after kill failed: queue full"
+				job.doneAt = s.now()
+				delete(s.byHash, job.Hash)
+				close(job.done)
+			}
 			s.mu.Unlock()
 			return
 		}
-
-		if ck != nil && stepsDone < spec.Steps {
-			if err := ck.Write(0, stepsDone, simTime, ps); err != nil {
-				fail(fmt.Errorf("checkpoint at step %d: %w", stepsDone, err))
-				return
-			}
-		}
+		s.mu.Lock()
+		job.State = StateCancelled
+		job.doneAt = s.now()
+		job.cancel = nil
+		delete(s.byHash, job.Hash)
+		close(job.done)
+		s.mu.Unlock()
+		return
 	}
 
 	var buf bytes.Buffer
-	if _, err := ps.WriteTo(&buf); err != nil {
+	if _, err := res.PS.WriteTo(&buf); err != nil {
 		fail(fmt.Errorf("encoding snapshot: %w", err))
 		return
 	}
 	result := &cachedResult{
 		snapshot:  buf.Bytes(),
-		particles: ps.NLocal,
-		checksum:  ps.Checksum(),
+		particles: res.PS.NLocal,
+		checksum:  res.PS.Checksum(),
 		simTime:   simTime,
 		steps:     spec.Steps,
 	}
+	result.report, result.summary = buildReport(sc, spec, cfg, res.PS, simTime, initial)
 	if st := s.opts.Store; st != nil {
 		err := st.Put(store.Meta{
 			Hash:      job.Hash,
@@ -708,9 +757,15 @@ func (s *Server) run(job *Job) {
 			// metadata. If the Put failed — or the store's own eviction
 			// policy immediately dropped the entry (snapshot larger than
 			// the whole byte budget) — keep the bytes in memory so the
-			// completed job's snapshot stays fetchable.
-			if _, ok := st.Get(job.Hash); ok {
+			// completed job's snapshot stays fetchable. (Has, not Get: an
+			// internal existence check must not skew the hit-rate metric.)
+			if st.Has(job.Hash) {
 				result.snapshot = nil
+				if result.report != nil {
+					// Persist the report next to the snapshot; the memory
+					// copy stays for fast metrics serving either way.
+					_ = st.PutReport(job.Hash, result.report)
+				}
 			}
 		}
 	}
@@ -719,9 +774,72 @@ func (s *Server) run(job *Job) {
 	s.cache[job.Hash] = result
 	job.State = StateCompleted
 	job.Progress = Progress{Step: spec.Steps, Total: spec.Steps, SimTime: simTime, DT: job.Progress.DT}
+	job.Verify = result.summary
 	job.doneAt = s.now()
 	job.cancel = nil
 	delete(s.byHash, job.Hash)
 	close(job.done)
 	s.mu.Unlock()
+}
+
+// buildReport evaluates the verification report for a completed run:
+// analytic reference (when the scenario registers one), error norms,
+// plateau estimate, conservation drift, and the acceptance checks. A
+// report is always produced — scenarios without a reference are scored on
+// conservation alone.
+func buildReport(sc *scenario.Scenario, spec scenario.Spec, cfg core.Config,
+	ps *part.Set, simTime float64, initial conserve.State) ([]byte, *VerifySummary) {
+
+	sol, refErr := sc.BuildReference(spec.Params)
+	rep := verify.Evaluate(verify.Input{
+		Scenario: spec.Scenario,
+		PS:       ps,
+		SimTime:  simTime,
+		Solution: sol,
+		// A failed reference construction fails the report's checks
+		// loudly (mirroring the CLI) rather than silently degrading the
+		// registered acceptance bar to conservation-only.
+		ReferenceErr: refErr,
+		EOS:          cfg.SPH.EOS,
+		Thresholds:   sc.Accept,
+		Initial:      initial,
+		HaveInitial:  true,
+	})
+	b, err := json.Marshal(rep)
+	if err != nil {
+		return nil, nil
+	}
+	return b, &VerifySummary{Reference: rep.Reference, Pass: rep.Pass, L1Density: rep.L1Density}
+}
+
+// Metrics returns the completed job's verification report JSON. The second
+// return distinguishes "job not completed / unknown" (false) from a
+// completed job with no recorded report (true with nil bytes — e.g. a
+// result persisted by a pre-verification build).
+func (s *Server) Metrics(id string) ([]byte, bool) {
+	s.mu.Lock()
+	job, ok := s.jobs[id]
+	if !ok || job.State != StateCompleted {
+		s.mu.Unlock()
+		return nil, false
+	}
+	hash := job.Hash
+	var report []byte
+	if res, hit := s.cache[hash]; hit {
+		report = res.report
+	}
+	s.mu.Unlock()
+
+	if report != nil {
+		return report, true
+	}
+	// Every path that caches an entry with a persisted report also fills
+	// the memory copy, so this fallback only fires for entries written by
+	// builds that did not record reports.
+	if st := s.opts.Store; st != nil {
+		if b, ok := st.ReadReport(hash); ok {
+			return b, true
+		}
+	}
+	return nil, true
 }

@@ -9,9 +9,11 @@
 //
 // Layout under the root directory:
 //
-//	index.json          entry metadata (rewritten atomically on mutation)
-//	objects/<hash>.sph  snapshot payloads (part binary checkpoint format)
-//	quarantine/         corrupt or unindexed objects moved aside on detection
+//	index.json            entry metadata (rewritten atomically on mutation)
+//	objects/<hash>.sph    snapshot payloads (part binary checkpoint format)
+//	reports/<hash>.json   verification reports attached to entries, served
+//	                      byte-identically across restarts
+//	quarantine/           corrupt or unindexed objects moved aside on detection
 package store
 
 import (
@@ -51,6 +53,12 @@ type Meta struct {
 	// TTL (idle expiry) and the LRU eviction order.
 	CreatedAt int64 `json:"createdAt"`
 	LastUsed  int64 `json:"lastUsed"`
+	// ReportSize and ReportCRC track the entry's verification report file
+	// (reports/<hash>.json), attached by PutReport; zero means none. The
+	// report is served byte-for-byte and evicted with its entry; its size
+	// does not count against MaxBytes (reports are metadata-scale).
+	ReportSize int64  `json:"reportSize,omitempty"`
+	ReportCRC  uint64 `json:"reportCRC,omitempty"`
 }
 
 // Options bounds the store.
@@ -77,6 +85,9 @@ type Store struct {
 	// quarantined counts objects moved aside by the last Open or by a
 	// failed read since.
 	quarantined int
+	// hits and misses count result lookups (Get and OpenObject) since
+	// this instance opened; the /storez endpoint derives the hit rate.
+	hits, misses uint64
 }
 
 type indexFile struct {
@@ -129,6 +140,18 @@ func Open(dir string, opts Options) (*Store, error) {
 		}
 	}
 
+	// Report files whose entry is gone (object lost, entry dropped above)
+	// are stale; remove them so the reports directory tracks the index.
+	if names, err := filepath.Glob(filepath.Join(s.reportsDir(), "*.json")); err == nil {
+		for _, path := range names {
+			base := filepath.Base(path)
+			hash := base[:len(base)-len(".json")]
+			if _, ok := s.entries[hash]; !ok {
+				_ = os.Remove(path)
+			}
+		}
+	}
+
 	s.evictLocked(s.opts.Now())
 	if err := s.saveIndexLocked(); err != nil {
 		return nil, err
@@ -140,6 +163,10 @@ func (s *Store) indexPath() string  { return filepath.Join(s.dir, "index.json") 
 func (s *Store) objectsDir() string { return filepath.Join(s.dir, "objects") }
 func (s *Store) objectPath(h string) string {
 	return filepath.Join(s.objectsDir(), h+".sph")
+}
+func (s *Store) reportsDir() string { return filepath.Join(s.dir, "reports") }
+func (s *Store) reportPath(h string) string {
+	return filepath.Join(s.reportsDir(), h+".json")
 }
 
 // fileHash recovers the hash from an object path ("<hash>.sph").
@@ -203,16 +230,20 @@ func (s *Store) quarantineLocked(hash string) {
 	if err := os.Rename(s.objectPath(hash), dst); err != nil {
 		_ = os.Remove(s.objectPath(hash))
 	}
+	// A quarantined object always accompanies a dropped entry; its report
+	// is meaningless without the snapshot it scored.
+	_ = os.Remove(s.reportPath(hash))
 	s.quarantined++
 }
 
-// removeLocked evicts an entry and deletes its object file.
+// removeLocked evicts an entry and deletes its object and report files.
 func (s *Store) removeLocked(hash string) {
 	if m, ok := s.entries[hash]; ok {
 		s.total -= m.Size
 		delete(s.entries, hash)
 	}
 	_ = os.Remove(s.objectPath(hash))
+	_ = os.Remove(s.reportPath(hash))
 }
 
 // evictLocked applies the TTL then the size cap: expired entries go first,
@@ -289,6 +320,17 @@ func (s *Store) Put(meta Meta, snapshot []byte) error {
 	return s.saveIndexLocked()
 }
 
+// Has reports whether hash is currently live. Unlike Get it neither counts
+// toward the hit/miss metrics nor refreshes the entry's LRU position — it
+// is for internal bookkeeping (e.g. the job server checking whether a
+// just-Put entry survived its own eviction pass), not for serving traffic.
+func (s *Store) Has(hash string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.entries[hash]
+	return ok
+}
+
 // Get returns the entry's metadata and marks it used (refreshing its LRU and
 // TTL position). An expired entry is evicted and reported as a miss.
 func (s *Store) Get(hash string) (Meta, bool) {
@@ -296,8 +338,10 @@ func (s *Store) Get(hash string) (Meta, bool) {
 	defer s.mu.Unlock()
 	m, ok := s.touchLocked(hash)
 	if !ok {
+		s.misses++
 		return Meta{}, false
 	}
+	s.hits++
 	return *m, true
 }
 
@@ -330,12 +374,13 @@ func (s *Store) OpenObject(hash string) (*os.File, Meta, error) {
 	defer s.mu.Unlock()
 	m, ok := s.touchLocked(hash)
 	if !ok {
+		s.misses++
 		return nil, Meta{}, fmt.Errorf("store: no entry %s", hash)
 	}
 	f, err := os.Open(s.objectPath(hash))
 	if err != nil {
-		s.total -= m.Size
-		delete(s.entries, hash)
+		s.misses++
+		s.removeLocked(hash)
 		_ = s.saveIndexLocked()
 		return nil, Meta{}, fmt.Errorf("store: entry %s lost: %w", hash, err)
 	}
@@ -343,6 +388,7 @@ func (s *Store) OpenObject(hash string) (*os.File, Meta, error) {
 	n, err := io.Copy(h, f)
 	if err != nil || h.Sum64() != m.CRC || n != m.Size {
 		f.Close()
+		s.misses++
 		s.total -= m.Size
 		delete(s.entries, hash)
 		s.quarantineLocked(hash)
@@ -353,6 +399,7 @@ func (s *Store) OpenObject(hash string) (*os.File, Meta, error) {
 		f.Close()
 		return nil, Meta{}, err
 	}
+	s.hits++
 	return f, *m, nil
 }
 
@@ -404,3 +451,90 @@ func (s *Store) Quarantined() int {
 // TTL exposes the configured idle expiry (0 = none); the job server reuses
 // it to prune its job table in lockstep with the result store.
 func (s *Store) TTL() time.Duration { return s.opts.TTL }
+
+// PutReport attaches a verification report to an existing entry. The file
+// is written atomically next to the snapshot (reports/<hash>.json) with its
+// CRC recorded in the entry, so ReadReport returns exactly these bytes —
+// including across restarts — or nothing.
+func (s *Store) PutReport(hash string, report []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.entries[hash]
+	if !ok {
+		return fmt.Errorf("store: PutReport for unknown entry %s", hash)
+	}
+	if err := os.MkdirAll(s.reportsDir(), 0o755); err != nil {
+		return fmt.Errorf("store: creating %s: %w", s.reportsDir(), err)
+	}
+	path := s.reportPath(hash)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, report, 0o644); err != nil {
+		return fmt.Errorf("store: writing %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	m.ReportSize = int64(len(report))
+	m.ReportCRC = crc64.Checksum(report, crcTable)
+	return s.saveIndexLocked()
+}
+
+// ReadReport returns the entry's verification report bytes, verified
+// against the recorded CRC. A missing or corrupt report is dropped and
+// reported as absent — never served wrong.
+func (s *Store) ReadReport(hash string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.entries[hash]
+	if !ok || m.ReportSize == 0 {
+		return nil, false
+	}
+	b, err := os.ReadFile(s.reportPath(hash))
+	if err != nil || int64(len(b)) != m.ReportSize || crc64.Checksum(b, crcTable) != m.ReportCRC {
+		_ = os.Remove(s.reportPath(hash))
+		m.ReportSize, m.ReportCRC = 0, 0
+		_ = s.saveIndexLocked()
+		return nil, false
+	}
+	return b, true
+}
+
+// Stats is the /storez metrics snapshot.
+type Stats struct {
+	// Entries and Bytes describe the live snapshot objects.
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+	// Reports counts entries with an attached verification report.
+	Reports int `json:"reports"`
+	// Hits and Misses count result lookups since this instance opened;
+	// HitRate is their ratio (0 with no traffic).
+	Hits    uint64  `json:"hits"`
+	Misses  uint64  `json:"misses"`
+	HitRate float64 `json:"hitRate"`
+	// Quarantined counts objects this instance moved aside as corrupt or
+	// unvouched-for.
+	Quarantined int `json:"quarantined"`
+}
+
+// Stats returns the current metrics snapshot.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Entries:     len(s.entries),
+		Bytes:       s.total,
+		Hits:        s.hits,
+		Misses:      s.misses,
+		Quarantined: s.quarantined,
+	}
+	for _, m := range s.entries {
+		if m.ReportSize > 0 {
+			st.Reports++
+		}
+	}
+	if total := s.hits + s.misses; total > 0 {
+		st.HitRate = float64(s.hits) / float64(total)
+	}
+	return st
+}

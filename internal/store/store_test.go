@@ -361,3 +361,127 @@ func TestManyEntriesEvictionOrder(t *testing.T) {
 		t.Fatal("disk over budget")
 	}
 }
+
+func TestReportPersistsByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	put(t, s, "aaaa", 100)
+	report := []byte(`{"scenario":"sod","pass":true,"l1Density":0.042}`)
+	if err := s.PutReport("aaaa", report); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.ReadReport("aaaa")
+	if !ok || !bytes.Equal(got, report) {
+		t.Fatalf("ReadReport = %q ok=%v, want the stored bytes", got, ok)
+	}
+
+	// Reopen: the report must come back byte-identical.
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok = s2.ReadReport("aaaa")
+	if !ok || !bytes.Equal(got, report) {
+		t.Fatalf("after reopen ReadReport = %q ok=%v, want identical bytes", got, ok)
+	}
+
+	// PutReport for an unknown entry is an error.
+	if err := s2.PutReport("nope", report); err == nil {
+		t.Error("PutReport accepted an unknown entry")
+	}
+}
+
+func TestReportEvictedWithEntryAndCorruptReportDropped(t *testing.T) {
+	clock := newClock()
+	dir := t.TempDir()
+	s, err := Open(dir, Options{TTL: time.Hour, Now: clock.now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	put(t, s, "aaaa", 100)
+	if err := s.PutReport("aaaa", []byte(`{"pass":true}`)); err != nil {
+		t.Fatal(err)
+	}
+	// TTL eviction removes the report file with the entry.
+	clock.advance(2 * time.Hour)
+	s.Sweep()
+	if _, err := os.Stat(filepath.Join(dir, "reports", "aaaa.json")); !os.IsNotExist(err) {
+		t.Errorf("report file survives entry eviction: %v", err)
+	}
+	if _, ok := s.ReadReport("aaaa"); ok {
+		t.Error("evicted entry still serves a report")
+	}
+
+	// A tampered report fails its CRC and is dropped, not served.
+	put(t, s, "bbbb", 100)
+	if err := s.PutReport("bbbb", []byte(`{"pass":true}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "reports", "bbbb.json"), []byte(`{"pass":false}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if b, ok := s.ReadReport("bbbb"); ok {
+		t.Errorf("tampered report served: %q", b)
+	}
+	// The snapshot entry itself is unaffected.
+	if _, ok := s.Get("bbbb"); !ok {
+		t.Error("entry lost after report corruption")
+	}
+}
+
+func TestStaleReportRemovedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	put(t, s, "aaaa", 50)
+	if err := s.PutReport("aaaa", []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	// Lose the object: reopening drops the entry and its stale report.
+	if err := os.Remove(filepath.Join(dir, "objects", "aaaa.sph")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "reports", "aaaa.json")); !os.IsNotExist(err) {
+		t.Errorf("stale report survives reopen: %v", err)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	put(t, s, "aaaa", 100)
+	if err := s.PutReport("aaaa", []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	s.Get("aaaa")                                         // hit
+	s.Get("nope")                                         // miss
+	s.Get("aaaa")                                         // hit
+	if _, _, err := s.OpenObject("missing"); err == nil { // miss
+		t.Fatal("OpenObject for a missing entry succeeded")
+	}
+	// Has is a bookkeeping check: no effect on the counters.
+	if !s.Has("aaaa") || s.Has("nope") {
+		t.Error("Has misreports entry liveness")
+	}
+	st := s.Stats()
+	if st.Entries != 1 || st.Bytes != 100 || st.Reports != 1 {
+		t.Errorf("stats %+v, want 1 entry / 100 bytes / 1 report", st)
+	}
+	if st.Hits != 2 || st.Misses != 2 || st.HitRate != 0.5 {
+		t.Errorf("stats %+v, want hits=2 misses=2 hitRate=0.5", st)
+	}
+	if st.Quarantined != 0 {
+		t.Errorf("stats %+v, want no quarantined objects", st)
+	}
+}

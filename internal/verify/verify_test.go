@@ -1,0 +1,212 @@
+package verify
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/analytic"
+	"repro/internal/conserve"
+	"repro/internal/part"
+	"repro/internal/vec"
+)
+
+// uniformSolution is a trivial reference: constant density/pressure, zero
+// velocity, valid everywhere.
+type uniformSolution struct{ rho, p float64 }
+
+func (u uniformSolution) Name() string { return "uniform" }
+func (u uniformSolution) Eval(pos vec.V3, t float64) (analytic.State, bool) {
+	return analytic.State{Rho: u.rho, P: u.p}, true
+}
+
+// snapshot builds n particles exactly matching the uniform reference.
+func snapshot(n int) *part.Set {
+	ps := part.New(n)
+	for i := 0; i < n; i++ {
+		ps.ID[i] = int64(i)
+		ps.Pos[i] = vec.V3{X: float64(i)}
+		ps.Mass[i] = 1
+		ps.H[i] = 1
+		ps.Rho[i] = 1
+		ps.P[i] = 1
+		ps.U[i] = 1
+	}
+	return ps
+}
+
+// TestTrimmedNormsRejectOutliers is the robust-estimation property: a few
+// particles smeared across a discontinuity (injected outliers) dominate
+// the plain norms but are discarded by the trimmed variants.
+func TestTrimmedNormsRejectOutliers(t *testing.T) {
+	const n = 200
+	ps := snapshot(n)
+	// Contaminate 4 of 200 particles (2% < the 5% trim allowance) with a
+	// gross density error.
+	for i := 0; i < 4; i++ {
+		ps.Rho[i*50] = 11 // error of 10 against reference 1
+	}
+	rep := Evaluate(Input{
+		Scenario:   "uniform",
+		PS:         ps,
+		Solution:   uniformSolution{rho: 1, p: 1},
+		Thresholds: Thresholds{L1Density: 0.01},
+	})
+	if rep.Compared != n {
+		t.Fatalf("compared %d, want %d", rep.Compared, n)
+	}
+	var density Norms
+	for _, f := range rep.Fields {
+		if f.Field == "density" {
+			density = f.Norms
+		}
+	}
+	// Plain norms see the contamination: L1 = 4*10/200 = 0.2, Linf = 10.
+	if math.Abs(density.L1-0.2) > 1e-12 {
+		t.Errorf("plain L1 = %g, want 0.2", density.L1)
+	}
+	if math.Abs(density.LInf-10) > 1e-12 {
+		t.Errorf("plain Linf = %g, want 10", density.LInf)
+	}
+	// Trimmed norms (q=0.95 default: worst 10 of 200 dropped) are clean.
+	if density.Trimmed != 10 {
+		t.Errorf("trimmed %d samples, want 10", density.Trimmed)
+	}
+	if density.TrimmedL1 != 0 || density.TrimmedLInf != 0 {
+		t.Errorf("trimmed norms = %g / %g, want 0 (outliers discarded)", density.TrimmedL1, density.TrimmedLInf)
+	}
+	// The acceptance check binds on the trimmed L1, so it passes despite
+	// the contaminated plain norms.
+	if !rep.Pass {
+		t.Errorf("report failed: %+v", rep.Checks)
+	}
+
+	// With contamination beyond the trim allowance the check fails.
+	ps2 := snapshot(n)
+	for i := 0; i < 30; i++ { // 15% > 5% allowance
+		ps2.Rho[i] = 11
+	}
+	rep2 := Evaluate(Input{
+		Scenario:   "uniform",
+		PS:         ps2,
+		Solution:   uniformSolution{rho: 1, p: 1},
+		Thresholds: Thresholds{L1Density: 0.01},
+	})
+	if rep2.Pass {
+		t.Error("report passed despite contamination beyond the trim quantile")
+	}
+}
+
+func TestConservationOnlyReport(t *testing.T) {
+	ps := snapshot(10)
+	initial := conserve.Measure(ps, nil)
+	// Perturb the energy: double one particle's internal energy.
+	ps.U[0] = 2
+	rep := Evaluate(Input{
+		Scenario:    "cube",
+		PS:          ps,
+		Thresholds:  Thresholds{MaxEnergyDrift: 1e-6},
+		Initial:     initial,
+		HaveInitial: true,
+	})
+	if rep.Reference != "" || rep.Fields != nil {
+		t.Errorf("reference-free report carries field errors: %+v", rep)
+	}
+	if rep.Conservation.Energy <= 0 {
+		t.Errorf("energy drift = %g, want > 0", rep.Conservation.Energy)
+	}
+	if rep.Pass {
+		t.Error("report passed despite energy drift beyond threshold")
+	}
+	// No thresholds at all: trivially passing, drift still reported.
+	rep2 := Evaluate(Input{Scenario: "cube", PS: ps, Initial: initial, HaveInitial: true})
+	if !rep2.Pass || len(rep2.Checks) != 0 {
+		t.Errorf("thresholdless report: pass=%v checks=%v", rep2.Pass, rep2.Checks)
+	}
+}
+
+// invalidEverywhere is a reference whose validity domain excludes every
+// point (e.g. a solution overrun by boundary effects).
+type invalidEverywhere struct{}
+
+func (invalidEverywhere) Name() string { return "invalid" }
+func (invalidEverywhere) Eval(pos vec.V3, t float64) (analytic.State, bool) {
+	return analytic.State{}, false
+}
+
+// TestUnscorableReferenceFailsLoudly: registered norm gates that cannot be
+// evaluated — the reference failed to construct, or no particle lies in
+// its validity domain — must fail the report, not silently pass on drift.
+func TestUnscorableReferenceFailsLoudly(t *testing.T) {
+	ps := snapshot(10)
+
+	rep := Evaluate(Input{
+		Scenario:   "sod",
+		PS:         ps,
+		Solution:   invalidEverywhere{},
+		Thresholds: Thresholds{L1Density: 0.1},
+	})
+	if rep.Compared != 0 {
+		t.Fatalf("compared %d, want 0", rep.Compared)
+	}
+	if rep.Pass {
+		t.Error("report passed with zero compared particles against a registered norm gate")
+	}
+	found := false
+	for _, c := range rep.Checks {
+		if c.Name == "reference-coverage" && !c.Pass {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no failing reference-coverage check: %+v", rep.Checks)
+	}
+
+	rep2 := Evaluate(Input{
+		Scenario:     "sod",
+		PS:           ps,
+		ReferenceErr: errors.New("vacuum states"),
+		Thresholds:   Thresholds{L1Density: 0.1},
+	})
+	if rep2.Pass || rep2.ReferenceError == "" {
+		t.Errorf("report with failed reference construction: pass=%v err=%q", rep2.Pass, rep2.ReferenceError)
+	}
+
+	// Without any norm bound the sentinels do not apply (sedov-style
+	// conservation-only acceptance stays meaningful at compared=0).
+	rep3 := Evaluate(Input{Scenario: "sedov", PS: ps, Solution: invalidEverywhere{}})
+	if !rep3.Pass || len(rep3.Checks) != 0 {
+		t.Errorf("norm-boundless report: pass=%v checks=%v", rep3.Pass, rep3.Checks)
+	}
+}
+
+// TestReportJSONRollup pins the JSON keys the job-list rollup reads
+// (reference, pass, l1Density).
+func TestReportJSONRollup(t *testing.T) {
+	ps := snapshot(20)
+	for i := 0; i < 20; i++ {
+		ps.Rho[i] = 1.1 // uniform 10% error; survives trimming
+	}
+	rep := Evaluate(Input{
+		Scenario:   "uniform",
+		PS:         ps,
+		Solution:   uniformSolution{rho: 1, p: 1},
+		Thresholds: Thresholds{L1Density: 0.05},
+	})
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var roll struct {
+		Reference string  `json:"reference"`
+		Pass      bool    `json:"pass"`
+		L1Density float64 `json:"l1Density"`
+	}
+	if err := json.Unmarshal(b, &roll); err != nil {
+		t.Fatal(err)
+	}
+	if roll.Reference != "uniform" || roll.Pass || math.Abs(roll.L1Density-0.1) > 1e-9 {
+		t.Errorf("rollup = %+v, want reference=uniform pass=false l1Density=0.1", roll)
+	}
+}
