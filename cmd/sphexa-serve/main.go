@@ -1,16 +1,21 @@
-// Command sphexa-serve exposes the mini-app as a simulation service: an
-// HTTP API over the scenario registry and the distributed engine. Jobs are
-// submitted as canonical scenario specs (singly or as batches), executed on
-// a bounded worker pool, checkpointed for crash recovery, cached by spec
-// hash, and their final particle snapshots served in the part binary
+// Command sphexa-serve exposes the mini-app as a simulation service: a
+// versioned /v1 HTTP API over the scenario registry and both execution
+// engines. Jobs are submitted as typed JobSpecs (scenario spec + execution
+// section choosing the serial or distributed backend, machine model, and
+// parent-code cost calibration — all covered by the spec hash), executed
+// on a bounded worker pool, checkpointed for crash recovery, cached by
+// spec hash, and their final particle snapshots served in the part binary
 // checkpoint format. Completed jobs are scored against their scenario's
-// analytic reference (GET /jobs/{id}/metrics). With -store-dir set,
-// completed results and their verification reports persist in a
-// content-addressed disk store (internal/store) bounded by -store-ttl and
-// -store-max-bytes, so identical resubmissions hit disk even across
+// analytic reference (GET /v1/jobs/{id}/metrics), and POST /v1/experiments
+// runs whole N-convergence sweeps server-side, persisting the norm-vs-N
+// regression like any result. With -store-dir set, completed results and
+// their verification reports persist in a content-addressed disk store
+// (internal/store, objects sharded by hash prefix) bounded by -store-ttl
+// and -store-max-bytes, so identical resubmissions hit disk even across
 // restarts; a background goroutine sweeps the TTL/LRU eviction policy
 // every -store-sweep so idle entries expire without traffic, and
-// GET /storez reports store metrics.
+// GET /v1/store reports store metrics. The pre-/v1 unversioned routes
+// remain as deprecated aliases (Deprecation: true).
 //
 //	sphexa-serve -addr :8080 -workers 4 -data-dir /var/lib/sphexa \
 //	    -store-dir /var/lib/sphexa/results -store-ttl 168h -store-max-bytes 1073741824

@@ -1,0 +1,179 @@
+// Command sphexa-smoke is the /v1 API contract smoke: against a running
+// sphexa-serve instance it drives, through the reusable pkg/client, exactly
+// the guarantees the API redesign makes —
+//
+//  1. a small Sod convergence experiment (POST /v1/experiments) completes
+//     and serves per-N L1 density norms with a fitted convergence order in
+//     a sane band;
+//  2. resubmitting the identical sweep is a cache hit served from the
+//     persisted result;
+//  3. the same member JobSpec under a different execution backend hashes
+//     (and stores) differently — backends never share results;
+//  4. the legacy unversioned routes still answer and carry the
+//     Deprecation + successor-version Link headers.
+//
+// Any regression exits non-zero, which is what CI keys on.
+//
+//	sphexa-smoke -addr http://127.0.0.1:8080 -ns 500,1000,2000 -steps 10
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/scenario"
+	"repro/pkg/client"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://127.0.0.1:8080", "sphexa-serve base URL")
+		scen     = flag.String("scenario", "sod", "scenario to sweep (needs an analytic reference)")
+		nsCSV    = flag.String("ns", "500,1000,2000", "comma-separated particle-count ladder")
+		steps    = flag.Int("steps", 10, "steps per member job")
+		nbrs     = flag.Int("neighbors", 30, "neighbor target per member job")
+		cores    = flag.Int("cores", 4, "modeled cores per member job")
+		timeout  = flag.Duration("timeout", 10*time.Minute, "overall deadline")
+		minOrder = flag.Float64("min-order", 0.05, "lower bound on the fitted convergence order")
+		maxOrder = flag.Float64("max-order", 8, "upper bound on the fitted convergence order")
+	)
+	flag.Parse()
+	if err := run(*addr, *scen, *nsCSV, *steps, *nbrs, *cores, *timeout, *minOrder, *maxOrder); err != nil {
+		fmt.Fprintln(os.Stderr, "sphexa-smoke: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("sphexa-smoke: PASS")
+}
+
+func run(addr, scen, nsCSV string, steps, nbrs, cores int,
+	timeout time.Duration, minOrder, maxOrder float64) error {
+
+	var ns []int
+	for _, f := range strings.Split(nsCSV, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return fmt.Errorf("bad -ns entry %q: %w", f, err)
+		}
+		ns = append(ns, n)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	c := client.New(addr)
+
+	// The server may still be binding its listener (CI starts it in the
+	// background); retry the health probe briefly.
+	var err error
+	for i := 0; i < 50; i++ {
+		if err = c.Health(ctx); err == nil {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("server never became healthy: %w", err)
+		case <-time.After(200 * time.Millisecond):
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("server never became healthy: %w", err)
+	}
+
+	sweep := experiments.Sweep{
+		Base: scenario.JobSpec{Spec: scenario.Spec{
+			Scenario: scen,
+			Params:   scenario.Params{NNeighbors: nbrs},
+			Steps:    steps,
+			Cores:    cores,
+		}},
+		Ns: ns,
+	}
+
+	// 1. The convergence experiment completes with norms and a sane order.
+	exp, err := c.SubmitExperiment(ctx, sweep)
+	if err != nil {
+		return fmt.Errorf("submitting experiment: %w", err)
+	}
+	fmt.Printf("experiment %s (%s, N=%v): %s\n", exp.ID, scen, ns, exp.State)
+	if exp, err = c.WaitExperiment(ctx, exp.ID); err != nil {
+		return fmt.Errorf("waiting for experiment: %w", err)
+	}
+	if exp.State != client.StateCompleted {
+		return fmt.Errorf("experiment ended %s: %s", exp.State, exp.Error)
+	}
+	res := exp.Result
+	if res == nil {
+		return fmt.Errorf("completed experiment carries no result")
+	}
+	if len(res.Points) != len(ns) {
+		return fmt.Errorf("result has %d points, want %d", len(res.Points), len(ns))
+	}
+	for _, p := range res.Points {
+		fmt.Printf("  N=%-6d particles=%-6d L1(density)=%.4f pass=%v\n",
+			p.N, p.Particles, p.L1Density, p.Pass)
+		if p.L1Density <= 0 {
+			return fmt.Errorf("point N=%d has no positive L1 density norm", p.N)
+		}
+	}
+	fmt.Printf("  fitted convergence order %.3f (slope %.3f, R2 %.3f)\n",
+		res.Fit.Order, res.Fit.Slope, res.Fit.R2)
+	if res.Fit.Order < minOrder || res.Fit.Order > maxOrder {
+		return fmt.Errorf("fitted convergence order %.3f outside [%g, %g]",
+			res.Fit.Order, minOrder, maxOrder)
+	}
+
+	// 2. The identical sweep resubmitted is a cache hit from the persisted
+	// result.
+	again, err := c.SubmitExperiment(ctx, sweep)
+	if err != nil {
+		return fmt.Errorf("resubmitting experiment: %w", err)
+	}
+	if again.State != client.StateCompleted || !again.CacheHit {
+		return fmt.Errorf("identical resubmission was not a cache hit: state=%s cacheHit=%v",
+			again.State, again.CacheHit)
+	}
+	if again.Hash != exp.Hash {
+		return fmt.Errorf("identical sweeps hashed differently: %s vs %s", exp.Hash, again.Hash)
+	}
+	fmt.Println("identical resubmission: cache hit")
+
+	// 3. The same member spec under the serial backend is a different job
+	// with a different stored result.
+	parallelHash := res.Points[0].Hash
+	serial := sweep.Base
+	serial.Params.N = res.Points[0].N
+	serial.Exec = scenario.Exec{Backend: scenario.BackendSerial}
+	sj, err := c.Submit(ctx, serial)
+	if err != nil {
+		return fmt.Errorf("submitting serial-backend member: %w", err)
+	}
+	if sj.Hash == parallelHash {
+		return fmt.Errorf("serial and parallel backends share hash %s", sj.Hash)
+	}
+	if sj, err = c.WaitJob(ctx, sj.ID); err != nil {
+		return fmt.Errorf("waiting for serial job: %w", err)
+	}
+	if sj.State != client.StateCompleted {
+		return fmt.Errorf("serial-backend job ended %s: %s", sj.State, sj.Error)
+	}
+	fmt.Printf("serial backend: distinct hash %.12s, completed\n", sj.Hash)
+
+	// 4. Legacy routes answer with the deprecation signal.
+	for _, path := range []string{"/scenarios", "/jobs", "/storez"} {
+		dep, link, err := c.Deprecation(ctx, path)
+		if err != nil {
+			return fmt.Errorf("legacy route %s: %w", path, err)
+		}
+		if dep != "true" || !strings.Contains(link, `rel="successor-version"`) {
+			return fmt.Errorf("legacy route %s lost its deprecation signal (Deprecation=%q, Link=%q)",
+				path, dep, link)
+		}
+	}
+	fmt.Println("legacy routes: deprecation headers intact")
+	return nil
+}

@@ -22,6 +22,17 @@
 //	sphexa -scenario square -kernel wendland-c2 -gradients kd -steps 10
 //	sphexa -scenario sod -n 8000 -steps 20 -verify
 //	sphexa -scenario noh -checkpoint-dir /tmp/ck -restart
+//
+// With -server, the job is not run locally at all: it is submitted to a
+// running sphexa-serve instance through the reusable /v1 client
+// (pkg/client) as a typed JobSpec — -backend/-machine/-cost select the
+// execution section, -cores the modeled core count — and the CLI polls
+// progress, prints the verification rollup, and (with -verify) fetches and
+// prints the full persisted report:
+//
+//	sphexa -server http://localhost:8080 -scenario sod -n 8000 -steps 20 -verify
+//	sphexa -server http://localhost:8080 -scenario sod -backend serial -verify
+//	sphexa -server http://localhost:8080 -scenario evrard -machine marenostrum -cost sphynx
 package main
 
 import (
@@ -34,6 +45,7 @@ import (
 	"runtime"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/conserve"
 	"repro/internal/core"
@@ -46,6 +58,7 @@ import (
 	"repro/internal/sph"
 	"repro/internal/ts"
 	"repro/internal/verify"
+	"repro/pkg/client"
 )
 
 func main() {
@@ -67,14 +80,92 @@ func main() {
 		sdc       = flag.Bool("sdc", true, "run silent-data-corruption detectors every step")
 		doVerify  = flag.Bool("verify", false,
 			"score the final snapshot against the scenario's analytic reference and print the verification report; exit non-zero if the registered acceptance thresholds fail")
+		serverURL = flag.String("server", "",
+			"submit the job to a running sphexa-serve instance (base URL) through pkg/client instead of executing locally; engine flags (-kernel, -gradients, ...) are ignored remotely")
+		backend = flag.String("backend", "",
+			"execution backend of a -server job: parallel (default) or serial")
+		machine = flag.String("machine", "",
+			"modeled machine of a -server job (daint, marenostrum; empty = server default)")
+		costModel = flag.String("cost", "",
+			"parent-code cost calibration of a -server job (sphynx, changa, sphflow; empty = server default)")
+		cores = flag.Int("cores", 0, "modeled core count of a -server job")
 	)
 	flag.StringVar(test, "test", *test, "deprecated alias for -scenario")
 	flag.Parse()
-	if err := run(*test, *n, *steps, *kern, *gradients, *volumes, *stepping,
-		*neighbors, *gravOrder, *workers, *ckptDir, *ckptEvery, *restart, *sdc, *doVerify); err != nil {
+	var err error
+	if *serverURL != "" {
+		err = runRemote(*serverURL, *test, *n, *steps, *neighbors, *cores,
+			*backend, *machine, *costModel, *doVerify)
+	} else {
+		err = run(*test, *n, *steps, *kern, *gradients, *volumes, *stepping,
+			*neighbors, *gravOrder, *workers, *ckptDir, *ckptEvery, *restart, *sdc, *doVerify)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "sphexa:", err)
 		os.Exit(1)
 	}
+}
+
+// runRemote submits the job to a sphexa-serve instance as a typed /v1
+// JobSpec and follows it to completion through the shared client.
+func runRemote(base, test string, n, steps, neighbors, cores int,
+	backend, machine, costModel string, doVerify bool) error {
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	c := client.New(base)
+
+	spec := scenario.JobSpec{
+		Spec: scenario.Spec{
+			Scenario: test,
+			Params:   scenario.Params{N: n, NNeighbors: neighbors},
+			Steps:    steps,
+			Cores:    cores,
+		},
+		Exec: scenario.Exec{Backend: backend, Machine: machine, Cost: costModel},
+	}
+	job, err := c.Submit(ctx, spec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sphexa: submitted %s to %s (job %s, hash %.12s, cacheHit=%v)\n",
+		test, base, job.ID, job.Hash, job.CacheHit)
+
+	lastStep := -1
+	for !job.Terminal() {
+		if job.Progress.Step != lastStep {
+			lastStep = job.Progress.Step
+			fmt.Printf("  step %d/%d t=%.6f\n", job.Progress.Step, job.Progress.Total, job.Progress.SimTime)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(200 * time.Millisecond):
+		}
+		if job, err = c.Job(ctx, job.ID); err != nil {
+			return err
+		}
+	}
+	switch job.State {
+	case client.StateCompleted:
+		fmt.Printf("completed: %d steps, t=%.6f\n", job.Progress.Step, job.Progress.SimTime)
+	default:
+		return fmt.Errorf("job %s ended %s: %s", job.ID, job.State, job.Error)
+	}
+	if v := job.Verify; v != nil {
+		fmt.Printf("verify rollup: reference=%s pass=%v l1Density=%.4g\n", v.Reference, v.Pass, v.L1Density)
+	}
+	if doVerify {
+		rep, err := c.Metrics(ctx, job.ID)
+		if err != nil {
+			return err
+		}
+		printReport(rep)
+		if !rep.Pass {
+			return fmt.Errorf("verification failed: %s", failedChecks(rep))
+		}
+	}
+	return nil
 }
 
 func run(test string, n, steps int, kern, gradients, volumes, stepping string,

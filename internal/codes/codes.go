@@ -117,15 +117,35 @@ func All() []*Code { return []*Code{SPHYNX(), ChaNGa(), SPHflow()} }
 
 // ByName resolves a code model by (case-tolerant) short name.
 func ByName(name string) (*Code, error) {
-	switch name {
-	case "sphynx", "SPHYNX":
+	canon, err := CanonicalName(name)
+	if err != nil {
+		return nil, err
+	}
+	switch canon {
+	case "sphynx":
 		return SPHYNX(), nil
-	case "changa", "ChaNGa":
+	case "changa":
 		return ChaNGa(), nil
-	case "sphflow", "sph-flow", "SPH-flow":
+	case "sphflow":
 		return SPHflow(), nil
 	}
-	return nil, fmt.Errorf("codes: unknown code %q (have sphynx, changa, sphflow)", name)
+	// Unreachable while this switch and CanonicalName agree; a loud panic
+	// beats silently serving the wrong calibration if they ever diverge.
+	panic(fmt.Sprintf("codes: CanonicalName returned unhandled name %q", canon))
+}
+
+// CanonicalName maps a code name or alias to its canonical short name, so
+// two specs naming the same calibration differently hash identically.
+func CanonicalName(name string) (string, error) {
+	switch name {
+	case "sphynx", "SPHYNX":
+		return "sphynx", nil
+	case "changa", "ChaNGa":
+		return "changa", nil
+	case "sphflow", "sph-flow", "SPH-flow":
+		return "sphflow", nil
+	}
+	return "", fmt.Errorf("codes: unknown code %q (have sphynx, changa, sphflow)", name)
 }
 
 // Generate builds the initial conditions of a test at n particles with this

@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/scenario"
+)
+
+// This file promotes convergence studies — the norm-vs-N sweeps behind the
+// paper's quantitative claims — from client-side scripting to a first-class
+// experiment object the job API serves (POST /v1/experiments). The paired
+// lesson of Imai, King & Nall (arXiv:0910.3752) applies directly: members
+// of a comparison must be structured together, by the system, not
+// assembled ad hoc after the fact — so the sweep itself has a canonical
+// identity (hash), its members run through the same job pipeline as any
+// other submission, and the fitted regression persists like any result.
+
+// MaxSweepPoints bounds one sweep; each point is a full member job.
+const MaxSweepPoints = 16
+
+// Sweep is an N-convergence experiment: one base job spec executed at a
+// ladder of particle counts, with every other knob (steps, execution
+// backend, scenario parameters) held fixed.
+type Sweep struct {
+	// Base is the member template; Base.Params.N is overridden per point.
+	Base scenario.JobSpec `json:"base"`
+	// Ns are the particle counts of the sweep (at least two, positive,
+	// duplicates collapse).
+	Ns []int `json:"ns"`
+}
+
+// Canonical resolves the base spec against the scenario registry, sorts and
+// deduplicates the N ladder, and validates the sweep shape. The base N is
+// forced to the smallest ladder point so two sweeps differing only in the
+// (ignored) template N hash identically.
+func (sw Sweep) Canonical() (Sweep, error) {
+	if len(sw.Ns) == 0 {
+		return sw, fmt.Errorf("experiments: sweep has no particle counts")
+	}
+	ns := append([]int(nil), sw.Ns...)
+	sort.Ints(ns)
+	dedup := ns[:1]
+	for _, n := range ns[1:] {
+		if n != dedup[len(dedup)-1] {
+			dedup = append(dedup, n)
+		}
+	}
+	if dedup[0] <= 0 {
+		return sw, fmt.Errorf("experiments: sweep particle count %d is not positive", dedup[0])
+	}
+	if len(dedup) < 2 {
+		return sw, fmt.Errorf("experiments: a convergence sweep needs at least 2 distinct particle counts")
+	}
+	if len(dedup) > MaxSweepPoints {
+		return sw, fmt.Errorf("experiments: sweep of %d points exceeds the %d-point limit",
+			len(dedup), MaxSweepPoints)
+	}
+	sw.Ns = dedup
+	sw.Base.Params.N = dedup[0]
+	base, err := sw.Base.Canonical()
+	if err != nil {
+		return sw, err
+	}
+	sw.Base = base
+	return sw, nil
+}
+
+// Member returns the canonical member job spec of one ladder point.
+func (sw Sweep) Member(n int) scenario.JobSpec {
+	js := sw.Base
+	js.Params.N = n
+	return js
+}
+
+// Hash returns the hex SHA-256 of the canonical sweep, domain-separated
+// from job hashes (an experiment result and a snapshot can never collide in
+// the content-addressed store).
+func (sw Sweep) Hash() (string, error) {
+	c, err := sw.Canonical()
+	if err != nil {
+		return "", err
+	}
+	b, err := json.Marshal(struct {
+		Kind  string `json:"kind"`
+		Sweep Sweep  `json:"sweep"`
+	}{Kind: "experiment/convergence", Sweep: c})
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Point is one member's contribution to the norm-vs-N regression.
+type Point struct {
+	// N is the requested particle count; Particles the realized one (the
+	// generators round to lattice sides).
+	N         int `json:"n"`
+	Particles int `json:"particles,omitempty"`
+	// L1Density is the member report's trimmed relative L1 density error
+	// against the analytic reference — the headline norm the fit runs on.
+	L1Density float64 `json:"l1Density"`
+	// Pass is the member report's overall acceptance outcome.
+	Pass bool `json:"pass"`
+	// Hash addresses the member's result in the store.
+	Hash string `json:"hash,omitempty"`
+}
+
+// Fit is the least-squares regression of log(L1) against log(N).
+type Fit struct {
+	// Slope is d log(L1) / d log(N) (negative for a converging method).
+	Slope float64 `json:"slope"`
+	// Order is the convergence order in resolution length h ~ N^(-1/3)
+	// (3D): Order = -3*Slope. A first-order shock-capturing scheme sits
+	// near 1.
+	Order float64 `json:"order"`
+	// Intercept is the fitted log(L1) at log(N)=0.
+	Intercept float64 `json:"intercept"`
+	// R2 is the coefficient of determination of the log-log fit (1 on two
+	// points, by construction).
+	R2 float64 `json:"r2"`
+}
+
+// FitOrder fits the convergence regression over the points. The abscissa is
+// the realized particle count when recorded (generators round the requested
+// N to lattice sides, and the rounding is not proportional — regressing on
+// the requested N would bias the fitted order), falling back to the
+// requested N. Every point must carry a positive norm (a zero norm means
+// the member was never scored against a reference — that is a caller
+// error, not a perfect fit).
+func FitOrder(points []Point) (Fit, error) {
+	if len(points) < 2 {
+		return Fit{}, fmt.Errorf("experiments: convergence fit needs at least 2 points, have %d", len(points))
+	}
+	xs := make([]float64, len(points))
+	ys := make([]float64, len(points))
+	for i, p := range points {
+		if p.L1Density <= 0 {
+			return Fit{}, fmt.Errorf("experiments: point N=%d has no positive L1 density norm", p.N)
+		}
+		n := p.Particles
+		if n <= 0 {
+			n = p.N
+		}
+		xs[i] = math.Log(float64(n))
+		ys[i] = math.Log(p.L1Density)
+	}
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/float64(len(xs)), sy/float64(len(ys))
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Fit{}, fmt.Errorf("experiments: all points share one particle count")
+	}
+	slope := sxy / sxx
+	fit := Fit{
+		Slope:     slope,
+		Order:     -3 * slope,
+		Intercept: my - slope*mx,
+		R2:        1,
+	}
+	if syy > 0 {
+		ss := 0.0
+		for i := range xs {
+			r := ys[i] - (fit.Intercept + slope*xs[i])
+			ss += r * r
+		}
+		fit.R2 = 1 - ss/syy
+	}
+	return fit, nil
+}
+
+// Result is the served (and persisted) outcome of a convergence experiment:
+// the per-N norms and the fitted regression.
+type Result struct {
+	Scenario string `json:"scenario"`
+	// Field names the norm the regression runs on.
+	Field  string  `json:"field"`
+	Points []Point `json:"points"`
+	Fit    Fit     `json:"fit"`
+}

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+func sweep(ns ...int) Sweep {
+	return Sweep{
+		Base: scenario.JobSpec{Spec: scenario.Spec{
+			Scenario: "sedov",
+			Params:   scenario.Params{N: 9999, NNeighbors: 20, Extra: map[string]float64{"energy": 1}},
+			Steps:    5,
+		}},
+		Ns: ns,
+	}
+}
+
+// TestSweepCanonicalization: ladders sort, deduplicate, and ignore the
+// template N; degenerate sweeps are rejected.
+func TestSweepCanonicalization(t *testing.T) {
+	c, err := sweep(2000, 500, 1000, 500).Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{500, 1000, 2000}
+	if len(c.Ns) != len(want) {
+		t.Fatalf("canonical ladder %v, want %v", c.Ns, want)
+	}
+	for i := range want {
+		if c.Ns[i] != want[i] {
+			t.Fatalf("canonical ladder %v, want %v", c.Ns, want)
+		}
+	}
+	if c.Base.Params.N != 500 {
+		t.Fatalf("template N %d, want the smallest ladder point", c.Base.Params.N)
+	}
+
+	// Equivalent spellings hash identically; different ladders differently.
+	h1, err := sweep(2000, 500, 1000).Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := sweep(500, 500, 1000, 2000).Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatalf("equivalent sweeps hash differently: %s vs %s", h1, h2)
+	}
+	h3, err := sweep(500, 1000).Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h3 == h1 {
+		t.Fatal("different ladders share a hash")
+	}
+	// A sweep hash never collides with its own base job hash (domain
+	// separation), so experiment results and snapshots share the store.
+	c1, _ := sweep(500, 1000).Canonical()
+	jh, err := c1.Base.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jh == h3 {
+		t.Fatal("sweep hash equals member job hash")
+	}
+
+	for _, bad := range [][]int{nil, {500}, {500, 500}, {0, 500}, make([]int, 0)} {
+		if _, err := sweep(bad...).Canonical(); err == nil {
+			t.Errorf("ladder %v accepted", bad)
+		}
+	}
+	long := make([]int, MaxSweepPoints+1)
+	for i := range long {
+		long[i] = 100 * (i + 1)
+	}
+	if _, err := sweep(long...).Canonical(); err == nil {
+		t.Error("over-long ladder accepted")
+	}
+}
+
+// TestFitOrderRecoversKnownSlope: synthetic norms err = C * N^(-p/3) fit
+// back to order p exactly (R2 = 1).
+func TestFitOrderRecoversKnownSlope(t *testing.T) {
+	const order = 1.7
+	var points []Point
+	for _, n := range []int{500, 1000, 2000, 4000} {
+		points = append(points, Point{
+			N:         n,
+			L1Density: 0.8 * math.Pow(float64(n), -order/3),
+		})
+	}
+	fit, err := FitOrder(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Order-order) > 1e-9 {
+		t.Fatalf("fitted order %g, want %g", fit.Order, order)
+	}
+	if math.Abs(fit.Slope+order/3) > 1e-9 {
+		t.Fatalf("fitted slope %g, want %g", fit.Slope, -order/3)
+	}
+	if math.Abs(fit.R2-1) > 1e-9 {
+		t.Fatalf("R2 %g on exact data, want 1", fit.R2)
+	}
+
+	// The fit regresses on the realized particle count when recorded: the
+	// same norms keyed by rounded requested Ns but exact realized counts
+	// recover the exact order.
+	realized := make([]Point, len(points))
+	for i, p := range points {
+		realized[i] = Point{N: p.N + 37, Particles: p.N, L1Density: p.L1Density}
+	}
+	fitR, err := FitOrder(realized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fitR.Order-order) > 1e-9 {
+		t.Fatalf("fit ignored realized counts: order %g, want %g", fitR.Order, order)
+	}
+
+	// Noisy data still fits but with R2 < 1.
+	noisy := append([]Point(nil), points...)
+	noisy[1].L1Density *= 1.3
+	fit2, err := FitOrder(noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit2.R2 >= 1 || fit2.R2 <= 0 {
+		t.Fatalf("noisy R2 %g", fit2.R2)
+	}
+}
+
+// TestFitOrderRejectsDegenerateInput: too few points, non-positive norms,
+// and single-N ladders are errors, not NaNs.
+func TestFitOrderRejectsDegenerateInput(t *testing.T) {
+	if _, err := FitOrder([]Point{{N: 500, L1Density: 0.1}}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, err := FitOrder([]Point{{N: 500, L1Density: 0.1}, {N: 1000, L1Density: 0}}); err == nil {
+		t.Error("zero norm accepted")
+	}
+	if _, err := FitOrder([]Point{{N: 500, L1Density: 0.1}, {N: 500, L1Density: 0.2}}); err == nil {
+		t.Error("single-N ladder accepted")
+	}
+}

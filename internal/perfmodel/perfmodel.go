@@ -69,13 +69,31 @@ func MareNostrum() *Machine {
 
 // ByName returns a machine model by short name ("daint", "marenostrum").
 func ByName(name string) (*Machine, error) {
-	switch name {
-	case "daint", "pizdaint", "piz-daint":
+	canon, err := CanonicalName(name)
+	if err != nil {
+		return nil, err
+	}
+	switch canon {
+	case "daint":
 		return PizDaint(), nil
-	case "marenostrum", "mn4", "marenostrum4":
+	case "marenostrum":
 		return MareNostrum(), nil
 	}
-	return nil, fmt.Errorf("perfmodel: unknown machine %q (have daint, marenostrum)", name)
+	// Unreachable while this switch and CanonicalName agree; a loud panic
+	// beats silently serving the wrong machine model if they ever diverge.
+	panic(fmt.Sprintf("perfmodel: CanonicalName returned unhandled name %q", canon))
+}
+
+// CanonicalName maps a machine name or alias to its canonical short name,
+// so two specs naming the same machine differently hash identically.
+func CanonicalName(name string) (string, error) {
+	switch name {
+	case "daint", "pizdaint", "piz-daint":
+		return "daint", nil
+	case "marenostrum", "mn4", "marenostrum4":
+		return "marenostrum", nil
+	}
+	return "", fmt.Errorf("perfmodel: unknown machine %q (have daint, marenostrum)", name)
 }
 
 // Net is a simmpi.CostModel over the machine for a given rank-to-node

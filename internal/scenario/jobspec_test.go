@@ -1,0 +1,192 @@
+package scenario
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func baseJobSpec() JobSpec {
+	return JobSpec{Spec: Spec{
+		Scenario: "sedov",
+		Params:   Params{N: 1000, NNeighbors: 30},
+		Steps:    10,
+		Cores:    4,
+	}}
+}
+
+// TestJobSpecDefaultExecPreservesLegacyHash: the canonical encoding of a
+// default execution section is byte-identical to the bare Spec encoding, so
+// results stored before the execution section existed stay addressable.
+func TestJobSpecDefaultExecPreservesLegacyHash(t *testing.T) {
+	js := baseJobSpec()
+	legacyHash, err := js.Spec.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsHash, err := js.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jsHash != legacyHash {
+		t.Fatalf("default-exec JobSpec hash %s != legacy Spec hash %s", jsHash, legacyHash)
+	}
+
+	// An explicitly spelled-out default backend canonicalizes away.
+	spelled := baseJobSpec()
+	spelled.Exec = Exec{Backend: BackendParallel}
+	spelledHash, err := spelled.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spelledHash != legacyHash {
+		t.Fatalf("explicit parallel backend changed the hash: %s vs %s", spelledHash, legacyHash)
+	}
+	c, err := spelled.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Exec.IsZero() {
+		t.Fatalf("canonical default exec not zero: %+v", c.Exec)
+	}
+	b, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), "exec") {
+		t.Fatalf("default exec section serialized: %s", b)
+	}
+}
+
+// TestJobSpecExecChangesHash: every execution axis — backend, machine, cost
+// calibration — is part of the job identity.
+func TestJobSpecExecChangesHash(t *testing.T) {
+	legacy, err := baseJobSpec().Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := []Exec{
+		{Backend: BackendSerial},
+		{Machine: "marenostrum"},
+		{Cost: "changa"},
+		{Machine: "daint", Cost: "sphynx"},
+	}
+	seen := map[string]string{"": legacy}
+	for _, e := range variants {
+		js := baseJobSpec()
+		js.Exec = e
+		h, err := js.Hash()
+		if err != nil {
+			t.Fatalf("exec %+v: %v", e, err)
+		}
+		for k, prev := range seen {
+			if h == prev {
+				t.Fatalf("exec %+v collides with variant %q", e, k)
+			}
+		}
+		b, _ := json.Marshal(e)
+		seen[string(b)] = h
+	}
+}
+
+// TestSerialBackendDropsParallelRunShape: Cores and RanksPerNode cannot
+// affect a shared-memory run, so serial specs differing only in them
+// canonicalize — and hash — identically instead of fragmenting the cache.
+func TestSerialBackendDropsParallelRunShape(t *testing.T) {
+	a := baseJobSpec()
+	a.Exec = Exec{Backend: BackendSerial}
+	a.Cores, a.RanksPerNode = 4, 2
+	b := baseJobSpec()
+	b.Exec = Exec{Backend: BackendSerial}
+	b.Cores, b.RanksPerNode = 8, 0
+	ha, err := a.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := b.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha != hb {
+		t.Fatalf("serial specs differing only in cores hash differently: %s vs %s", ha, hb)
+	}
+	c, err := a.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Cores != 0 || c.RanksPerNode != 0 {
+		t.Fatalf("canonical serial spec keeps run shape: cores=%d ranksPerNode=%d", c.Cores, c.RanksPerNode)
+	}
+	// The parallel spec with the same cores still hashes apart.
+	p := baseJobSpec()
+	p.Cores = 4
+	hp, err := p.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hp == ha {
+		t.Fatal("serial and parallel specs share a hash")
+	}
+}
+
+// TestJobSpecExecAliasesCanonicalize: alias spellings of the same machine
+// or calibration hash identically.
+func TestJobSpecExecAliasesCanonicalize(t *testing.T) {
+	a := baseJobSpec()
+	a.Exec = Exec{Machine: "pizdaint", Cost: "SPHYNX"}
+	b := baseJobSpec()
+	b.Exec = Exec{Machine: "daint", Cost: "sphynx"}
+	ha, err := a.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := b.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha != hb {
+		t.Fatalf("alias spellings hash differently: %s vs %s", ha, hb)
+	}
+}
+
+// TestJobSpecExecValidation: unknown names and inconsistent sections are
+// rejected at canonicalization.
+func TestJobSpecExecValidation(t *testing.T) {
+	cases := []Exec{
+		{Backend: "quantum"},
+		{Machine: "cray-1"},
+		{Cost: "gadget"},
+		{Backend: BackendSerial, Machine: "daint"}, // serial takes no machine
+		{Backend: BackendSerial, Cost: "sphynx"},   // ... nor a calibration
+	}
+	for _, e := range cases {
+		js := baseJobSpec()
+		js.Exec = e
+		if _, err := js.Hash(); err == nil {
+			t.Errorf("exec %+v accepted", e)
+		}
+	}
+}
+
+// TestJobSpecWireDecode: a legacy bare-Spec JSON body decodes as a JobSpec
+// with the zero execution section, and the exec section decodes when
+// present.
+func TestJobSpecWireDecode(t *testing.T) {
+	var legacy JobSpec
+	if err := json.Unmarshal([]byte(`{"scenario":"sedov","params":{"n":100},"steps":5}`), &legacy); err != nil {
+		t.Fatal(err)
+	}
+	if legacy.Scenario != "sedov" || legacy.Steps != 5 || !legacy.Exec.IsZero() {
+		t.Fatalf("legacy decode %+v", legacy)
+	}
+
+	var typed JobSpec
+	err := json.Unmarshal([]byte(
+		`{"scenario":"sedov","steps":5,"exec":{"backend":"serial"}}`), &typed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typed.Exec.Backend != BackendSerial {
+		t.Fatalf("typed decode %+v", typed)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -137,16 +138,20 @@ func Register(s *Scenario) {
 	registry[s.Name] = s
 }
 
+// ErrUnknown marks an unregistered scenario name; the HTTP layer maps it to
+// a distinct error code (and 404) via errors.Is.
+var ErrUnknown = errors.New("scenario: unknown scenario")
+
 // Get returns the named scenario; the error for an unknown name lists every
-// registered one.
+// registered one and wraps ErrUnknown.
 func Get(name string) (*Scenario, error) {
 	regMu.RLock()
 	defer regMu.RUnlock()
 	if s, ok := registry[name]; ok {
 		return s, nil
 	}
-	return nil, fmt.Errorf("scenario: unknown scenario %q (registered: %s)",
-		name, strings.Join(namesLocked(), ", "))
+	return nil, fmt.Errorf("%w %q (registered: %s)",
+		ErrUnknown, name, strings.Join(namesLocked(), ", "))
 }
 
 // Names returns the registered scenario names, sorted.

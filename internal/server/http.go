@@ -9,42 +9,119 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/experiments"
 	"repro/internal/scenario"
 )
 
-// Handler returns the HTTP API:
+// Handler returns the versioned HTTP API:
 //
-//	GET  /healthz              liveness probe
-//	GET  /scenarios            registered scenarios with defaults
-//	POST /jobs                 submit a job (scenario.Spec JSON body)
-//	POST /jobs/batch           submit an array of specs (per-item outcome)
-//	GET  /jobs                 list jobs; ?state= filters by lifecycle state
-//	GET  /jobs/{id}            job status + progress
-//	GET  /jobs/{id}/events     server-sent progress events until terminal
-//	POST /jobs/{id}/cancel     terminal cancellation
-//	POST /jobs/{id}/kill       simulated crash (job resumes from checkpoint)
-//	GET  /jobs/{id}/snapshot   final particle state, part binary format
-//	GET  /jobs/{id}/metrics    verification report (error norms vs analytic
-//	                           reference, plateau, conservation, pass/fail)
-//	GET  /storez               result-store metrics (entries, bytes,
-//	                           hit rate, quarantine count)
+//	GET  /v1/healthz               liveness probe
+//	GET  /v1/scenarios             registered scenarios with defaults
+//	POST /v1/jobs                  submit a job (scenario.JobSpec JSON body)
+//	POST /v1/jobs/batch            submit an array of specs (per-item outcome)
+//	GET  /v1/jobs                  list jobs; ?state= filters, ?limit=/?cursor=
+//	                               paginate ({"jobs":[...],"nextCursor":...})
+//	GET  /v1/jobs/{id}             job status + progress
+//	GET  /v1/jobs/{id}/events      server-sent progress events until terminal
+//	POST /v1/jobs/{id}/cancel      terminal cancellation
+//	POST /v1/jobs/{id}/kill        simulated crash (job resumes from checkpoint)
+//	GET  /v1/jobs/{id}/snapshot    final particle state, part binary format
+//	GET  /v1/jobs/{id}/metrics     verification report (error norms vs analytic
+//	                               reference, plateau, conservation, pass/fail)
+//	POST /v1/experiments           submit a convergence sweep (experiments.Sweep)
+//	GET  /v1/experiments           list experiments; ?limit=/?cursor= paginate
+//	GET  /v1/experiments/{id}      sweep status, members, norm-vs-N regression
+//	GET  /v1/store                 result-store metrics (entries, bytes,
+//	                               hit rate, quarantine count)
+//
+// Every error is a structured envelope:
+//
+//	{"error": {"code": "unknown_job", "message": "...", "details": {...}}}
+//
+// The pre-/v1 unversioned routes (POST /jobs, GET /storez, ...) remain as
+// thin aliases of their /v1 successors; they serve identical bodies and
+// carry "Deprecation: true" plus a successor-version Link header.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
-	mux.HandleFunc("GET /scenarios", s.handleScenarios)
-	mux.HandleFunc("POST /jobs", s.handleSubmit)
-	mux.HandleFunc("POST /jobs/batch", s.handleSubmitBatch)
-	mux.HandleFunc("GET /jobs", s.handleList)
-	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
-	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
-	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleInterrupt(false))
-	mux.HandleFunc("POST /jobs/{id}/kill", s.handleInterrupt(true))
-	mux.HandleFunc("GET /jobs/{id}/snapshot", s.handleSnapshot)
-	mux.HandleFunc("GET /jobs/{id}/metrics", s.handleMetrics)
-	mux.HandleFunc("GET /storez", s.handleStorez)
+
+	type route struct {
+		method, path string
+		h            http.HandlerFunc
+		// legacy is the unversioned alias path ("" = none); legacyH
+		// overrides the handler behind the alias when the legacy response
+		// shape must be preserved.
+		legacy  string
+		legacyH http.HandlerFunc
+		// successor overrides the advertised successor URI when it is not
+		// "/v1" + the request path (the /storez rename).
+		successor string
+	}
+	routes := []route{
+		{method: "GET", path: "/v1/healthz", h: s.handleHealthz, legacy: "/healthz"},
+		{method: "GET", path: "/v1/scenarios", h: s.handleScenarios, legacy: "/scenarios"},
+		{method: "POST", path: "/v1/jobs", h: s.handleSubmit, legacy: "/jobs"},
+		{method: "POST", path: "/v1/jobs/batch", h: s.handleSubmitBatch, legacy: "/jobs/batch"},
+		{method: "GET", path: "/v1/jobs", h: s.handleList, legacy: "/jobs", legacyH: s.handleListLegacy},
+		{method: "GET", path: "/v1/jobs/{id}", h: s.handleStatus, legacy: "/jobs/{id}"},
+		{method: "GET", path: "/v1/jobs/{id}/events", h: s.handleEvents, legacy: "/jobs/{id}/events"},
+		{method: "POST", path: "/v1/jobs/{id}/cancel", h: s.handleInterrupt(false), legacy: "/jobs/{id}/cancel"},
+		{method: "POST", path: "/v1/jobs/{id}/kill", h: s.handleInterrupt(true), legacy: "/jobs/{id}/kill"},
+		{method: "GET", path: "/v1/jobs/{id}/snapshot", h: s.handleSnapshot, legacy: "/jobs/{id}/snapshot"},
+		{method: "GET", path: "/v1/jobs/{id}/metrics", h: s.handleMetrics, legacy: "/jobs/{id}/metrics"},
+		{method: "POST", path: "/v1/experiments", h: s.handleSubmitExperiment},
+		{method: "GET", path: "/v1/experiments", h: s.handleListExperiments},
+		{method: "GET", path: "/v1/experiments/{id}", h: s.handleExperiment},
+		{method: "GET", path: "/v1/store", h: s.handleStore, legacy: "/storez", successor: "/v1/store"},
+	}
+	for _, r := range routes {
+		mux.HandleFunc(r.method+" "+r.path, r.h)
+		if r.legacy != "" {
+			h := r.h
+			if r.legacyH != nil {
+				h = r.legacyH
+			}
+			mux.HandleFunc(r.method+" "+r.legacy, deprecated(r.successor, h))
+		}
+	}
 	return mux
+}
+
+// deprecated wraps a /v1 handler as its unversioned alias: same behavior,
+// plus the RFC 8594-style deprecation signal pointing at the successor.
+// The advertised Link is the concrete request URI under /v1 (never a route
+// pattern — a client must be able to follow it literally); successor
+// overrides it for renamed routes.
+func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		link := successor
+		if link == "" {
+			link = "/v1" + r.URL.Path
+		}
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", link))
+		h(w, r)
+	}
+}
+
+// Stable API error codes of the /v1 error envelope.
+const (
+	CodeInvalidArgument   = "invalid_argument"
+	CodeUnknownScenario   = "unknown_scenario"
+	CodeUnknownJob        = "unknown_job"
+	CodeUnknownExperiment = "unknown_experiment"
+	CodeQueueFull         = "queue_full"
+	CodeConflict          = "conflict"
+	CodeGone              = "gone"
+	CodeNoReport          = "no_report"
+	CodeNoStore           = "no_store"
+	CodeInternal          = "internal"
+)
+
+// APIError is the wire shape of the error envelope's "error" member.
+type APIError struct {
+	Code    string         `json:"code"`
+	Message string         `json:"message"`
+	Details map[string]any `json:"details,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -53,15 +130,46 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+// writeError emits the structured error envelope with a stable code. A
+// request that arrived through a deprecated alias (marked by the header
+// the wrapper already set) gets the pre-/v1 flat shape
+// {"error":"<message>"} instead — old clients parse errors as strings, and
+// the aliases' whole purpose is to keep serving the bodies those clients
+// were written against.
+func writeError(w http.ResponseWriter, status int, code, message string, details map[string]any) {
+	if w.Header().Get("Deprecation") == "true" {
+		writeJSON(w, status, map[string]string{"error": message})
+		return
+	}
+	writeJSON(w, status, map[string]APIError{
+		"error": {Code: code, Message: message, Details: details},
+	})
 }
 
-// scenarioInfo is the /scenarios listing entry.
+// submitError classifies a Submit/SubmitExperiment error into the envelope.
+func submitError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusServiceUnavailable, CodeQueueFull, err.Error(), nil)
+	case errors.Is(err, scenario.ErrUnknown):
+		writeError(w, http.StatusNotFound, CodeUnknownScenario, err.Error(), nil)
+	default:
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument, err.Error(), nil)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// scenarioInfo is the /v1/scenarios listing entry.
 type scenarioInfo struct {
 	Name        string          `json:"name"`
 	Description string          `json:"description"`
 	Defaults    scenario.Params `json:"defaults"`
+	// HasReference marks scenarios scored against an analytic solution —
+	// the ones a convergence experiment can sweep.
+	HasReference bool `json:"hasReference"`
 }
 
 func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
@@ -71,28 +179,26 @@ func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			continue
 		}
-		out = append(out, scenarioInfo{Name: sc.Name, Description: sc.Description, Defaults: sc.Defaults})
+		out = append(out, scenarioInfo{
+			Name: sc.Name, Description: sc.Description, Defaults: sc.Defaults,
+			HasReference: sc.Reference != nil,
+		})
 	}
 	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	var spec scenario.Spec
+	var spec scenario.JobSpec
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding spec: %w", err))
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument,
+			fmt.Sprintf("decoding spec: %v", err), nil)
 		return
 	}
 	view, err := s.Submit(spec)
 	if err != nil {
-		status := http.StatusBadRequest
-		if errors.Is(err, ErrQueueFull) {
-			status = http.StatusServiceUnavailable
-		} else if _, scErr := scenario.Get(spec.Scenario); scErr != nil {
-			status = http.StatusNotFound
-		}
-		writeError(w, status, err)
+		submitError(w, err)
 		return
 	}
 	status := http.StatusAccepted
@@ -102,7 +208,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, view)
 }
 
-// MaxBatch bounds one POST /jobs/batch array. Every item — even a cache
+// MaxBatch bounds one POST /v1/jobs/batch array. Every item — even a cache
 // hit or coalesced duplicate — creates a job record, so an uncapped array
 // would let a single request grow the job table without limit.
 const MaxBatch = 256
@@ -112,40 +218,86 @@ const MaxBatch = 256
 // per item. The request as a whole only fails on malformed JSON, an empty
 // array, or one longer than MaxBatch.
 func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
-	var specs []scenario.Spec
+	var specs []scenario.JobSpec
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&specs); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding spec array: %w", err))
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument,
+			fmt.Sprintf("decoding spec array: %v", err), nil)
 		return
 	}
 	if len(specs) == 0 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument, "empty batch", nil)
 		return
 	}
 	if len(specs) > MaxBatch {
-		writeError(w, http.StatusBadRequest,
-			fmt.Errorf("batch of %d specs exceeds the %d-item limit", len(specs), MaxBatch))
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument,
+			fmt.Sprintf("batch of %d specs exceeds the %d-item limit", len(specs), MaxBatch),
+			map[string]any{"limit": MaxBatch, "got": len(specs)})
 		return
 	}
 	writeJSON(w, http.StatusOK, s.SubmitBatch(specs))
 }
 
-// handleList serves GET /jobs with an optional ?state= lifecycle filter.
-func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+// JobPage is the paginated job listing envelope.
+type JobPage struct {
+	Jobs []JobView `json:"jobs"`
+	// NextCursor addresses the next page; empty when the listing is
+	// exhausted.
+	NextCursor string `json:"nextCursor,omitempty"`
+}
+
+// pageParams reads the ?limit= and ?cursor= pagination query parameters.
+func pageParams(r *http.Request) (limit int, cursor string, err error) {
+	cursor = r.URL.Query().Get("cursor")
+	if raw := r.URL.Query().Get("limit"); raw != "" {
+		limit, err = strconv.Atoi(raw)
+		if err != nil || limit <= 0 {
+			return 0, "", fmt.Errorf("limit must be a positive integer, got %q", raw)
+		}
+	}
+	return limit, cursor, nil
+}
+
+// handleListLegacy serves the deprecated GET /jobs exactly as it always
+// responded: the complete listing as a bare JSON array, unpaginated — the
+// alias exists for old scripts, which must keep seeing the shape (and the
+// whole listing) they were written against.
+func (s *Server) handleListLegacy(w http.ResponseWriter, r *http.Request) {
 	state := JobState(r.URL.Query().Get("state"))
 	if state != "" && !ValidState(state) {
-		writeError(w, http.StatusBadRequest, fmt.Errorf(
-			"unknown state %q (one of queued, running, completed, failed, cancelled)", state))
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument,
+			fmt.Sprintf("unknown state %q (one of queued, running, completed, failed, cancelled)", state),
+			map[string]any{"state": string(state)})
 		return
 	}
 	writeJSON(w, http.StatusOK, s.List(state))
 }
 
+// handleList serves GET /v1/jobs with an optional ?state= lifecycle filter
+// and cursor pagination.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	state := JobState(r.URL.Query().Get("state"))
+	if state != "" && !ValidState(state) {
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument,
+			fmt.Sprintf("unknown state %q (one of queued, running, completed, failed, cancelled)", state),
+			map[string]any{"state": string(state)})
+		return
+	}
+	limit, cursor, err := pageParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument, err.Error(), nil)
+		return
+	}
+	jobs, next := s.ListPage(state, cursor, limit)
+	writeJSON(w, http.StatusOK, JobPage{Jobs: jobs, NextCursor: next})
+}
+
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	view, ok := s.Get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
+		writeError(w, http.StatusNotFound, CodeUnknownJob,
+			fmt.Sprintf("no job %q", r.PathValue("id")), nil)
 		return
 	}
 	writeJSON(w, http.StatusOK, view)
@@ -161,7 +313,12 @@ func (s *Server) handleInterrupt(kill bool) http.HandlerFunc {
 			err = s.Cancel(id)
 		}
 		if err != nil {
-			writeError(w, http.StatusConflict, err)
+			if _, ok := s.Get(id); !ok {
+				writeError(w, http.StatusNotFound, CodeUnknownJob,
+					fmt.Sprintf("no job %q", id), nil)
+				return
+			}
+			writeError(w, http.StatusConflict, CodeConflict, err.Error(), nil)
 			return
 		}
 		view, _ := s.Get(id)
@@ -176,12 +333,12 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	done, ok := s.Done(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", id))
+		writeError(w, http.StatusNotFound, CodeUnknownJob, fmt.Sprintf("no job %q", id), nil)
 		return
 	}
 	flusher, ok := w.(http.Flusher)
 	if !ok {
-		writeError(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported"))
+		writeError(w, http.StatusInternalServerError, CodeInternal, "streaming unsupported", nil)
 		return
 	}
 	w.Header().Set("Content-Type", "text/event-stream")
@@ -228,18 +385,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	view, ok := s.Get(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", id))
+		writeError(w, http.StatusNotFound, CodeUnknownJob, fmt.Sprintf("no job %q", id), nil)
 		return
 	}
 	report, completed := s.Metrics(id)
 	if !completed {
-		writeError(w, http.StatusConflict,
-			fmt.Errorf("job %s is %s; metrics require completed", id, view.State))
+		writeError(w, http.StatusConflict, CodeConflict,
+			fmt.Sprintf("job %s is %s; metrics require completed", id, view.State),
+			map[string]any{"state": string(view.State)})
 		return
 	}
 	if report == nil {
-		writeError(w, http.StatusNotFound,
-			fmt.Errorf("job %s has no verification report recorded", id))
+		writeError(w, http.StatusNotFound, CodeNoReport,
+			fmt.Sprintf("job %s has no verification report recorded", id), nil)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -247,12 +405,62 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(report)
 }
 
-// handleStorez serves the result-store metrics; without a persistent store
+// handleSubmitExperiment serves POST /v1/experiments: a convergence sweep
+// through the batch pipeline, deduplicated and persisted by canonical sweep
+// hash.
+func (s *Server) handleSubmitExperiment(w http.ResponseWriter, r *http.Request) {
+	var sw experiments.Sweep
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sw); err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument,
+			fmt.Sprintf("decoding sweep: %v", err), nil)
+		return
+	}
+	view, err := s.SubmitExperiment(sw)
+	if err != nil {
+		submitError(w, err)
+		return
+	}
+	status := http.StatusAccepted
+	if view.State == StateCompleted {
+		status = http.StatusOK // cache hit: nothing to wait for
+	}
+	writeJSON(w, status, view)
+}
+
+// ExperimentPage is the paginated experiment listing envelope.
+type ExperimentPage struct {
+	Experiments []ExperimentView `json:"experiments"`
+	NextCursor  string           `json:"nextCursor,omitempty"`
+}
+
+func (s *Server) handleListExperiments(w http.ResponseWriter, r *http.Request) {
+	limit, cursor, err := pageParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument, err.Error(), nil)
+		return
+	}
+	exps, next := s.ListExperiments(cursor, limit)
+	writeJSON(w, http.StatusOK, ExperimentPage{Experiments: exps, NextCursor: next})
+}
+
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	view, ok := s.GetExperiment(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeUnknownExperiment,
+			fmt.Sprintf("no experiment %q", r.PathValue("id")), nil)
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+// handleStore serves the result-store metrics; without a persistent store
 // attached there is nothing to report.
-func (s *Server) handleStorez(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleStore(w http.ResponseWriter, r *http.Request) {
 	st := s.opts.Store
 	if st == nil {
-		writeError(w, http.StatusNotFound, fmt.Errorf("no result store attached"))
+		writeError(w, http.StatusNotFound, CodeNoStore, "no result store attached", nil)
 		return
 	}
 	writeJSON(w, http.StatusOK, st.Stats())
@@ -262,7 +470,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	view, ok := s.Get(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", id))
+		writeError(w, http.StatusNotFound, CodeUnknownJob, fmt.Sprintf("no job %q", id), nil)
 		return
 	}
 	rc, size, ok := s.SnapshotReader(id)
@@ -270,12 +478,13 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		if view.State == StateCompleted {
 			// Completed, but the result store has since evicted (or
 			// quarantined) the snapshot: resubmitting the spec recomputes.
-			writeError(w, http.StatusGone,
-				fmt.Errorf("job %s snapshot no longer in the result store; resubmit to recompute", id))
+			writeError(w, http.StatusGone, CodeGone,
+				fmt.Sprintf("job %s snapshot no longer in the result store; resubmit to recompute", id), nil)
 			return
 		}
-		writeError(w, http.StatusConflict,
-			fmt.Errorf("job %s is %s; snapshot requires completed", id, view.State))
+		writeError(w, http.StatusConflict, CodeConflict,
+			fmt.Sprintf("job %s is %s; snapshot requires completed", id, view.State),
+			map[string]any{"state": string(view.State)})
 		return
 	}
 	defer rc.Close()

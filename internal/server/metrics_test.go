@@ -2,9 +2,9 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
-	"io"
-	"net/http"
+	"errors"
 	"net/http/httptest"
 	"testing"
 	"time"
@@ -12,36 +12,19 @@ import (
 	"repro/internal/scenario"
 	"repro/internal/store"
 	"repro/internal/verify"
+	"repro/pkg/client"
 )
 
 // sodSpec is a small Sod job whose exact-Riemann verification passes the
 // registered thresholds (calibrated: trimmed-L1 density ~0.05 at this
 // resolution against a 0.1 bound).
-func sodSpec(steps int) scenario.Spec {
-	return scenario.Spec{
+func sodSpec(steps int) scenario.JobSpec {
+	return scenario.JobSpec{Spec: scenario.Spec{
 		Scenario: "sod",
 		Params:   scenario.Params{N: 1000, NNeighbors: 30},
 		Steps:    steps,
 		Cores:    4,
-	}
-}
-
-func fetchMetrics(t *testing.T, baseURL, id string, wantStatus int) []byte {
-	t.Helper()
-	resp, err := http.Get(baseURL + "/jobs/" + id + "/metrics")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != wantStatus {
-		b, _ := io.ReadAll(resp.Body)
-		t.Fatalf("metrics status %d (%s), want %d", resp.StatusCode, b, wantStatus)
-	}
-	b, err := io.ReadAll(resp.Body)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return b
+	}}
 }
 
 // TestMetricsEndToEndAndRestart is the acceptance path of the verification
@@ -52,6 +35,7 @@ func fetchMetrics(t *testing.T, baseURL, id string, wantStatus int) []byte {
 func TestMetricsEndToEndAndRestart(t *testing.T) {
 	storeDir := t.TempDir()
 	spec := sodSpec(10)
+	ctx := context.Background()
 
 	st1, err := store.Open(storeDir, store.Options{})
 	if err != nil {
@@ -59,6 +43,7 @@ func TestMetricsEndToEndAndRestart(t *testing.T) {
 	}
 	s1 := New(Options{Workers: 2, DataDir: t.TempDir(), Store: st1})
 	ts1 := httptest.NewServer(s1.Handler())
+	c1 := testClient(ts1)
 
 	view, err := s1.Submit(spec)
 	if err != nil {
@@ -66,7 +51,10 @@ func TestMetricsEndToEndAndRestart(t *testing.T) {
 	}
 	done := waitState(t, s1, view.ID, StateCompleted, 120*time.Second)
 
-	raw1 := fetchMetrics(t, ts1.URL, view.ID, http.StatusOK)
+	raw1, err := c1.RawMetrics(ctx, view.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var rep verify.Report
 	if err := json.Unmarshal(raw1, &rep); err != nil {
 		t.Fatalf("metrics do not decode as a verify.Report: %v", err)
@@ -107,18 +95,13 @@ func TestMetricsEndToEndAndRestart(t *testing.T) {
 		t.Fatalf("rollup l1Density %g, report %g", done.Verify.L1Density, rep.L1Density)
 	}
 
-	// /storez reports the store with the entry, its report, and traffic.
-	resp, err := http.Get(ts1.URL + "/storez")
+	// /v1/store reports the store with the entry, its report, and traffic.
+	stats, err := c1.StoreStats(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var stats store.Stats
-	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
 	if stats.Entries != 1 || stats.Reports != 1 {
-		t.Fatalf("storez stats %+v, want 1 entry with 1 report", stats)
+		t.Fatalf("store stats %+v, want 1 entry with 1 report", stats)
 	}
 
 	ts1.Close()
@@ -133,6 +116,7 @@ func TestMetricsEndToEndAndRestart(t *testing.T) {
 	defer s2.Close()
 	ts2 := httptest.NewServer(s2.Handler())
 	defer ts2.Close()
+	c2 := testClient(ts2)
 
 	again, err := s2.Submit(spec)
 	if err != nil {
@@ -145,7 +129,10 @@ func TestMetricsEndToEndAndRestart(t *testing.T) {
 	if again.Verify == nil || !again.Verify.Pass {
 		t.Fatalf("cache-hit job view rollup %+v", again.Verify)
 	}
-	raw2 := fetchMetrics(t, ts2.URL, again.ID, http.StatusOK)
+	raw2, err := c2.RawMetrics(ctx, again.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !bytes.Equal(raw1, raw2) {
 		t.Fatalf("report bytes differ across restart:\n%s\nvs\n%s", raw1, raw2)
 	}
@@ -158,22 +145,23 @@ func TestMetricsWithoutReference(t *testing.T) {
 	defer s.Close()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
+	c := testClient(ts)
+	ctx := context.Background()
 
-	spec := scenario.Spec{
+	spec := scenario.JobSpec{Spec: scenario.Spec{
 		Scenario: "cube",
 		Params:   scenario.Params{N: 216, NNeighbors: 20},
 		Steps:    3,
 		Cores:    2,
-	}
+	}}
 	view, err := s.Submit(spec)
 	if err != nil {
 		t.Fatal(err)
 	}
 	waitState(t, s, view.ID, StateCompleted, 60*time.Second)
 
-	raw := fetchMetrics(t, ts.URL, view.ID, http.StatusOK)
-	var rep verify.Report
-	if err := json.Unmarshal(raw, &rep); err != nil {
+	rep, err := c.Metrics(ctx, view.ID)
+	if err != nil {
 		t.Fatal(err)
 	}
 	if rep.Reference != "" || rep.Fields != nil {
@@ -193,27 +181,33 @@ func TestMetricsErrorStates(t *testing.T) {
 	defer s.Close()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
+	c := testClient(ts)
+	ctx := context.Background()
+
+	wantCode := func(err error, code string) {
+		t.Helper()
+		var apiErr *client.APIError
+		if err == nil || !errors.As(err, &apiErr) || apiErr.Code != code {
+			t.Fatalf("error %v, want envelope code %s", err, code)
+		}
+	}
 
 	// Unknown job.
-	fetchMetrics(t, ts.URL, "job-999999", http.StatusNotFound)
+	_, err := c.Metrics(ctx, "job-999999")
+	wantCode(err, CodeUnknownJob)
 
-	// Not-yet-completed job: 409.
+	// Not-yet-completed job: 409 conflict.
 	view, err := s.Submit(sedovSpec(50))
 	if err != nil {
 		t.Fatal(err)
 	}
-	fetchMetrics(t, ts.URL, view.ID, http.StatusConflict)
+	_, err = c.Metrics(ctx, view.ID)
+	wantCode(err, CodeConflict)
 	if err := s.Cancel(view.ID); err != nil {
 		t.Fatal(err)
 	}
 
-	// /storez without a store attached.
-	resp, err := http.Get(ts.URL + "/storez")
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusNotFound {
-		t.Fatalf("storez without store: %d, want 404", resp.StatusCode)
-	}
+	// Store metrics without a store attached.
+	_, err = c.StoreStats(ctx)
+	wantCode(err, CodeNoStore)
 }

@@ -2,8 +2,8 @@ package server
 
 import (
 	"bytes"
-	"encoding/json"
-	"net/http"
+	"context"
+	"errors"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/scenario"
 	"repro/internal/store"
+	"repro/pkg/client"
 )
 
 // testClock is a race-safe adjustable clock shared between the test and the
@@ -43,6 +44,7 @@ func (c *testClock) advance(d time.Duration) {
 func TestRestartServesStoredResult(t *testing.T) {
 	storeDir := t.TempDir()
 	spec := sedovSpec(3)
+	ctx := context.Background()
 
 	st1, err := store.Open(storeDir, store.Options{})
 	if err != nil {
@@ -50,6 +52,7 @@ func TestRestartServesStoredResult(t *testing.T) {
 	}
 	s1 := New(Options{Workers: 2, DataDir: t.TempDir(), Store: st1})
 	ts1 := httptest.NewServer(s1.Handler())
+	c1 := testClient(ts1)
 
 	view, err := s1.Submit(spec)
 	if err != nil {
@@ -59,7 +62,10 @@ func TestRestartServesStoredResult(t *testing.T) {
 		t.Fatal("fresh store reported a cache hit")
 	}
 	waitState(t, s1, view.ID, StateCompleted, 60*time.Second)
-	snap1 := fetchSnapshot(t, ts1.URL, view.ID, http.StatusOK)
+	snap1, err := c1.Snapshot(ctx, view.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ps1 := decodeSnapshot(t, snap1)
 	ts1.Close()
 	s1.Close()
@@ -80,6 +86,7 @@ func TestRestartServesStoredResult(t *testing.T) {
 	defer s2.Close()
 	ts2 := httptest.NewServer(s2.Handler())
 	defer ts2.Close()
+	c2 := testClient(ts2)
 
 	again, err := s2.Submit(spec)
 	if err != nil {
@@ -95,7 +102,10 @@ func TestRestartServesStoredResult(t *testing.T) {
 		t.Fatalf("stored progress %+v", again.Progress)
 	}
 
-	snap2 := fetchSnapshot(t, ts2.URL, again.ID, http.StatusOK)
+	snap2, err := c2.Snapshot(ctx, again.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !bytes.Equal(snap1, snap2) {
 		t.Fatal("snapshot bytes differ across restart")
 	}
@@ -124,8 +134,8 @@ func TestCorruptStoredResultRecomputed(t *testing.T) {
 	waitState(t, s1, view.ID, StateCompleted, 60*time.Second)
 	s1.Close()
 
-	// Flip a byte in the stored object.
-	objects, err := filepath.Glob(filepath.Join(storeDir, "objects", "*.sph"))
+	// Flip a byte in the stored object (sharded layout: objects/ab/<hash>.sph).
+	objects, err := filepath.Glob(filepath.Join(storeDir, "objects", "*", "*.sph"))
 	if err != nil || len(objects) != 1 {
 		t.Fatalf("objects on disk: %v (err %v)", objects, err)
 	}
@@ -164,32 +174,25 @@ func TestCorruptStoredResultRecomputed(t *testing.T) {
 	}
 }
 
-// TestBatchSubmission: POST /jobs/batch coalesces duplicates within the
+// TestBatchSubmission: POST /v1/jobs/batch coalesces duplicates within the
 // array and reports per-item errors without rejecting the batch.
 func TestBatchSubmission(t *testing.T) {
 	s := New(Options{Workers: 1})
 	defer s.Close()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
+	c := testClient(ts)
+	ctx := context.Background()
 
 	a := sedovSpec(50)
 	a.Params.N = 1000
 	a.Params.NNeighbors = 30
 	b := a
 	b.Steps = 60 // distinct job
-	bad := scenario.Spec{Scenario: "warp-drive", Steps: 1}
+	bad := scenario.JobSpec{Spec: scenario.Spec{Scenario: "warp-drive", Steps: 1}}
 
-	body, _ := json.Marshal([]scenario.Spec{a, a, bad, b})
-	resp, err := http.Post(ts.URL+"/jobs/batch", "application/json", bytes.NewReader(body))
+	items, err := c.SubmitBatch(ctx, []scenario.JobSpec{a, a, bad, b})
 	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("batch status %d, want 200", resp.StatusCode)
-	}
-	var items []BatchItem
-	if err := json.NewDecoder(resp.Body).Decode(&items); err != nil {
 		t.Fatal(err)
 	}
 	if len(items) != 4 {
@@ -214,42 +217,33 @@ func TestBatchSubmission(t *testing.T) {
 	_ = s.Cancel(items[0].Job.ID)
 	_ = s.Cancel(items[3].Job.ID)
 
-	// Malformed JSON rejects the whole request.
-	r2, err := http.Post(ts.URL+"/jobs/batch", "application/json", strings.NewReader("{not json"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	r2.Body.Close()
-	if r2.StatusCode != http.StatusBadRequest {
-		t.Fatalf("malformed batch status %d, want 400", r2.StatusCode)
+	// An empty batch is rejected whole.
+	if _, err := c.SubmitBatch(ctx, nil); err == nil {
+		t.Fatal("empty batch accepted")
 	}
 
 	// An over-limit array is rejected before any item is submitted.
-	big := make([]scenario.Spec, MaxBatch+1)
+	big := make([]scenario.JobSpec, MaxBatch+1)
 	for i := range big {
 		big[i] = a
 	}
-	bigBody, _ := json.Marshal(big)
-	r3, err := http.Post(ts.URL+"/jobs/batch", "application/json", bytes.NewReader(bigBody))
-	if err != nil {
-		t.Fatal(err)
-	}
-	r3.Body.Close()
-	if r3.StatusCode != http.StatusBadRequest {
-		t.Fatalf("oversized batch status %d, want 400", r3.StatusCode)
+	if _, err := c.SubmitBatch(ctx, big); err == nil {
+		t.Fatal("oversized batch accepted")
 	}
 	if got := len(s.List("")); got != 2 {
 		t.Fatalf("job table has %d entries after rejected batch, want 2", got)
 	}
 }
 
-// TestListStateFilter: GET /jobs?state= returns only matching jobs and
+// TestListStateFilter: the jobs listing filters by lifecycle state and
 // rejects unknown states.
 func TestListStateFilter(t *testing.T) {
 	s := New(Options{Workers: 1})
 	defer s.Close()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
+	c := testClient(ts)
+	ctx := context.Background()
 
 	fast, err := s.Submit(sedovSpec(1))
 	if err != nil {
@@ -266,42 +260,37 @@ func TestListStateFilter(t *testing.T) {
 	}
 	waitState(t, s, running.ID, StateRunning, 60*time.Second)
 
-	listJobs := func(query string, wantStatus int) []JobView {
-		t.Helper()
-		r, err := http.Get(ts.URL + "/jobs" + query)
-		if err != nil {
-			t.Fatal(err)
-		}
-		defer r.Body.Close()
-		if r.StatusCode != wantStatus {
-			t.Fatalf("list %q status %d, want %d", query, r.StatusCode, wantStatus)
-		}
-		if wantStatus != http.StatusOK {
-			return nil
-		}
-		var views []JobView
-		if err := json.NewDecoder(r.Body).Decode(&views); err != nil {
-			t.Fatal(err)
-		}
-		return views
+	all, err := c.Jobs(ctx, client.ListOptions{})
+	if err != nil {
+		t.Fatal(err)
 	}
-
-	all := listJobs("", http.StatusOK)
-	if len(all) != 2 {
-		t.Fatalf("unfiltered list has %d jobs, want 2", len(all))
+	if len(all.Jobs) != 2 {
+		t.Fatalf("unfiltered list has %d jobs, want 2", len(all.Jobs))
 	}
-	completed := listJobs("?state=completed", http.StatusOK)
-	if len(completed) != 1 || completed[0].ID != fast.ID {
-		t.Fatalf("completed filter returned %+v", completed)
+	completed, err := c.Jobs(ctx, client.ListOptions{State: client.StateCompleted})
+	if err != nil {
+		t.Fatal(err)
 	}
-	runningList := listJobs("?state=running", http.StatusOK)
-	if len(runningList) != 1 || runningList[0].ID != running.ID {
-		t.Fatalf("running filter returned %+v", runningList)
+	if len(completed.Jobs) != 1 || completed.Jobs[0].ID != fast.ID {
+		t.Fatalf("completed filter returned %+v", completed.Jobs)
 	}
-	if got := listJobs("?state=cancelled", http.StatusOK); len(got) != 0 {
-		t.Fatalf("cancelled filter returned %+v", got)
+	runningList, err := c.Jobs(ctx, client.ListOptions{State: client.StateRunning})
+	if err != nil {
+		t.Fatal(err)
 	}
-	listJobs("?state=warp", http.StatusBadRequest)
+	if len(runningList.Jobs) != 1 || runningList.Jobs[0].ID != running.ID {
+		t.Fatalf("running filter returned %+v", runningList.Jobs)
+	}
+	cancelled, err := c.Jobs(ctx, client.ListOptions{State: client.StateCancelled})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cancelled.Jobs) != 0 {
+		t.Fatalf("cancelled filter returned %+v", cancelled.Jobs)
+	}
+	if _, err := c.Jobs(ctx, client.ListOptions{State: "warp"}); err == nil {
+		t.Fatal("unknown state filter accepted")
+	}
 
 	_ = s.Cancel(running.ID)
 }
@@ -402,8 +391,8 @@ func TestOversizedSnapshotStaysFetchable(t *testing.T) {
 }
 
 // TestStoreEvictionSurfacesAsGone: a completed job whose snapshot the store
-// has evicted answers 410 on the snapshot endpoint, and a resubmission of
-// the spec recomputes instead of cache-hitting.
+// has evicted answers 410 gone on the snapshot endpoint, and a resubmission
+// of the spec recomputes instead of cache-hitting.
 func TestStoreEvictionSurfacesAsGone(t *testing.T) {
 	clock := newTestClock()
 	st, err := store.Open(t.TempDir(), store.Options{TTL: time.Hour, Now: clock.now})
@@ -414,17 +403,25 @@ func TestStoreEvictionSurfacesAsGone(t *testing.T) {
 	defer s.Close()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
+	c := testClient(ts)
+	ctx := context.Background()
 
 	view, err := s.Submit(sedovSpec(1))
 	if err != nil {
 		t.Fatal(err)
 	}
 	waitState(t, s, view.ID, StateCompleted, 60*time.Second)
-	fetchSnapshot(t, ts.URL, view.ID, http.StatusOK)
+	if _, err := c.Snapshot(ctx, view.ID); err != nil {
+		t.Fatal(err)
+	}
 
 	clock.advance(2 * time.Hour)
 	st.Sweep()
-	fetchSnapshot(t, ts.URL, view.ID, http.StatusGone)
+	_, err = c.Snapshot(ctx, view.ID)
+	var apiErr *client.APIError
+	if err == nil || !errors.As(err, &apiErr) || apiErr.Code != CodeGone {
+		t.Fatalf("evicted snapshot fetch error %v, want gone envelope", err)
+	}
 
 	again, err := s.Submit(sedovSpec(1))
 	if err != nil {
@@ -434,5 +431,7 @@ func TestStoreEvictionSurfacesAsGone(t *testing.T) {
 		t.Fatal("evicted result served as a cache hit")
 	}
 	waitState(t, s, again.ID, StateCompleted, 60*time.Second)
-	fetchSnapshot(t, ts.URL, again.ID, http.StatusOK)
+	if _, err := c.Snapshot(ctx, again.ID); err != nil {
+		t.Fatal(err)
+	}
 }

@@ -25,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/codes"
 	"repro/internal/conserve"
 	"repro/internal/core"
 	"repro/internal/domain"
@@ -62,7 +63,7 @@ type Progress struct {
 // owning Server's mutex; handlers read them through snapshots.
 type Job struct {
 	ID       string
-	Spec     scenario.Spec
+	Spec     scenario.JobSpec
 	Hash     string
 	State    JobState
 	Progress Progress
@@ -101,15 +102,15 @@ type VerifySummary struct {
 
 // JobView is an immutable snapshot of a job for JSON responses.
 type JobView struct {
-	ID       string         `json:"id"`
-	Spec     scenario.Spec  `json:"spec"`
-	Hash     string         `json:"hash"`
-	State    JobState       `json:"state"`
-	Progress Progress       `json:"progress"`
-	Error    string         `json:"error,omitempty"`
-	CacheHit bool           `json:"cacheHit"`
-	Restarts int            `json:"restarts"`
-	Verify   *VerifySummary `json:"verify,omitempty"`
+	ID       string           `json:"id"`
+	Spec     scenario.JobSpec `json:"spec"`
+	Hash     string           `json:"hash"`
+	State    JobState         `json:"state"`
+	Progress Progress         `json:"progress"`
+	Error    string           `json:"error,omitempty"`
+	CacheHit bool             `json:"cacheHit"`
+	Restarts int              `json:"restarts"`
+	Verify   *VerifySummary   `json:"verify,omitempty"`
 }
 
 // cachedResult is the in-memory layer of the result cache: metadata always,
@@ -166,6 +167,15 @@ type Server struct {
 	byHash map[string]*Job // active (queued/running) job per hash, for dedup
 	nextID int
 
+	// Experiment state mirrors the job state one level up: records by id,
+	// submission order, active dedup by sweep hash, and a memory layer of
+	// completed results over the store.
+	exps      map[string]*Experiment
+	expOrder  []string
+	expByHash map[string]*Experiment
+	expCache  map[string][]byte
+	nextExpID int
+
 	queue   chan *Job
 	ctx     context.Context
 	stop    context.CancelFunc
@@ -211,14 +221,17 @@ func New(opts Options) *Server {
 	}
 	ctx, stop := context.WithCancel(context.Background())
 	s := &Server{
-		opts:   opts,
-		jobs:   map[string]*Job{},
-		cache:  map[string]*cachedResult{},
-		byHash: map[string]*Job{},
-		queue:  make(chan *Job, opts.QueueDepth),
-		ctx:    ctx,
-		stop:   stop,
-		now:    opts.Clock,
+		opts:      opts,
+		jobs:      map[string]*Job{},
+		cache:     map[string]*cachedResult{},
+		byHash:    map[string]*Job{},
+		exps:      map[string]*Experiment{},
+		expByHash: map[string]*Experiment{},
+		expCache:  map[string][]byte{},
+		queue:     make(chan *Job, opts.QueueDepth),
+		ctx:       ctx,
+		stop:      stop,
+		now:       opts.Clock,
 	}
 	for i := 0; i < opts.Workers; i++ {
 		s.workers.Add(1)
@@ -249,8 +262,10 @@ func (s *Server) worker() {
 // Submit canonicalizes and enqueues a job. Identical specs coalesce: a hash
 // matching the result cache or the persistent store completes instantly
 // (cache hit), one matching an active job returns that job instead of
-// enqueueing a duplicate.
-func (s *Server) Submit(spec scenario.Spec) (*JobView, error) {
+// enqueueing a duplicate. The canonical hash covers the execution section,
+// so the same scenario under a different backend, machine model, or cost
+// calibration is a different job with its own stored result.
+func (s *Server) Submit(spec scenario.JobSpec) (*JobView, error) {
 	cspec, hash, err := spec.CanonicalHash()
 	if err != nil {
 		return nil, err
@@ -326,7 +341,7 @@ type BatchItem struct {
 // Submit, so duplicates within the batch — and against active jobs or stored
 // results — collapse onto one execution. Failures are per-item: one bad spec
 // does not reject the rest of the array.
-func (s *Server) SubmitBatch(specs []scenario.Spec) []BatchItem {
+func (s *Server) SubmitBatch(specs []scenario.JobSpec) []BatchItem {
 	out := make([]BatchItem, len(specs))
 	for i, spec := range specs {
 		view, err := s.Submit(spec)
@@ -428,6 +443,22 @@ func (s *Server) pruneLocked() {
 	for hash := range dropped {
 		delete(s.cache, hash)
 	}
+	// Experiments age out on the same clock; their persisted results stay
+	// addressable by sweep hash.
+	keptExps := s.expOrder[:0]
+	for _, id := range s.expOrder {
+		exp := s.exps[id]
+		switch exp.State {
+		case StateCompleted, StateFailed:
+			if !exp.doneAt.IsZero() && exp.doneAt.Before(cutoff) {
+				delete(s.exps, id)
+				delete(s.expCache, exp.Hash)
+				continue
+			}
+		}
+		keptExps = append(keptExps, id)
+	}
+	s.expOrder = keptExps
 }
 
 // Get returns a snapshot of the job, or false.
@@ -456,6 +487,66 @@ func (s *Server) List(state JobState) []JobView {
 		out = append(out, job.view())
 	}
 	return out
+}
+
+// DefaultPageLimit and MaxPageLimit bound one page of a cursor-paginated
+// listing.
+const (
+	DefaultPageLimit = 100
+	MaxPageLimit     = 1000
+)
+
+// clampLimit applies the pagination bounds to a requested page size.
+func clampLimit(limit int) int {
+	if limit <= 0 {
+		return DefaultPageLimit
+	}
+	if limit > MaxPageLimit {
+		return MaxPageLimit
+	}
+	return limit
+}
+
+// cursorAfter reports whether id comes after cursor in allocation order.
+// IDs are "<prefix>-<seq>" with the sequence zero-padded to six digits, so
+// within one length plain string comparison is allocation order; past a
+// million allocations the sequence outgrows the padding and longer IDs are
+// strictly newer. Comparing (length, string) therefore stays correct for
+// any lifetime, including cursors naming since-pruned IDs.
+func cursorAfter(id, cursor string) bool {
+	if len(id) != len(cursor) {
+		return len(id) > len(cursor)
+	}
+	return id > cursor
+}
+
+// ListPage returns one page of jobs in submission order, starting after the
+// cursor id (empty = from the beginning). The returned cursor addresses the
+// next page and is empty when the listing is exhausted. IDs are allocated
+// in submission order, so a cursor naming a since-pruned job still orders
+// correctly against the survivors.
+func (s *Server) ListPage(state JobState, cursor string, limit int) ([]JobView, string) {
+	limit = clampLimit(limit)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pruneLocked()
+	out := make([]JobView, 0, limit)
+	next := ""
+	for _, id := range s.order {
+		if cursor != "" && !cursorAfter(id, cursor) {
+			continue
+		}
+		job := s.jobs[id]
+		if state != "" && job.State != state {
+			continue
+		}
+		if len(out) == limit {
+			next = out[len(out)-1].ID
+			break
+		}
+		out = append(out, job.view())
+	}
+	return out, next
 }
 
 // ValidState reports whether st names a job lifecycle state (the HTTP layer
@@ -637,42 +728,10 @@ func (s *Server) run(job *Job) {
 	job.Progress = Progress{Total: spec.Steps}
 	s.mu.Unlock()
 
-	cores := spec.Cores
-	if cores <= 0 {
-		cores = 1
-	}
-
-	// One chunk = one distributed engine run of up to CheckpointEvery
-	// steps; the shared loop (internal/runloop) handles restore and
-	// interim checkpoints — the same path cmd/sphexa interrupts through.
-	chunk := func(ctx context.Context, cps *part.Set, base runloop.Base, steps int) (runloop.ChunkResult, error) {
-		pcfg := core.ParallelConfig{
-			Core:         cfg,
-			Machine:      s.opts.Machine,
-			Cores:        cores,
-			RanksPerNode: spec.RanksPerNode,
-			Decomp:       domain.MortonSFC,
-			Cost:         s.opts.Cost,
-			Steps:        steps,
-			Ctx:          ctx,
-			OnStep: func(step int, simT, dt float64) {
-				s.mu.Lock()
-				job.Progress.Step = base.Step + step + 1
-				job.Progress.SimTime = base.Time + simT
-				job.Progress.DT = dt
-				s.mu.Unlock()
-			},
-		}
-		merged, res, err := core.RunParallelCapture(pcfg, cps)
-		if err != nil && (res == nil || !res.Cancelled) {
-			return runloop.ChunkResult{}, err
-		}
-		return runloop.ChunkResult{
-			PS:        merged,
-			Steps:     res.StepsCompleted,
-			SimTime:   res.SimTime,
-			Cancelled: res.Cancelled,
-		}, nil
+	chunk, err := s.buildChunk(job, spec, cfg)
+	if err != nil {
+		fail(err)
+		return
 	}
 
 	res, err := runloop.Run(runloop.Options{
@@ -782,12 +841,128 @@ func (s *Server) run(job *Job) {
 	s.mu.Unlock()
 }
 
+// buildChunk resolves the job's execution section into a runloop chunk:
+// the serial shared-memory engine, or the distributed engine under the
+// job's (or the server's default) machine model and parent-code cost
+// calibration. Exec was validated at submission, so name resolution here
+// cannot fail for canonical specs.
+func (s *Server) buildChunk(job *Job, spec scenario.JobSpec, cfg core.Config) (runloop.Chunk, error) {
+	if spec.Exec.Backend == scenario.BackendSerial {
+		return s.serialChunk(job, cfg), nil
+	}
+
+	machine := s.opts.Machine
+	if name := spec.Exec.Machine; name != "" {
+		m, err := perfmodel.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		machine = m
+	}
+	cost := s.opts.Cost
+	if name := spec.Exec.Cost; name != "" {
+		code, err := codes.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		cost = code.Cost(calibrationTest(cfg))
+	}
+	cores := spec.Cores
+	if cores <= 0 {
+		cores = 1
+	}
+
+	// One chunk = one distributed engine run of up to CheckpointEvery
+	// steps; the shared loop (internal/runloop) handles restore and
+	// interim checkpoints — the same path cmd/sphexa interrupts through.
+	return func(ctx context.Context, cps *part.Set, base runloop.Base, steps int) (runloop.ChunkResult, error) {
+		pcfg := core.ParallelConfig{
+			Core:         cfg,
+			Machine:      machine,
+			Cores:        cores,
+			RanksPerNode: spec.RanksPerNode,
+			Decomp:       domain.MortonSFC,
+			Cost:         cost,
+			Steps:        steps,
+			Ctx:          ctx,
+			OnStep: func(step int, simT, dt float64) {
+				s.mu.Lock()
+				job.Progress.Step = base.Step + step + 1
+				job.Progress.SimTime = base.Time + simT
+				job.Progress.DT = dt
+				s.mu.Unlock()
+			},
+		}
+		merged, res, err := core.RunParallelCapture(pcfg, cps)
+		if err != nil && (res == nil || !res.Cancelled) {
+			return runloop.ChunkResult{}, err
+		}
+		return runloop.ChunkResult{
+			PS:        merged,
+			Steps:     res.StepsCompleted,
+			SimTime:   res.SimTime,
+			Cancelled: res.Cancelled,
+		}, nil
+	}, nil
+}
+
+// serialChunk runs the job on the shared-memory engine (core.Sim) — no
+// simulated MPI, no machine model — holding one Sim across chunks so the
+// integration state (half-kick phase, step counter) carries over; the
+// state handed back at each boundary is synchronized for checkpointing.
+func (s *Server) serialChunk(job *Job, cfg core.Config) runloop.Chunk {
+	var sim *core.Sim
+	return func(ctx context.Context, cps *part.Set, base runloop.Base, steps int) (runloop.ChunkResult, error) {
+		if sim == nil {
+			var err error
+			sim, err = core.New(cfg, cps)
+			if err != nil {
+				return runloop.ChunkResult{}, err
+			}
+			sim.StepN, sim.T = base.Step, base.Time
+			sim.OnStep = func(info core.StepInfo) {
+				s.mu.Lock()
+				job.Progress.Step = info.Step
+				job.Progress.SimTime = info.Time
+				job.Progress.DT = info.DT
+				s.mu.Unlock()
+			}
+		}
+		sim.Ctx = ctx
+		startStep, startT := sim.StepN, sim.T
+		_, runErr := sim.Run(steps, 0)
+		cancelled := runErr != nil && ctx.Err() != nil
+		if runErr != nil && !cancelled {
+			return runloop.ChunkResult{}, runErr
+		}
+		sim.Synchronize()
+		return runloop.ChunkResult{
+			PS:        sim.PS,
+			Steps:     sim.StepN - startStep,
+			SimTime:   sim.T - startT,
+			Cancelled: cancelled,
+		}, nil
+	}
+}
+
+// calibrationTest picks which of the two calibrated paper tests a parent
+// code's cost constants are taken from. The two calibrations differ by the
+// presence of the gravity phases, so the choice keys on the workload's
+// actual physics (the scenario-built config), not on its registry name —
+// any self-gravitating scenario gets the Evrard constants.
+func calibrationTest(cfg core.Config) codes.Test {
+	if cfg.Gravity {
+		return codes.Evrard
+	}
+	return codes.SquarePatch
+}
+
 // buildReport evaluates the verification report for a completed run:
 // analytic reference (when the scenario registers one), error norms,
 // plateau estimate, conservation drift, and the acceptance checks. A
 // report is always produced — scenarios without a reference are scored on
 // conservation alone.
-func buildReport(sc *scenario.Scenario, spec scenario.Spec, cfg core.Config,
+func buildReport(sc *scenario.Scenario, spec scenario.JobSpec, cfg core.Config,
 	ps *part.Set, simTime float64, initial conserve.State) ([]byte, *VerifySummary) {
 
 	sol, refErr := sc.BuildReference(spec.Params)

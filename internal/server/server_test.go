@@ -3,7 +3,9 @@ package server
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
@@ -14,11 +16,12 @@ import (
 	"repro/internal/ft"
 	"repro/internal/part"
 	"repro/internal/scenario"
+	"repro/pkg/client"
 )
 
 // sedovSpec is the small, fast canonical job used across the tests.
-func sedovSpec(steps int) scenario.Spec {
-	return scenario.Spec{
+func sedovSpec(steps int) scenario.JobSpec {
+	return scenario.JobSpec{Spec: scenario.Spec{
 		Scenario: "sedov",
 		Params: scenario.Params{
 			N: 216, NNeighbors: 20,
@@ -26,7 +29,13 @@ func sedovSpec(steps int) scenario.Spec {
 		},
 		Steps: steps,
 		Cores: 4,
-	}
+	}}
+}
+
+// testClient wires a pkg/client onto an httptest server — the suites talk
+// to the API exactly as external consumers do.
+func testClient(ts *httptest.Server) *client.Client {
+	return client.New(ts.URL, client.WithPollInterval(5*time.Millisecond))
 }
 
 func waitState(t *testing.T, s *Server, id string, want JobState, timeout time.Duration) JobView {
@@ -65,63 +74,48 @@ func decodeSnapshot(t *testing.T, raw []byte) *part.Set {
 }
 
 // TestSubmitPollSnapshotAndCacheHit is the end-to-end acceptance path: the
-// same Sedov job submitted twice — the first executes the distributed
-// engine, the second is served from the result cache — and both snapshots
-// decode via part with matching CRC and particle count.
+// same Sedov job submitted twice through the client — the first executes
+// the distributed engine, the second is served from the result cache — and
+// both snapshots decode via part with matching CRC and particle count.
 func TestSubmitPollSnapshotAndCacheHit(t *testing.T) {
 	s := New(Options{Workers: 2, DataDir: t.TempDir()})
 	defer s.Close()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
+	c := testClient(ts)
+	ctx := context.Background()
 
-	body, _ := json.Marshal(sedovSpec(3))
-	resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+	first, err := c.Submit(ctx, sedovSpec(3))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if resp.StatusCode != http.StatusAccepted {
-		t.Fatalf("submit status %d, want 202", resp.StatusCode)
-	}
-	var first JobView
-	if err := json.NewDecoder(resp.Body).Decode(&first); err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
 	if first.CacheHit {
 		t.Fatal("first submission reported a cache hit")
 	}
 	if first.Hash == "" {
 		t.Fatal("submission response missing spec hash")
 	}
+	if !first.Spec.Exec.IsZero() {
+		t.Fatalf("default submission grew an exec section: %+v", first.Spec.Exec)
+	}
 
-	// Poll status over HTTP until completed.
-	deadline := time.Now().Add(60 * time.Second)
-	var polled JobView
-	for {
-		r, err := http.Get(ts.URL + "/jobs/" + first.ID)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := json.NewDecoder(r.Body).Decode(&polled); err != nil {
-			t.Fatal(err)
-		}
-		r.Body.Close()
-		if polled.State == StateCompleted {
-			break
-		}
-		if polled.State == StateFailed || polled.State == StateCancelled {
-			t.Fatalf("job failed: %+v", polled)
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("job did not complete: %+v", polled)
-		}
-		time.Sleep(10 * time.Millisecond)
+	waitCtx, cancel := context.WithTimeout(ctx, 60*time.Second)
+	defer cancel()
+	polled, err := c.WaitJob(waitCtx, first.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if polled.State != client.StateCompleted {
+		t.Fatalf("job ended %s: %s", polled.State, polled.Error)
 	}
 	if polled.Progress.Step != 3 || polled.Progress.SimTime <= 0 {
 		t.Fatalf("completed progress %+v", polled.Progress)
 	}
 
-	snap1 := fetchSnapshot(t, ts.URL, first.ID, http.StatusOK)
+	snap1, err := c.Snapshot(ctx, first.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ps1 := decodeSnapshot(t, snap1)
 	if ps1.NLocal != 216 {
 		t.Fatalf("snapshot particle count %d, want 216", ps1.NLocal)
@@ -131,19 +125,11 @@ func TestSubmitPollSnapshotAndCacheHit(t *testing.T) {
 	}
 
 	// Second submission of the identical spec: served from the cache.
-	resp2, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+	second, err := c.Submit(ctx, sedovSpec(3))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if resp2.StatusCode != http.StatusOK {
-		t.Fatalf("cache-hit submit status %d, want 200", resp2.StatusCode)
-	}
-	var second JobView
-	if err := json.NewDecoder(resp2.Body).Decode(&second); err != nil {
-		t.Fatal(err)
-	}
-	resp2.Body.Close()
-	if !second.CacheHit || second.State != StateCompleted {
+	if !second.CacheHit || second.State != client.StateCompleted {
 		t.Fatalf("second submission not a completed cache hit: %+v", second)
 	}
 	if second.ID == first.ID {
@@ -153,7 +139,10 @@ func TestSubmitPollSnapshotAndCacheHit(t *testing.T) {
 		t.Fatalf("identical specs hashed differently: %s vs %s", first.Hash, second.Hash)
 	}
 
-	snap2 := fetchSnapshot(t, ts.URL, second.ID, http.StatusOK)
+	snap2, err := c.Snapshot(ctx, second.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ps2 := decodeSnapshot(t, snap2)
 	if ps2.NLocal != ps1.NLocal {
 		t.Fatalf("particle counts differ: %d vs %d", ps2.NLocal, ps1.NLocal)
@@ -173,21 +162,109 @@ func TestSubmitPollSnapshotAndCacheHit(t *testing.T) {
 	}
 }
 
-func fetchSnapshot(t *testing.T, base, id string, wantStatus int) []byte {
-	t.Helper()
-	r, err := http.Get(base + "/jobs/" + id + "/snapshot")
+// TestBackendChangesHashAndResult: the acceptance criterion of the typed
+// spec — the same scenario spec under a different execution section is a
+// different job: different hash, separately cached result, both backends
+// completing on their own engines.
+func TestBackendChangesHashAndResult(t *testing.T) {
+	s := New(Options{Workers: 2})
+	defer s.Close()
+
+	parallel := sedovSpec(2)
+	serial := sedovSpec(2)
+	serial.Exec = scenario.Exec{Backend: scenario.BackendSerial}
+
+	pj, err := s.Submit(parallel)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer r.Body.Close()
-	if r.StatusCode != wantStatus {
-		t.Fatalf("snapshot status %d, want %d", r.StatusCode, wantStatus)
-	}
-	var buf bytes.Buffer
-	if _, err := buf.ReadFrom(r.Body); err != nil {
+	sj, err := s.Submit(serial)
+	if err != nil {
 		t.Fatal(err)
 	}
-	return buf.Bytes()
+	if pj.Hash == sj.Hash {
+		t.Fatalf("serial and parallel specs share hash %s", pj.Hash)
+	}
+	if pj.ID == sj.ID {
+		t.Fatal("distinct backends coalesced onto one job")
+	}
+	waitState(t, s, pj.ID, StateCompleted, 60*time.Second)
+	waitState(t, s, sj.ID, StateCompleted, 60*time.Second)
+
+	// Distinct results cached under distinct hashes.
+	s.mu.Lock()
+	cached := len(s.cache)
+	s.mu.Unlock()
+	if cached != 2 {
+		t.Fatalf("cache holds %d entries, want 2 (one per backend)", cached)
+	}
+
+	// Resubmitting each spec hits its own cache entry.
+	again, err := s.Submit(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.CacheHit || again.Hash != sj.Hash {
+		t.Fatalf("serial resubmission: cacheHit=%v hash=%s, want hit of %s",
+			again.CacheHit, again.Hash, sj.Hash)
+	}
+
+	// An explicitly spelled-out default backend still coalesces with the
+	// implicit one (canonicalization maps it to the zero section).
+	spelled := sedovSpec(2)
+	spelled.Exec = scenario.Exec{Backend: scenario.BackendParallel}
+	sp, err := s.Submit(spelled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Hash != pj.Hash || !sp.CacheHit {
+		t.Fatalf("explicit parallel backend did not coalesce with the default: %+v", sp)
+	}
+}
+
+// TestExecMachineAndCostDispatch: a job naming a machine model and a
+// parent-code calibration runs to completion and hashes apart from the
+// default execution.
+func TestExecMachineAndCostDispatch(t *testing.T) {
+	s := New(Options{Workers: 1})
+	defer s.Close()
+
+	spec := sedovSpec(2)
+	spec.Exec = scenario.Exec{Machine: "marenostrum", Cost: "sphynx"}
+	view, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := sedovSpec(2).Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Hash == def {
+		t.Fatal("machine/cost selection did not change the spec hash")
+	}
+	waitState(t, s, view.ID, StateCompleted, 60*time.Second)
+
+	// Alias spelling of the same machine coalesces.
+	alias := sedovSpec(2)
+	alias.Exec = scenario.Exec{Machine: "mn4", Cost: "SPHYNX"}
+	av, err := s.Submit(alias)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if av.Hash != view.Hash || !av.CacheHit {
+		t.Fatalf("alias spelling did not coalesce: %+v", av)
+	}
+
+	// Unknown names are rejected at submission.
+	bad := sedovSpec(2)
+	bad.Exec = scenario.Exec{Machine: "warp-core"}
+	if _, err := s.Submit(bad); err == nil {
+		t.Fatal("unknown machine accepted")
+	}
+	bad.Exec = scenario.Exec{Backend: "quantum"}
+	if _, err := s.Submit(bad); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
 }
 
 // TestEventsStream: the SSE endpoint delivers progress frames and ends with
@@ -202,7 +279,7 @@ func TestEventsStream(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, err := http.Get(ts.URL + "/jobs/" + view.ID + "/events")
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + view.ID + "/events")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -298,6 +375,50 @@ func TestKillResumesFromCheckpoint(t *testing.T) {
 	}
 }
 
+// TestSerialBackendKillResumes: the crash-recovery path under the serial
+// engine — the checkpoint/resume loop is backend-agnostic.
+func TestSerialBackendKillResumes(t *testing.T) {
+	dir := t.TempDir()
+	s := New(Options{Workers: 1, DataDir: dir, CheckpointEvery: 2})
+	defer s.Close()
+
+	spec := sedovSpec(30)
+	spec.Params.N = 1000
+	spec.Params.NNeighbors = 30
+	spec.Exec = scenario.Exec{Backend: scenario.BackendSerial}
+	view, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		v, _ := s.Get(view.ID)
+		if v.State == StateRunning && v.Progress.Step >= 4 {
+			break
+		}
+		if v.State == StateCompleted || v.State == StateFailed {
+			t.Fatalf("job finished before it could be killed: %+v", v)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never progressed: %+v", v)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := s.Kill(view.ID); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	final := waitState(t, s, view.ID, StateCompleted, 120*time.Second)
+	if final.Restarts != 1 {
+		t.Fatalf("restarts=%d, want 1", final.Restarts)
+	}
+	if final.Progress.Step != 30 {
+		t.Fatalf("final progress %+v", final.Progress)
+	}
+	if _, ok := s.Snapshot(view.ID); !ok {
+		t.Fatal("completed serial job has no snapshot")
+	}
+}
+
 // TestCancelTerminates: explicit cancellation is terminal and frees the
 // hash for resubmission.
 func TestCancelTerminates(t *testing.T) {
@@ -357,41 +478,41 @@ func TestSubmitCoalescesActiveDuplicates(t *testing.T) {
 	_ = s.Cancel(first.ID)
 }
 
-// TestHTTPErrors covers the API's failure envelopes.
-func TestHTTPErrors(t *testing.T) {
+// TestErrorEnvelope covers the structured /v1 failure envelope: stable
+// codes, JSON content type, and the client's APIError decoding.
+func TestErrorEnvelope(t *testing.T) {
 	s := New(Options{Workers: 1})
 	defer s.Close()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
+	c := testClient(ts)
+	ctx := context.Background()
+
+	wantCode := func(err error, code string, status int) {
+		t.Helper()
+		var apiErr *client.APIError
+		if !errors.As(err, &apiErr) {
+			t.Fatalf("error %v (%T) is not an APIError", err, err)
+		}
+		if apiErr.Code != code || apiErr.Status != status {
+			t.Fatalf("error %+v, want code=%s status=%d", apiErr, code, status)
+		}
+	}
 
 	// Unknown scenario: 404 with the registered names in the message.
-	body := []byte(`{"scenario":"warp-drive","steps":1}`)
-	resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusNotFound {
-		t.Fatalf("unknown scenario status %d, want 404", resp.StatusCode)
-	}
-	var e struct {
-		Error string `json:"error"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
-		t.Fatal(err)
-	}
-	if !strings.Contains(e.Error, "sedov") {
-		t.Fatalf("error %q does not list registered scenarios", e.Error)
+	_, err := c.Submit(ctx, scenario.JobSpec{Spec: scenario.Spec{Scenario: "warp-drive", Steps: 1}})
+	wantCode(err, CodeUnknownScenario, http.StatusNotFound)
+	var apiErr *client.APIError
+	errors.As(err, &apiErr)
+	if !strings.Contains(apiErr.Message, "sedov") {
+		t.Fatalf("error %q does not list registered scenarios", apiErr.Message)
 	}
 
 	// Unknown job id.
-	r2, _ := http.Get(ts.URL + "/jobs/job-999999")
-	if r2.StatusCode != http.StatusNotFound {
-		t.Fatalf("unknown job status %d, want 404", r2.StatusCode)
-	}
-	r2.Body.Close()
+	_, err = c.Job(ctx, "job-999999")
+	wantCode(err, CodeUnknownJob, http.StatusNotFound)
 
-	// Snapshot of a non-completed job: 409.
+	// Snapshot of a non-completed job: 409 conflict.
 	spec := sedovSpec(100)
 	spec.Params.N = 1000
 	spec.Params.NNeighbors = 30
@@ -399,24 +520,247 @@ func TestHTTPErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fetchSnapshot(t, ts.URL, view.ID, http.StatusConflict)
+	_, err = c.Snapshot(ctx, view.ID)
+	wantCode(err, CodeConflict, http.StatusConflict)
 	_ = s.Cancel(view.ID)
 
-	// Scenario listing includes the registry.
-	r3, _ := http.Get(ts.URL + "/scenarios")
-	var infos []scenarioInfo
-	if err := json.NewDecoder(r3.Body).Decode(&infos); err != nil {
+	// Invalid exec section: 400 invalid_argument.
+	bad := sedovSpec(1)
+	bad.Exec = scenario.Exec{Backend: "quantum"}
+	_, err = c.Submit(ctx, bad)
+	wantCode(err, CodeInvalidArgument, http.StatusBadRequest)
+
+	// Unknown state filter: 400 invalid_argument.
+	_, err = c.Jobs(ctx, client.ListOptions{State: "warp"})
+	wantCode(err, CodeInvalidArgument, http.StatusBadRequest)
+
+	// Store metrics without a store: 404 no_store.
+	_, err = c.StoreStats(ctx)
+	wantCode(err, CodeNoStore, http.StatusNotFound)
+
+	// The envelope itself is well-formed JSON with the error member.
+	resp, err := http.Get(ts.URL + "/v1/jobs/job-999999")
+	if err != nil {
 		t.Fatal(err)
 	}
-	r3.Body.Close()
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("error content type %q, want application/json", ct)
+	}
+	var env struct {
+		Error APIError `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error.Code != CodeUnknownJob || env.Error.Message == "" {
+		t.Fatalf("envelope %+v", env)
+	}
+
+	// Scenario listing includes the registry and flags reference-backed
+	// scenarios.
+	infos, err := c.Scenarios(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(infos) < 6 {
 		t.Fatalf("scenario listing has %d entries: %+v", len(infos), infos)
 	}
+	refs := map[string]bool{}
+	for _, info := range infos {
+		refs[info.Name] = info.HasReference
+	}
+	if !refs["sod"] || refs["cube"] {
+		t.Fatalf("hasReference flags wrong: %+v", refs)
+	}
 
 	// Health.
-	r4, _ := http.Get(ts.URL + "/healthz")
-	if r4.StatusCode != http.StatusOK {
-		t.Fatalf("healthz status %d", r4.StatusCode)
+	if err := c.Health(ctx); err != nil {
+		t.Fatal(err)
 	}
-	r4.Body.Close()
+}
+
+// TestLegacyRoutesDeprecatedButAlive: the unversioned routes still serve
+// their v1 bodies and carry the Deprecation + successor Link headers.
+func TestLegacyRoutesDeprecatedButAlive(t *testing.T) {
+	s := New(Options{Workers: 1})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Legacy submit with a bare pre-exec spec body still works.
+	body := []byte(`{"scenario":"sedov","params":{"n":216,"nNeighbors":20,"extra":{"energy":1}},"steps":1,"cores":2}`)
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("legacy submit status %d, want 202", resp.StatusCode)
+	}
+	if dep := resp.Header.Get("Deprecation"); dep != "true" {
+		t.Fatalf("legacy submit Deprecation header %q, want \"true\"", dep)
+	}
+	if link := resp.Header.Get("Link"); !strings.Contains(link, `</v1/jobs>; rel="successor-version"`) {
+		t.Fatalf("legacy submit Link header %q", link)
+	}
+	var view JobView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, view.ID, StateCompleted, 60*time.Second)
+
+	// Legacy status, listing, and storez all answer with the header; the
+	// successor Link is always a concrete URI, never a route pattern.
+	for path, successor := range map[string]string{
+		"/jobs/" + view.ID: "/v1/jobs/" + view.ID,
+		"/jobs":            "/v1/jobs",
+		"/scenarios":       "/v1/scenarios",
+		"/healthz":         "/v1/healthz",
+		"/storez":          "/v1/store",
+	} {
+		r, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if path != "/storez" && r.StatusCode != http.StatusOK {
+			t.Fatalf("legacy %s status %d", path, r.StatusCode)
+		}
+		if r.Header.Get("Deprecation") != "true" {
+			t.Fatalf("legacy %s missing Deprecation header", path)
+		}
+		want := `<` + successor + `>; rel="successor-version"`
+		if link := r.Header.Get("Link"); link != want {
+			t.Fatalf("legacy %s Link %q, want %q", path, link, want)
+		}
+	}
+
+	// The legacy listing keeps its original shape: a bare, unpaginated
+	// JSON array — old scripts parse it positionally.
+	r0, err := http.Get(ts.URL + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var legacyList []JobView
+	if err := json.NewDecoder(r0.Body).Decode(&legacyList); err != nil {
+		t.Fatalf("legacy /jobs is not a JSON array: %v", err)
+	}
+	r0.Body.Close()
+	if len(legacyList) != 1 || legacyList[0].ID != view.ID {
+		t.Fatalf("legacy listing %+v", legacyList)
+	}
+
+	// Legacy errors keep their original flat shape {"error":"<string>"};
+	// the structured envelope is a /v1 shape.
+	r1, err := http.Post(ts.URL+"/jobs", "application/json",
+		strings.NewReader(`{"scenario":"warp-drive","steps":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flat map[string]string
+	if err := json.NewDecoder(r1.Body).Decode(&flat); err != nil {
+		t.Fatalf("legacy error body is not a flat string map: %v", err)
+	}
+	r1.Body.Close()
+	if r1.StatusCode != http.StatusNotFound || !strings.Contains(flat["error"], "warp-drive") {
+		t.Fatalf("legacy error status=%d body=%+v", r1.StatusCode, flat)
+	}
+
+	// The v1 routes carry no deprecation signal.
+	r, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.Header.Get("Deprecation") != "" {
+		t.Fatal("/v1 route carries a Deprecation header")
+	}
+}
+
+// TestListPagination: cursor pagination walks the whole listing in stable
+// order without duplicates.
+func TestListPagination(t *testing.T) {
+	s := New(Options{Workers: 2})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := testClient(ts)
+	ctx := context.Background()
+
+	var want []string
+	for steps := 1; steps <= 5; steps++ {
+		view, err := s.Submit(sedovSpec(steps))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, view.ID)
+	}
+	for _, id := range want {
+		waitState(t, s, id, StateCompleted, 60*time.Second)
+	}
+
+	var got []string
+	cursor := ""
+	pages := 0
+	for {
+		page, err := c.Jobs(ctx, client.ListOptions{Limit: 2, Cursor: cursor})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, j := range page.Jobs {
+			got = append(got, j.ID)
+		}
+		pages++
+		if page.NextCursor == "" {
+			break
+		}
+		cursor = page.NextCursor
+		if pages > 10 {
+			t.Fatal("pagination never terminated")
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("paged listing returned %d jobs, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("paged order %v, want %v", got, want)
+		}
+	}
+	if pages < 3 {
+		t.Fatalf("limit=2 over 5 jobs paged %d times, want >= 3", pages)
+	}
+
+	// State filter composes with pagination.
+	page, err := c.Jobs(ctx, client.ListOptions{State: client.StateCompleted, Limit: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Jobs) != 5 || page.NextCursor != "" {
+		t.Fatalf("completed filter page %+v", page)
+	}
+}
+
+// TestCursorAfterOrdersPastPaddingWidth: cursor ordering must follow
+// allocation order even after the sequence number outgrows the six-digit
+// zero padding (plain lexicographic comparison would sort job-1000000
+// before job-999999 and silently skip every newer job).
+func TestCursorAfterOrdersPastPaddingWidth(t *testing.T) {
+	cases := []struct {
+		id, cursor string
+		want       bool
+	}{
+		{"job-000002", "job-000001", true},
+		{"job-000001", "job-000001", false},
+		{"job-000001", "job-000002", false},
+		{"job-1000000", "job-999999", true},
+		{"job-999999", "job-1000000", false},
+		{"job-1000001", "job-1000000", true},
+	}
+	for _, c := range cases {
+		if got := cursorAfter(c.id, c.cursor); got != c.want {
+			t.Errorf("cursorAfter(%q, %q) = %v, want %v", c.id, c.cursor, got, c.want)
+		}
+	}
 }

@@ -9,11 +9,15 @@
 //
 // Layout under the root directory:
 //
-//	index.json            entry metadata (rewritten atomically on mutation)
-//	objects/<hash>.sph    snapshot payloads (part binary checkpoint format)
-//	reports/<hash>.json   verification reports attached to entries, served
-//	                      byte-identically across restarts
-//	quarantine/           corrupt or unindexed objects moved aside on detection
+//	index.json             entry metadata (rewritten atomically on mutation)
+//	objects/ab/abcd….sph   snapshot payloads (part binary checkpoint format),
+//	                       sharded by the first two hash characters so no
+//	                       single directory accumulates tens of thousands of
+//	                       entries; a pre-sharding flat layout
+//	                       (objects/abcd….sph) migrates transparently on Open
+//	reports/<hash>.json    verification reports attached to entries, served
+//	                       byte-identically across restarts
+//	quarantine/            corrupt or unindexed objects moved aside on detection
 package store
 
 import (
@@ -109,6 +113,30 @@ func Open(dir string, opts Options) (*Store, error) {
 		return nil, fmt.Errorf("store: creating %s: %w", s.objectsDir(), err)
 	}
 
+	// Transparent migration of the pre-sharding flat layout: objects used
+	// to live directly at objects/<hash>.sph. Move each into its shard
+	// directory before verification — the index records no paths, so it
+	// stays byte-compatible across the migration. A file that cannot be
+	// migrated is quarantined, never left invisible at the flat path (the
+	// unindexed-object sweep only scans shard directories, so an orphan
+	// there would silently shadow a droppable entry forever).
+	if names, err := filepath.Glob(filepath.Join(s.objectsDir(), "*.sph")); err == nil {
+		for _, path := range names {
+			hash := fileHash(path)
+			dst := s.objectPath(hash)
+			if dst == path {
+				continue
+			}
+			if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+				s.quarantineFileLocked(path, hash)
+				continue
+			}
+			if err := os.Rename(path, dst); err != nil {
+				s.quarantineFileLocked(path, hash)
+			}
+		}
+	}
+
 	idx, err := readIndex(s.indexPath())
 	if err != nil {
 		// A corrupt index is recoverable: quarantine every object (their
@@ -131,7 +159,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	}
 
 	// Objects on disk that the index does not vouch for are quarantined.
-	if names, err := filepath.Glob(filepath.Join(s.objectsDir(), "*.sph")); err == nil {
+	if names, err := filepath.Glob(filepath.Join(s.objectsDir(), "*", "*.sph")); err == nil {
 		for _, path := range names {
 			hash := fileHash(path)
 			if _, ok := s.entries[hash]; !ok {
@@ -161,8 +189,15 @@ func Open(dir string, opts Options) (*Store, error) {
 
 func (s *Store) indexPath() string  { return filepath.Join(s.dir, "index.json") }
 func (s *Store) objectsDir() string { return filepath.Join(s.dir, "objects") }
+
+// objectPath shards the objects directory by the first two hash characters
+// (objects/ab/abcd….sph), so entry counts in the tens of thousands never
+// pile into one directory.
 func (s *Store) objectPath(h string) string {
-	return filepath.Join(s.objectsDir(), h+".sph")
+	if len(h) < 2 {
+		return filepath.Join(s.objectsDir(), h+".sph")
+	}
+	return filepath.Join(s.objectsDir(), h[:2], h+".sph")
 }
 func (s *Store) reportsDir() string { return filepath.Join(s.dir, "reports") }
 func (s *Store) reportPath(h string) string {
@@ -221,14 +256,20 @@ func fileCRC(path string) (uint64, int64, error) {
 // quarantineLocked moves an object aside instead of deleting it, so corrupt
 // data remains inspectable but is never served.
 func (s *Store) quarantineLocked(hash string) {
+	s.quarantineFileLocked(s.objectPath(hash), hash)
+}
+
+// quarantineFileLocked quarantines an object file at an explicit path (the
+// canonical sharded location, or a flat-layout file that failed migration).
+func (s *Store) quarantineFileLocked(path, hash string) {
 	qdir := filepath.Join(s.dir, "quarantine")
 	if err := os.MkdirAll(qdir, 0o755); err != nil {
-		_ = os.Remove(s.objectPath(hash))
+		_ = os.Remove(path)
 		return
 	}
 	dst := filepath.Join(qdir, hash+".sph")
-	if err := os.Rename(s.objectPath(hash), dst); err != nil {
-		_ = os.Remove(s.objectPath(hash))
+	if err := os.Rename(path, dst); err != nil {
+		_ = os.Remove(path)
 	}
 	// A quarantined object always accompanies a dropped entry; its report
 	// is meaningless without the snapshot it scored.
@@ -296,6 +337,9 @@ func (s *Store) Put(meta Meta, snapshot []byte) error {
 	defer s.mu.Unlock()
 
 	path := s.objectPath(meta.Hash)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("store: creating %s: %w", filepath.Dir(path), err)
+	}
 	tmp := path + ".tmp"
 	if err := os.WriteFile(tmp, snapshot, 0o644); err != nil {
 		return fmt.Errorf("store: writing %s: %w", tmp, err)

@@ -25,10 +25,15 @@ func put(t *testing.T, s *Store, hash string, size int) []byte {
 	return payload
 }
 
+// objPath is the sharded on-disk location of an object file.
+func objPath(dir, hash string) string {
+	return filepath.Join(dir, "objects", hash[:2], hash+".sph")
+}
+
 // diskBytes sums the object files actually on disk.
 func diskBytes(t *testing.T, dir string) int64 {
 	t.Helper()
-	names, err := filepath.Glob(filepath.Join(dir, "objects", "*.sph"))
+	names, err := filepath.Glob(filepath.Join(dir, "objects", "*", "*.sph"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +129,7 @@ func TestTTLExpiry(t *testing.T) {
 	if s.Len() != 1 {
 		t.Fatalf("store holds %d entries, want 1", s.Len())
 	}
-	if _, err := os.Stat(filepath.Join(dir, "objects", "aaaa.sph")); !os.IsNotExist(err) {
+	if _, err := os.Stat(objPath(dir, "aaaa")); !os.IsNotExist(err) {
 		t.Fatal("expired object file still on disk")
 	}
 
@@ -212,7 +217,7 @@ func TestCorruptEntryQuarantinedOnReopen(t *testing.T) {
 	put(t, s1, "bbbb", 64)
 
 	// Corrupt aaaa on disk behind the store's back.
-	path := filepath.Join(dir, "objects", "aaaa.sph")
+	path := objPath(dir, "aaaa")
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
@@ -252,7 +257,7 @@ func TestCorruptionDetectedOnRead(t *testing.T) {
 		t.Fatal(err)
 	}
 	put(t, s, "aaaa", 64)
-	path := filepath.Join(dir, "objects", "aaaa.sph")
+	path := objPath(dir, "aaaa")
 	raw, _ := os.ReadFile(path)
 	raw[0] ^= 0x01
 	if err := os.WriteFile(path, raw, 0o644); err != nil {
@@ -443,7 +448,7 @@ func TestStaleReportRemovedOnOpen(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Lose the object: reopening drops the entry and its stale report.
-	if err := os.Remove(filepath.Join(dir, "objects", "aaaa.sph")); err != nil {
+	if err := os.Remove(objPath(dir, "aaaa")); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := Open(dir, Options{}); err != nil {
@@ -451,6 +456,60 @@ func TestStaleReportRemovedOnOpen(t *testing.T) {
 	}
 	if _, err := os.Stat(filepath.Join(dir, "reports", "aaaa.json")); !os.IsNotExist(err) {
 		t.Errorf("stale report survives reopen: %v", err)
+	}
+}
+
+// TestFlatLayoutMigratesToShards: a store directory written before object
+// sharding (objects/<hash>.sph) opens cleanly — every object moves into its
+// shard directory (objects/ab/<hash>.sph), the unchanged index format still
+// vouches for it, and the entries serve as if nothing happened.
+func TestFlatLayoutMigratesToShards(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := map[string][]byte{}
+	for _, hash := range []string{"aaaa", "bbbb", "abcd"} {
+		payloads[hash] = put(t, s1, hash, 64)
+	}
+	if err := s1.PutReport("aaaa", []byte(`{"pass":true}`)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reconstruct the pre-sharding flat layout: move every object back to
+	// objects/<hash>.sph and drop the shard directories, leaving index.json
+	// exactly as a flat-era store would have written it.
+	for hash := range payloads {
+		if err := os.Rename(objPath(dir, hash), filepath.Join(dir, "objects", hash+".sph")); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Remove(filepath.Join(dir, "objects", hash[:2])); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("open over flat layout: %v", err)
+	}
+	if s2.Len() != 3 || s2.Quarantined() != 0 {
+		t.Fatalf("migrated store: %d entries, %d quarantined; want 3, 0", s2.Len(), s2.Quarantined())
+	}
+	for hash, want := range payloads {
+		got, _, err := s2.ReadObject(hash)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("entry %s after migration: err=%v, bytes equal=%v", hash, err, bytes.Equal(got, want))
+		}
+		if _, err := os.Stat(objPath(dir, hash)); err != nil {
+			t.Fatalf("object %s not in its shard directory: %v", hash, err)
+		}
+		if _, err := os.Stat(filepath.Join(dir, "objects", hash+".sph")); !os.IsNotExist(err) {
+			t.Fatalf("flat object file %s left behind: %v", hash, err)
+		}
+	}
+	if b, ok := s2.ReadReport("aaaa"); !ok || !bytes.Equal(b, []byte(`{"pass":true}`)) {
+		t.Fatalf("report lost across migration: %q ok=%v", b, ok)
 	}
 }
 

@@ -1,0 +1,436 @@
+// Package client is the reusable Go client of the sphexa-serve /v1 API:
+// typed job submission (scenario.JobSpec), batch submission, polling
+// helpers, snapshot and verification-report retrieval, convergence
+// experiments (experiments.Sweep), cursor pagination, and structured
+// decoding of the API's error envelope into *APIError. The CLIs
+// (cmd/sphexa -server, cmd/sphexa-smoke) and the server's own httptest
+// suites all talk to the API through it.
+//
+// The request/response vocabulary deliberately reuses the server's spec
+// types (internal/scenario, internal/experiments), so the client is
+// importable from anywhere in this module but not from other modules (the
+// Go internal rule); an external consumer would talk to the documented
+// wire format directly.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/scenario"
+	"repro/internal/store"
+	"repro/internal/verify"
+)
+
+// Client talks to one sphexa-serve instance. The zero value is not usable;
+// construct with New.
+type Client struct {
+	base string
+	http *http.Client
+	// poll is the interval of the Wait helpers.
+	poll time.Duration
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports, test doubles).
+func WithHTTPClient(h *http.Client) Option { return func(c *Client) { c.http = h } }
+
+// WithPollInterval sets the polling cadence of WaitJob/WaitExperiment
+// (default 50ms).
+func WithPollInterval(d time.Duration) Option { return func(c *Client) { c.poll = d } }
+
+// New returns a client for the server at base (e.g. "http://localhost:8080").
+func New(base string, opts ...Option) *Client {
+	c := &Client{
+		base: strings.TrimRight(base, "/"),
+		http: http.DefaultClient,
+		poll: 50 * time.Millisecond,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// APIError is a structured /v1 error envelope, decoded. It satisfies the
+// error interface, so callers can errors.As for the stable Code.
+type APIError struct {
+	Status  int            `json:"-"` // HTTP status
+	Code    string         `json:"code"`
+	Message string         `json:"message"`
+	Details map[string]any `json:"details,omitempty"`
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("api error %d (%s): %s", e.Status, e.Code, e.Message)
+}
+
+// Job states, mirroring the server's lifecycle.
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateCompleted = "completed"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+// TerminalState reports whether a job or experiment state is final.
+func TerminalState(state string) bool {
+	return state == StateCompleted || state == StateFailed || state == StateCancelled
+}
+
+// Progress mirrors the server's job progress.
+type Progress struct {
+	Step    int     `json:"step"`
+	Total   int     `json:"total"`
+	SimTime float64 `json:"simTime"`
+	DT      float64 `json:"dt"`
+}
+
+// VerifySummary is the compact verification rollup on job views.
+type VerifySummary struct {
+	Reference string  `json:"reference,omitempty"`
+	Pass      bool    `json:"pass"`
+	L1Density float64 `json:"l1Density,omitempty"`
+}
+
+// Job is the wire shape of a job view.
+type Job struct {
+	ID       string           `json:"id"`
+	Spec     scenario.JobSpec `json:"spec"`
+	Hash     string           `json:"hash"`
+	State    string           `json:"state"`
+	Progress Progress         `json:"progress"`
+	Error    string           `json:"error,omitempty"`
+	CacheHit bool             `json:"cacheHit"`
+	Restarts int              `json:"restarts"`
+	Verify   *VerifySummary   `json:"verify,omitempty"`
+}
+
+// Terminal reports whether the job has reached a final state.
+func (j *Job) Terminal() bool { return TerminalState(j.State) }
+
+// BatchItem is the per-spec outcome of a batch submission.
+type BatchItem struct {
+	Job   *Job   `json:"job,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+// ScenarioInfo is one /v1/scenarios listing entry.
+type ScenarioInfo struct {
+	Name         string          `json:"name"`
+	Description  string          `json:"description"`
+	Defaults     scenario.Params `json:"defaults"`
+	HasReference bool            `json:"hasReference"`
+}
+
+// JobPage is one page of the job listing.
+type JobPage struct {
+	Jobs       []Job  `json:"jobs"`
+	NextCursor string `json:"nextCursor,omitempty"`
+}
+
+// ExpMember is one ladder point of an experiment view.
+type ExpMember struct {
+	N      int            `json:"n"`
+	JobID  string         `json:"jobId"`
+	Hash   string         `json:"hash"`
+	State  string         `json:"state,omitempty"`
+	Verify *VerifySummary `json:"verify,omitempty"`
+}
+
+// Experiment is the wire shape of a convergence experiment view. Result is
+// decoded from the persisted regression when the experiment is completed.
+type Experiment struct {
+	ID       string              `json:"id"`
+	Sweep    experiments.Sweep   `json:"sweep"`
+	Hash     string              `json:"hash"`
+	State    string              `json:"state"`
+	CacheHit bool                `json:"cacheHit"`
+	Members  []ExpMember         `json:"members,omitempty"`
+	Result   *experiments.Result `json:"result,omitempty"`
+	Error    string              `json:"error,omitempty"`
+}
+
+// Terminal reports whether the experiment has reached a final state.
+func (e *Experiment) Terminal() bool { return TerminalState(e.State) }
+
+// ExperimentPage is one page of the experiment listing.
+type ExperimentPage struct {
+	Experiments []Experiment `json:"experiments"`
+	NextCursor  string       `json:"nextCursor,omitempty"`
+}
+
+// ListOptions paginate and filter the list endpoints.
+type ListOptions struct {
+	// State filters jobs by lifecycle state (ignored for experiments).
+	State string
+	// Cursor resumes a prior page's NextCursor.
+	Cursor string
+	// Limit bounds the page size (0 = server default).
+	Limit int
+}
+
+func (o ListOptions) query() string {
+	q := url.Values{}
+	if o.State != "" {
+		q.Set("state", o.State)
+	}
+	if o.Cursor != "" {
+		q.Set("cursor", o.Cursor)
+	}
+	if o.Limit > 0 {
+		q.Set("limit", strconv.Itoa(o.Limit))
+	}
+	if len(q) == 0 {
+		return ""
+	}
+	return "?" + q.Encode()
+}
+
+// do issues one request and decodes the response into out (unless nil).
+// Non-2xx responses decode the error envelope into *APIError.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("client: encoding request: %w", err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	if raw, ok := out.(*[]byte); ok {
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return err
+		}
+		*raw = b
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// decodeError turns a non-2xx response into *APIError, degrading gracefully
+// when the body is not an envelope.
+func decodeError(resp *http.Response) error {
+	b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	var env struct {
+		Error APIError `json:"error"`
+	}
+	if err := json.Unmarshal(b, &env); err == nil && env.Error.Code != "" {
+		e := env.Error
+		e.Status = resp.StatusCode
+		return &e
+	}
+	return &APIError{Status: resp.StatusCode, Code: "internal",
+		Message: strings.TrimSpace(string(b))}
+}
+
+// Health probes GET /v1/healthz.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/v1/healthz", nil, nil)
+}
+
+// Scenarios lists the registered scenarios.
+func (c *Client) Scenarios(ctx context.Context) ([]ScenarioInfo, error) {
+	var out []ScenarioInfo
+	err := c.do(ctx, http.MethodGet, "/v1/scenarios", nil, &out)
+	return out, err
+}
+
+// Submit posts one typed job spec; a completed response is a cache hit.
+func (c *Client) Submit(ctx context.Context, spec scenario.JobSpec) (*Job, error) {
+	var out Job
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// SubmitBatch posts an array of specs; outcomes are per-item.
+func (c *Client) SubmitBatch(ctx context.Context, specs []scenario.JobSpec) ([]BatchItem, error) {
+	var out []BatchItem
+	err := c.do(ctx, http.MethodPost, "/v1/jobs/batch", specs, &out)
+	return out, err
+}
+
+// Job fetches one job view.
+func (c *Client) Job(ctx context.Context, id string) (*Job, error) {
+	var out Job
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Jobs fetches one page of the job listing.
+func (c *Client) Jobs(ctx context.Context, opts ListOptions) (*JobPage, error) {
+	var out JobPage
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs"+opts.query(), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// WaitJob polls until the job reaches a terminal state (or ctx expires).
+func (c *Client) WaitJob(ctx context.Context, id string) (*Job, error) {
+	for {
+		job, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if job.Terminal() {
+			return job, nil
+		}
+		select {
+		case <-ctx.Done():
+			return job, ctx.Err()
+		case <-time.After(c.poll):
+		}
+	}
+}
+
+// Cancel terminally cancels a queued or running job.
+func (c *Client) Cancel(ctx context.Context, id string) (*Job, error) {
+	var out Job
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs/"+id+"/cancel", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Kill simulates a crash of a running job (it resumes from its checkpoint).
+func (c *Client) Kill(ctx context.Context, id string) (*Job, error) {
+	var out Job
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs/"+id+"/kill", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Snapshot downloads the completed job's final particle state (part binary
+// checkpoint format).
+func (c *Client) Snapshot(ctx context.Context, id string) ([]byte, error) {
+	var raw []byte
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/snapshot", nil, &raw)
+	return raw, err
+}
+
+// Metrics fetches the completed job's verification report, decoded.
+func (c *Client) Metrics(ctx context.Context, id string) (*verify.Report, error) {
+	var out verify.Report
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/metrics", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// RawMetrics fetches the verification report bytes exactly as persisted.
+func (c *Client) RawMetrics(ctx context.Context, id string) ([]byte, error) {
+	var raw []byte
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/metrics", nil, &raw)
+	return raw, err
+}
+
+// SubmitExperiment posts a convergence sweep; a completed response is a
+// cache hit served from the persisted regression.
+func (c *Client) SubmitExperiment(ctx context.Context, sw experiments.Sweep) (*Experiment, error) {
+	var out Experiment
+	if err := c.do(ctx, http.MethodPost, "/v1/experiments", sw, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Experiment fetches one experiment view.
+func (c *Client) Experiment(ctx context.Context, id string) (*Experiment, error) {
+	var out Experiment
+	if err := c.do(ctx, http.MethodGet, "/v1/experiments/"+id, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Experiments fetches one page of the experiment listing.
+func (c *Client) Experiments(ctx context.Context, opts ListOptions) (*ExperimentPage, error) {
+	var out ExperimentPage
+	if err := c.do(ctx, http.MethodGet, "/v1/experiments"+opts.query(), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// WaitExperiment polls until the experiment reaches a terminal state.
+func (c *Client) WaitExperiment(ctx context.Context, id string) (*Experiment, error) {
+	for {
+		exp, err := c.Experiment(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if exp.Terminal() {
+			return exp, nil
+		}
+		select {
+		case <-ctx.Done():
+			return exp, ctx.Err()
+		case <-time.After(c.poll):
+		}
+	}
+}
+
+// StoreStats fetches the result-store metrics.
+func (c *Client) StoreStats(ctx context.Context) (*store.Stats, error) {
+	var out store.Stats
+	if err := c.do(ctx, http.MethodGet, "/v1/store", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Deprecation probes a legacy unversioned path and reports the Deprecation
+// and successor-version Link headers it carries (the contract smoke checks
+// these never regress).
+func (c *Client) Deprecation(ctx context.Context, path string) (deprecation, link string, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return "", "", err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return "", "", err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.Header.Get("Deprecation"), resp.Header.Get("Link"), nil
+}

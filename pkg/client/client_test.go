@@ -1,0 +1,211 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/scenario"
+	"repro/internal/server"
+	"repro/pkg/client"
+)
+
+// newServer spins a real job server behind httptest; the suite exercises
+// the client against the same handler production serves.
+func newServer(t *testing.T) (*server.Server, *client.Client) {
+	t.Helper()
+	s := server.New(server.Options{Workers: 2})
+	t.Cleanup(s.Close)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, client.New(ts.URL, client.WithPollInterval(5*time.Millisecond))
+}
+
+func sedovSpec(steps, n int) scenario.JobSpec {
+	return scenario.JobSpec{Spec: scenario.Spec{
+		Scenario: "sedov",
+		Params: scenario.Params{
+			N: n, NNeighbors: 20,
+			Extra: map[string]float64{"energy": 1},
+		},
+		Steps: steps,
+		Cores: 2,
+	}}
+}
+
+// TestClientJobRoundTrip: submit, wait, snapshot, metrics, and the
+// cache-hit resubmission — the full happy path through the typed client.
+func TestClientJobRoundTrip(t *testing.T) {
+	_, c := newServer(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	if err := c.Health(ctx); err != nil {
+		t.Fatal(err)
+	}
+	infos, err := c.Scenarios(ctx)
+	if err != nil || len(infos) == 0 {
+		t.Fatalf("scenarios: %v (%d entries)", err, len(infos))
+	}
+
+	job, err := c.Submit(ctx, sedovSpec(2, 216))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.ID == "" || job.Hash == "" {
+		t.Fatalf("submission view incomplete: %+v", job)
+	}
+	done, err := c.WaitJob(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.State != client.StateCompleted || !done.Terminal() {
+		t.Fatalf("job ended %s: %s", done.State, done.Error)
+	}
+
+	snap, err := c.Snapshot(ctx, job.ID)
+	if err != nil || len(snap) == 0 {
+		t.Fatalf("snapshot: %v (%d bytes)", err, len(snap))
+	}
+	rep, err := c.Metrics(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scenario != "sedov" || rep.Particles == 0 {
+		t.Fatalf("report %+v", rep)
+	}
+
+	again, err := c.Submit(ctx, sedovSpec(2, 216))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.CacheHit {
+		t.Fatalf("identical resubmission not a cache hit: %+v", again)
+	}
+
+	// Batch: duplicates coalesce, bad items error per-item.
+	items, err := c.SubmitBatch(ctx, []scenario.JobSpec{
+		sedovSpec(2, 216), sedovSpec(2, 216),
+		{Spec: scenario.Spec{Scenario: "warp-drive", Steps: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 3 || items[0].Job == nil || items[1].Job == nil || items[2].Error == "" {
+		t.Fatalf("batch items %+v", items)
+	}
+	// The spec already completed above, so both duplicates are cache hits
+	// of the same stored result.
+	if items[0].Job.Hash != items[1].Job.Hash || !items[0].Job.CacheHit || !items[1].Job.CacheHit {
+		t.Fatalf("batch duplicates did not share the cached result: %+v vs %+v",
+			items[0].Job, items[1].Job)
+	}
+}
+
+// TestClientAPIErrorDecoding: non-2xx responses surface as *APIError with
+// the server's stable code, status, and message.
+func TestClientAPIErrorDecoding(t *testing.T) {
+	_, c := newServer(t)
+	ctx := context.Background()
+
+	_, err := c.Job(ctx, "job-999999")
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("error %v (%T) is not an APIError", err, err)
+	}
+	if apiErr.Status != 404 || apiErr.Code != "unknown_job" || apiErr.Message == "" {
+		t.Fatalf("decoded error %+v", apiErr)
+	}
+	if !strings.Contains(apiErr.Error(), "unknown_job") {
+		t.Fatalf("APIError.Error() = %q", apiErr.Error())
+	}
+
+	_, err = c.Submit(ctx, scenario.JobSpec{Spec: scenario.Spec{Scenario: "warp-drive"}})
+	if !errors.As(err, &apiErr) || apiErr.Code != "unknown_scenario" {
+		t.Fatalf("unknown scenario error %v", err)
+	}
+}
+
+// TestClientExperimentAndPagination: the experiment round trip and cursor
+// iteration through the client.
+func TestClientExperimentAndPagination(t *testing.T) {
+	_, c := newServer(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	exp, err := c.SubmitExperiment(ctx, experiments.Sweep{
+		Base: sedovSpec(2, 0),
+		Ns:   []int{216, 512},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.WaitExperiment(ctx, exp.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != client.StateCompleted || final.Result == nil {
+		t.Fatalf("experiment %s: %s (%s)", final.ID, final.State, final.Error)
+	}
+	if len(final.Result.Points) != 2 || final.Result.Fit.Order != -3*final.Result.Fit.Slope {
+		t.Fatalf("result %+v", final.Result)
+	}
+
+	page, err := c.Experiments(ctx, client.ListOptions{Limit: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Experiments) != 1 || page.NextCursor != "" {
+		t.Fatalf("experiment page %+v", page)
+	}
+
+	// Member jobs paginate with limit=1: every page holds one job and the
+	// cursors chain to the end.
+	seen := map[string]bool{}
+	cursor := ""
+	for i := 0; i < 10; i++ {
+		jp, err := c.Jobs(ctx, client.ListOptions{Limit: 1, Cursor: cursor})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, j := range jp.Jobs {
+			if seen[j.ID] {
+				t.Fatalf("job %s served twice across pages", j.ID)
+			}
+			seen[j.ID] = true
+		}
+		if jp.NextCursor == "" {
+			break
+		}
+		cursor = jp.NextCursor
+	}
+	if len(seen) != 2 {
+		t.Fatalf("pagination visited %d jobs, want 2", len(seen))
+	}
+}
+
+// TestClientDeprecationProbe: the legacy-route probe reports the headers
+// the smoke test guards.
+func TestClientDeprecationProbe(t *testing.T) {
+	_, c := newServer(t)
+	ctx := context.Background()
+
+	dep, link, err := c.Deprecation(ctx, "/scenarios")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep != "true" || !strings.Contains(link, "successor-version") {
+		t.Fatalf("legacy /scenarios: Deprecation=%q Link=%q", dep, link)
+	}
+	dep, _, err = c.Deprecation(ctx, "/v1/scenarios")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep != "" {
+		t.Fatalf("/v1 route reports Deprecation=%q", dep)
+	}
+}
