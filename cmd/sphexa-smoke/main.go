@@ -10,7 +10,12 @@
 //  3. the same member JobSpec under a different execution backend hashes
 //     (and stores) differently — backends never share results;
 //  4. the legacy unversioned routes still answer and carry the
-//     Deprecation + successor-version Link headers.
+//     Deprecation + successor-version Link headers;
+//  5. a 3-point strong-scaling sweep (POST /v1/scaling) on a modeled Piz
+//     Daint sod ladder returns paper-shaped curves — per-phase breakdowns
+//     summing to the rank-seconds totals, parallel efficiency monotone
+//     non-increasing past the knee, a fitted serial fraction in a sane
+//     band — and its identical resubmission is a store-level cache hit.
 //
 // Any regression exits non-zero, which is what CI keys on.
 //
@@ -21,6 +26,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -42,25 +48,42 @@ func main() {
 		timeout  = flag.Duration("timeout", 10*time.Minute, "overall deadline")
 		minOrder = flag.Float64("min-order", 0.05, "lower bound on the fitted convergence order")
 		maxOrder = flag.Float64("max-order", 8, "upper bound on the fitted convergence order")
+
+		sclCores  = flag.String("scaling-cores", "12,48,192", "core-count ladder of the scaling sweep contract check")
+		sclN      = flag.Int("scaling-n", 4000, "particle count of the scaling sweep members")
+		sclSteps  = flag.Int("scaling-steps", 5, "steps per scaling sweep member")
+		maxSerial = flag.Float64("max-serial", 0.6, "upper bound on the fitted Amdahl serial fraction")
 	)
 	flag.Parse()
 	if err := run(*addr, *scen, *nsCSV, *steps, *nbrs, *cores, *timeout, *minOrder, *maxOrder); err != nil {
 		fmt.Fprintln(os.Stderr, "sphexa-smoke: FAIL:", err)
 		os.Exit(1)
 	}
+	if err := runScaling(*addr, *scen, *sclCores, *sclN, *sclSteps, *nbrs, *timeout, *maxSerial); err != nil {
+		fmt.Fprintln(os.Stderr, "sphexa-smoke: FAIL:", err)
+		os.Exit(1)
+	}
 	fmt.Println("sphexa-smoke: PASS")
+}
+
+func parseInts(csv, flagName string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(csv, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad %s entry %q: %w", flagName, f, err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 func run(addr, scen, nsCSV string, steps, nbrs, cores int,
 	timeout time.Duration, minOrder, maxOrder float64) error {
 
-	var ns []int
-	for _, f := range strings.Split(nsCSV, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(f))
-		if err != nil {
-			return fmt.Errorf("bad -ns entry %q: %w", f, err)
-		}
-		ns = append(ns, n)
+	ns, err := parseInts(nsCSV, "-ns")
+	if err != nil {
+		return err
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
@@ -69,7 +92,6 @@ func run(addr, scen, nsCSV string, steps, nbrs, cores int,
 
 	// The server may still be binding its listener (CI starts it in the
 	// background); retry the health probe briefly.
-	var err error
 	for i := 0; i < 50; i++ {
 		if err = c.Health(ctx); err == nil {
 			break
@@ -175,5 +197,91 @@ func run(addr, scen, nsCSV string, steps, nbrs, cores int,
 		}
 	}
 	fmt.Println("legacy routes: deprecation headers intact")
+	return nil
+}
+
+// runScaling drives the /v1/scaling contract: a small strong-scaling sweep
+// on a modeled Piz Daint ladder must return paper-shaped curves, and its
+// identical resubmission must be a store-level cache hit.
+func runScaling(addr, scen, coresCSV string, n, steps, nbrs int,
+	timeout time.Duration, maxSerial float64) error {
+
+	ladder, err := parseInts(coresCSV, "-scaling-cores")
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	c := client.New(addr, client.WithRetry(client.RetryPolicy{MaxAttempts: 5}))
+
+	sweep := experiments.ScalingSweep{
+		Base: scenario.JobSpec{
+			Spec: scenario.Spec{
+				Scenario: scen,
+				Params:   scenario.Params{N: n, NNeighbors: nbrs},
+				Steps:    steps,
+			},
+			Exec: scenario.Exec{Machine: "daint"},
+		},
+		Cores: ladder,
+	}
+
+	scl, err := c.SubmitScaling(ctx, sweep)
+	if err != nil {
+		return fmt.Errorf("submitting scaling sweep: %w", err)
+	}
+	fmt.Printf("scaling %s (%s, N=%d, cores=%v): %s\n", scl.ID, scen, n, ladder, scl.State)
+	if scl, err = c.WaitScaling(ctx, scl.ID); err != nil {
+		return fmt.Errorf("waiting for scaling sweep: %w", err)
+	}
+	if scl.State != client.StateCompleted {
+		return fmt.Errorf("scaling sweep ended %s: %s", scl.State, scl.Error)
+	}
+	res := scl.Result
+	if res == nil {
+		return fmt.Errorf("completed scaling sweep carries no result")
+	}
+	if len(res.Arms) != 1 || len(res.Arms[0].Points) != len(ladder) {
+		return fmt.Errorf("result shape: %d arms, want 1 with %d points", len(res.Arms), len(ladder))
+	}
+	pts := res.Arms[0].Points
+	for i, p := range pts {
+		fmt.Printf("  cores=%-5d ranks=%-3d t/step=%.4fs speedup=%.2f eff=%.3f (compute %.2f, halo %.2f, collective %.2f rank-s)\n",
+			p.Cores, p.Ranks, p.SecondsPerStep, p.Speedup, p.Efficiency,
+			p.Phases.Compute, p.Phases.Halo, p.Phases.Collective)
+		// Per-phase breakdowns must sum to the per-rank clock totals.
+		total := p.Phases.Total()
+		if p.RankSeconds <= 0 || math.Abs(total-p.RankSeconds) > 1e-6*p.RankSeconds {
+			return fmt.Errorf("point at %d cores: phases sum %.9g != rank-seconds %.9g", p.Cores, total, p.RankSeconds)
+		}
+		// Parallel efficiency must not recover past the knee (monotone
+		// non-increasing along the ladder, small tolerance for ties).
+		if i > 0 && p.Efficiency > pts[i-1].Efficiency*1.02 {
+			return fmt.Errorf("parallel efficiency rose past the knee: %.3f at %d cores after %.3f at %d",
+				p.Efficiency, p.Cores, pts[i-1].Efficiency, pts[i-1].Cores)
+		}
+	}
+	fit := res.Arms[0].Fit
+	if fit == nil {
+		return fmt.Errorf("strong-scaling result carries no Amdahl fit")
+	}
+	fmt.Printf("  Amdahl fit: serial fraction %.4f, R2 %.3f (%d trimmed)\n",
+		fit.SerialFraction, fit.R2, fit.Trimmed)
+	if fit.SerialFraction < 0 || fit.SerialFraction > maxSerial {
+		return fmt.Errorf("fitted serial fraction %.4f outside [0, %g]", fit.SerialFraction, maxSerial)
+	}
+
+	again, err := c.SubmitScaling(ctx, sweep)
+	if err != nil {
+		return fmt.Errorf("resubmitting scaling sweep: %w", err)
+	}
+	if again.State != client.StateCompleted || !again.CacheHit {
+		return fmt.Errorf("identical scaling resubmission was not a cache hit: state=%s cacheHit=%v",
+			again.State, again.CacheHit)
+	}
+	if again.Hash != scl.Hash {
+		return fmt.Errorf("identical scaling sweeps hashed differently: %s vs %s", scl.Hash, again.Hash)
+	}
+	fmt.Println("identical scaling resubmission: cache hit")
 	return nil
 }

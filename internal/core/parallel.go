@@ -90,6 +90,56 @@ type ParallelConfig struct {
 	OnStep func(step int, simTime, dt float64)
 }
 
+// RankTiming decomposes one rank's simulated clock into the three phase
+// classes a scaling study attributes time to: useful compute, halo
+// (point-to-point) exchange, and collective synchronization. Seconds is the
+// rank's final simulated clock; the three classes sum to it (up to float
+// addition order).
+type RankTiming struct {
+	Rank       int     `json:"rank"`
+	Compute    float64 `json:"compute"`
+	Halo       float64 `json:"halo"`
+	Collective float64 `json:"collective"`
+	Seconds    float64 `json:"seconds"`
+}
+
+// RunTiming is the per-phase timing breakdown of one distributed run (or of
+// several chunked runs of the same shape, merged). Seconds is the modeled
+// parallel wall-clock — the maximum rank clock.
+type RunTiming struct {
+	Cores          int          `json:"cores"`
+	Ranks          int          `json:"ranks"`
+	ThreadsPerRank int          `json:"threadsPerRank"`
+	Steps          int          `json:"steps"`
+	Seconds        float64      `json:"seconds"`
+	PerRank        []RankTiming `json:"perRank"`
+}
+
+// Merge accumulates another run's timing into t (the chunked execution loop
+// runs one spec as several engine invocations). The run shapes must match;
+// mismatched rank counts merge by index up to the shorter breakdown.
+func (t *RunTiming) Merge(o *RunTiming) {
+	if o == nil {
+		return
+	}
+	if t.Ranks == 0 {
+		*t = *o
+		t.PerRank = append([]RankTiming(nil), o.PerRank...)
+		return
+	}
+	t.Steps += o.Steps
+	t.Seconds += o.Seconds
+	for i := range t.PerRank {
+		if i >= len(o.PerRank) {
+			break
+		}
+		t.PerRank[i].Compute += o.PerRank[i].Compute
+		t.PerRank[i].Halo += o.PerRank[i].Halo
+		t.PerRank[i].Collective += o.PerRank[i].Collective
+		t.PerRank[i].Seconds += o.PerRank[i].Seconds
+	}
+}
+
 // ParallelResult summarizes a strong-scaling run.
 type ParallelResult struct {
 	Cores          int
@@ -107,6 +157,9 @@ type ParallelResult struct {
 	SimTime float64
 	// Cancelled reports that the run stopped early on context cancellation.
 	Cancelled bool
+	// Timing is the per-rank, per-phase breakdown of the simulated clocks
+	// (compute / halo exchange / collectives).
+	Timing *RunTiming
 }
 
 // message tags for the step protocol.
@@ -171,6 +224,7 @@ func RunParallelCapture(cfg ParallelConfig, ps *part.Set) (*part.Set, *ParallelR
 
 	stepSeconds := make([]float64, cfg.Steps)
 	haloFracs := make([]float64, ranks)
+	rankTimings := make([]RankTiming, ranks)
 	stepsDone := 0     // written by rank 0 only; read after world.Run joins
 	simTime := 0.0     // idem
 	cancelled := false // idem
@@ -512,6 +566,14 @@ func RunParallelCapture(cfg ParallelConfig, ps *part.Set) (*part.Set, *ParallelR
 				local = locals[r.ID]
 			}
 		}
+
+		rankTimings[r.ID] = RankTiming{
+			Rank:       r.ID,
+			Compute:    r.ComputeTime,
+			Halo:       r.HaloTime,
+			Collective: r.CollectiveTime,
+			Seconds:    r.Clock(),
+		}
 	})
 
 	stepSeconds = stepSeconds[:stepsDone]
@@ -536,6 +598,16 @@ func RunParallelCapture(cfg ParallelConfig, ps *part.Set) (*part.Set, *ParallelR
 		hf += f
 	}
 	res.HaloFraction = hf / float64(ranks)
+	timing := &RunTiming{
+		Cores: cfg.Cores, Ranks: ranks, ThreadsPerRank: threads,
+		Steps: stepsDone, PerRank: rankTimings,
+	}
+	for _, rt := range rankTimings {
+		if rt.Seconds > timing.Seconds {
+			timing.Seconds = rt.Seconds
+		}
+	}
+	res.Timing = timing
 	if tracer != nil {
 		res.Metrics = tracer.Analyze()
 	}

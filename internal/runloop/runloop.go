@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/core"
 	"repro/internal/ft"
 	"repro/internal/part"
 )
@@ -31,6 +32,9 @@ type ChunkResult struct {
 	Steps     int
 	SimTime   float64
 	Cancelled bool
+	// Timing is the chunk's per-phase modeled timing breakdown; engines
+	// without a machine model (the serial backend) leave it nil.
+	Timing *core.RunTiming
 }
 
 // Chunk advances the simulation by up to `steps` steps from `ps` at
@@ -78,6 +82,10 @@ type Result struct {
 	Cancelled bool
 	// Restored reports that the run resumed from a checkpoint.
 	Restored bool
+	// Timing accumulates the chunks' per-phase timing breakdowns; nil when
+	// the engine reports none. Restored steps contribute nothing (their
+	// timing was spent — and recorded — by the run that checkpointed them).
+	Timing *core.RunTiming
 }
 
 // Run executes the loop: optional restore, then chunks of ChunkSteps with
@@ -128,6 +136,12 @@ func Run(opts Options, ps *part.Set, chunk Chunk) (Result, error) {
 		}
 		res.Steps += cr.Steps
 		res.SimTime += cr.SimTime
+		if cr.Timing != nil {
+			if res.Timing == nil {
+				res.Timing = &core.RunTiming{}
+			}
+			res.Timing.Merge(cr.Timing)
+		}
 		if cr.Cancelled {
 			res.Cancelled = true
 			return res, nil

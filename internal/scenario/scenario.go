@@ -185,6 +185,54 @@ type Spec struct {
 	Cores int `json:"cores,omitempty"`
 	// RanksPerNode is the rank placement (0 = one rank per node).
 	RanksPerNode int `json:"ranksPerNode,omitempty"`
+	// Verify optionally overrides the scenario's registered trim quantiles
+	// for the verification report (per-field or all at once); nil keeps the
+	// registered thresholds. The report is persisted next to the snapshot
+	// under the spec hash, so a different trimming is a different job — the
+	// canonical hash covers this section (nil marshals away, preserving
+	// legacy hashes).
+	Verify *VerifySpec `json:"verify,omitempty"`
+}
+
+// VerifySpec is the verification section of a Spec: the kept fraction of
+// per-particle errors for the trimmed norms, overall and per field. Zero
+// fields inherit (field quantile <- TrimQuantile <- scenario registration);
+// set fields must be in (0, 1], where 1 disables trimming for that field.
+type VerifySpec struct {
+	// TrimQuantile is the kept fraction for every field without its own
+	// override.
+	TrimQuantile float64 `json:"trimQuantile,omitempty"`
+	// TrimDensity / TrimVelocity / TrimPressure override one field each.
+	TrimDensity  float64 `json:"trimDensity,omitempty"`
+	TrimVelocity float64 `json:"trimVelocity,omitempty"`
+	TrimPressure float64 `json:"trimPressure,omitempty"`
+}
+
+// Canonical validates the section's quantiles and maps an all-zero section
+// to nil, so "the default, spelled out as an empty object" and "the
+// default, omitted" hash identically.
+func (v *VerifySpec) Canonical() (*VerifySpec, error) {
+	if v == nil {
+		return nil, nil
+	}
+	for _, q := range []struct {
+		name string
+		val  float64
+	}{
+		{"trimQuantile", v.TrimQuantile},
+		{"trimDensity", v.TrimDensity},
+		{"trimVelocity", v.TrimVelocity},
+		{"trimPressure", v.TrimPressure},
+	} {
+		if q.val < 0 || q.val > 1 {
+			return nil, fmt.Errorf("scenario: verify %s %g outside (0, 1] (0 inherits)", q.name, q.val)
+		}
+	}
+	if (*v == VerifySpec{}) {
+		return nil, nil
+	}
+	c := *v
+	return &c, nil
 }
 
 // Canonical resolves the spec's parameters against the scenario defaults so
@@ -202,6 +250,11 @@ func (sp Spec) Canonical() (Spec, error) {
 	if sp.Steps <= 0 {
 		sp.Steps = 1
 	}
+	v, err := sp.Verify.Canonical()
+	if err != nil {
+		return sp, err
+	}
+	sp.Verify = v
 	return sp, nil
 }
 

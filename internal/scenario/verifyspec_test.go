@@ -1,0 +1,69 @@
+package scenario
+
+import "testing"
+
+// TestVerifySpecCanonicalization pins the verification section's hashing
+// contract: nil and all-zero sections are the same spec (legacy hashes
+// unchanged), any set quantile is a different job, and out-of-range
+// quantiles are rejected.
+func TestVerifySpecCanonicalization(t *testing.T) {
+	plain := baseJobSpec()
+	h0, err := plain.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// An explicitly empty section canonicalizes away.
+	empty := baseJobSpec()
+	empty.Verify = &VerifySpec{}
+	c, h1, err := empty.CanonicalHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Verify != nil {
+		t.Fatalf("empty verify section survived canonicalization: %+v", c.Verify)
+	}
+	if h1 != h0 {
+		t.Fatal("empty verify section changed the hash")
+	}
+
+	// A set quantile is part of the job's identity: the report it produces
+	// differs, so the stored result must too.
+	trimmed := baseJobSpec()
+	trimmed.Verify = &VerifySpec{TrimDensity: 0.9}
+	h2, err := trimmed.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2 == h0 {
+		t.Fatal("per-field trim quantile did not change the hash")
+	}
+
+	// Equivalent spellings hash identically; different quantiles differ.
+	again := baseJobSpec()
+	again.Verify = &VerifySpec{TrimDensity: 0.9}
+	h3, _ := again.Hash()
+	if h3 != h2 {
+		t.Fatal("identical verify sections hashed apart")
+	}
+	other := baseJobSpec()
+	other.Verify = &VerifySpec{TrimDensity: 0.8}
+	h4, _ := other.Hash()
+	if h4 == h2 {
+		t.Fatal("different trim quantiles share a hash")
+	}
+
+	for _, bad := range []VerifySpec{
+		{TrimQuantile: 1.5},
+		{TrimDensity: -0.1},
+		{TrimVelocity: 2},
+		{TrimPressure: -1},
+	} {
+		sp := baseJobSpec()
+		v := bad
+		sp.Verify = &v
+		if _, err := sp.Canonical(); err == nil {
+			t.Errorf("quantile %+v accepted", bad)
+		}
+	}
+}

@@ -130,8 +130,7 @@ func (s *Server) SubmitExperiment(sw experiments.Sweep) (*ExperimentView, error)
 		if err != nil {
 			return nil, fmt.Errorf("server: submitting sweep member N=%d: %w", n, err)
 		}
-		done, _ := s.Done(view.ID)
-		members = append(members, ExpMember{N: n, JobID: view.ID, Hash: view.Hash, done: done})
+		members = append(members, ExpMember{N: n, JobID: view.ID, Hash: view.Hash, done: s.memberDone(view.ID)})
 	}
 
 	s.mu.Lock()
@@ -169,24 +168,7 @@ func (s *Server) newExperimentLocked(sw experiments.Sweep, hash string) *Experim
 // resolveExperimentResult consults the memory layer, then the persistent
 // store (CRC-verified); store hits are promoted into memory.
 func (s *Server) resolveExperimentResult(hash string) ([]byte, bool) {
-	s.mu.Lock()
-	raw, ok := s.expCache[hash]
-	s.mu.Unlock()
-	if ok {
-		return raw, true
-	}
-	st := s.opts.Store
-	if st == nil {
-		return nil, false
-	}
-	b, _, err := st.ReadObject(hash)
-	if err != nil {
-		return nil, false
-	}
-	s.mu.Lock()
-	s.expCache[hash] = b
-	s.mu.Unlock()
-	return b, true
+	return s.resolveRawResult(s.expCache, hash)
 }
 
 // collectExperiment waits for every member to reach a terminal state, then

@@ -28,9 +28,18 @@ import (
 //	GET  /v1/jobs/{id}/snapshot    final particle state, part binary format
 //	GET  /v1/jobs/{id}/metrics     verification report (error norms vs analytic
 //	                               reference, plateau, conservation, pass/fail)
+//	DELETE /v1/jobs/{id}           forget a terminal job record (404/409)
 //	POST /v1/experiments           submit a convergence sweep (experiments.Sweep)
 //	GET  /v1/experiments           list experiments; ?limit=/?cursor= paginate
 //	GET  /v1/experiments/{id}      sweep status, members, norm-vs-N regression
+//	GET  /v1/experiments/{id}/events  server-sent progress events until terminal
+//	DELETE /v1/experiments/{id}    forget a terminal experiment record
+//	POST /v1/scaling               submit a scaling sweep (experiments.ScalingSweep)
+//	GET  /v1/scaling               list scaling experiments; ?limit=/?cursor=
+//	GET  /v1/scaling/{id}          ladder status, members, speedup/POP curves,
+//	                               trimmed Amdahl fit, paired comparisons
+//	GET  /v1/scaling/{id}/events   server-sent progress events until terminal
+//	DELETE /v1/scaling/{id}        forget a terminal scaling record
 //	GET  /v1/store                 result-store metrics (entries, bytes,
 //	                               hit rate, quarantine count)
 //
@@ -68,9 +77,17 @@ func (s *Server) Handler() http.Handler {
 		{method: "POST", path: "/v1/jobs/{id}/kill", h: s.handleInterrupt(true), legacy: "/jobs/{id}/kill"},
 		{method: "GET", path: "/v1/jobs/{id}/snapshot", h: s.handleSnapshot, legacy: "/jobs/{id}/snapshot"},
 		{method: "GET", path: "/v1/jobs/{id}/metrics", h: s.handleMetrics, legacy: "/jobs/{id}/metrics"},
+		{method: "DELETE", path: "/v1/jobs/{id}", h: s.handleDelete(CodeUnknownJob, s.DeleteJob)},
 		{method: "POST", path: "/v1/experiments", h: s.handleSubmitExperiment},
 		{method: "GET", path: "/v1/experiments", h: s.handleListExperiments},
 		{method: "GET", path: "/v1/experiments/{id}", h: s.handleExperiment},
+		{method: "GET", path: "/v1/experiments/{id}/events", h: s.handleExperimentEvents},
+		{method: "DELETE", path: "/v1/experiments/{id}", h: s.handleDelete(CodeUnknownExperiment, s.DeleteExperiment)},
+		{method: "POST", path: "/v1/scaling", h: s.handleSubmitScaling},
+		{method: "GET", path: "/v1/scaling", h: s.handleListScaling},
+		{method: "GET", path: "/v1/scaling/{id}", h: s.handleScaling},
+		{method: "GET", path: "/v1/scaling/{id}/events", h: s.handleScalingEvents},
+		{method: "DELETE", path: "/v1/scaling/{id}", h: s.handleDelete(CodeUnknownScaling, s.DeleteScaling)},
 		{method: "GET", path: "/v1/store", h: s.handleStore, legacy: "/storez", successor: "/v1/store"},
 	}
 	for _, r := range routes {
@@ -109,6 +126,7 @@ const (
 	CodeUnknownScenario   = "unknown_scenario"
 	CodeUnknownJob        = "unknown_job"
 	CodeUnknownExperiment = "unknown_experiment"
+	CodeUnknownScaling    = "unknown_scaling"
 	CodeQueueFull         = "queue_full"
 	CodeConflict          = "conflict"
 	CodeGone              = "gone"
@@ -336,6 +354,49 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, CodeUnknownJob, fmt.Sprintf("no job %q", id), nil)
 		return
 	}
+	s.streamEvents(w, r, done, func() (any, JobState, bool) {
+		view, ok := s.Get(id)
+		return view, view.State, ok
+	})
+}
+
+// handleExperimentEvents streams convergence-experiment progress as
+// server-sent events (the member states tick as the ladder completes).
+func (s *Server) handleExperimentEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	done, ok := s.ExperimentDone(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeUnknownExperiment, fmt.Sprintf("no experiment %q", id), nil)
+		return
+	}
+	s.streamEvents(w, r, done, func() (any, JobState, bool) {
+		view, ok := s.GetExperiment(id)
+		return view, view.State, ok
+	})
+}
+
+// handleScalingEvents streams scaling-experiment progress as server-sent
+// events.
+func (s *Server) handleScalingEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	done, ok := s.ScalingDone(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeUnknownScaling, fmt.Sprintf("no scaling experiment %q", id), nil)
+		return
+	}
+	s.streamEvents(w, r, done, func() (any, JobState, bool) {
+		view, ok := s.GetScaling(id)
+		return view, view.State, ok
+	})
+}
+
+// streamEvents is the shared SSE loop behind the /events routes: one
+// `data: <view JSON>` frame per observable change (sampled at a short poll
+// interval), closing after the terminal frame. view returns the current
+// snapshot, its lifecycle state, and whether the resource still exists.
+func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request,
+	done <-chan struct{}, view func() (any, JobState, bool)) {
+
 	flusher, ok := w.(http.Flusher)
 	if !ok {
 		writeError(w, http.StatusInternalServerError, CodeInternal, "streaming unsupported", nil)
@@ -349,11 +410,11 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	defer ticker.Stop()
 	var last string
 	for {
-		view, ok := s.Get(id)
+		v, state, ok := view()
 		if !ok {
 			return
 		}
-		b, err := json.Marshal(view)
+		b, err := json.Marshal(v)
 		if err != nil {
 			return
 		}
@@ -364,17 +425,36 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			}
 			flusher.Flush()
 		}
-		switch view.State {
+		switch state {
 		case StateCompleted, StateFailed, StateCancelled:
 			return
 		}
 		// Wake on terminal state immediately; the ticker only paces
-		// progress frames while the job is live.
+		// progress frames while the resource is live.
 		select {
 		case <-r.Context().Done():
 			return
 		case <-done:
 		case <-ticker.C:
+		}
+	}
+}
+
+// handleDelete serves the DELETE routes: 204 on success, 404 with the
+// resource's unknown-code when absent, 409 conflict while still queued or
+// running.
+func (s *Server) handleDelete(unknownCode string, del func(string) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		err := del(r.PathValue("id"))
+		switch {
+		case err == nil:
+			w.WriteHeader(http.StatusNoContent)
+		case errors.Is(err, ErrNotFound):
+			writeError(w, http.StatusNotFound, unknownCode, err.Error(), nil)
+		case errors.Is(err, ErrNotTerminal):
+			writeError(w, http.StatusConflict, CodeConflict, err.Error(), nil)
+		default:
+			writeError(w, http.StatusInternalServerError, CodeInternal, err.Error(), nil)
 		}
 	}
 }
@@ -450,6 +530,55 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		writeError(w, http.StatusNotFound, CodeUnknownExperiment,
 			fmt.Sprintf("no experiment %q", r.PathValue("id")), nil)
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+// handleSubmitScaling serves POST /v1/scaling: a scaling sweep through the
+// batch pipeline, deduplicated and persisted by canonical sweep hash.
+func (s *Server) handleSubmitScaling(w http.ResponseWriter, r *http.Request) {
+	var sw experiments.ScalingSweep
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sw); err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument,
+			fmt.Sprintf("decoding scaling sweep: %v", err), nil)
+		return
+	}
+	view, err := s.SubmitScaling(sw)
+	if err != nil {
+		submitError(w, err)
+		return
+	}
+	status := http.StatusAccepted
+	if view.State == StateCompleted {
+		status = http.StatusOK // cache hit: nothing to wait for
+	}
+	writeJSON(w, status, view)
+}
+
+// ScalingPage is the paginated scaling-experiment listing envelope.
+type ScalingPage struct {
+	Scaling    []ScalingView `json:"scaling"`
+	NextCursor string        `json:"nextCursor,omitempty"`
+}
+
+func (s *Server) handleListScaling(w http.ResponseWriter, r *http.Request) {
+	limit, cursor, err := pageParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument, err.Error(), nil)
+		return
+	}
+	scls, next := s.ListScaling(cursor, limit)
+	writeJSON(w, http.StatusOK, ScalingPage{Scaling: scls, NextCursor: next})
+}
+
+func (s *Server) handleScaling(w http.ResponseWriter, r *http.Request) {
+	view, ok := s.GetScaling(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeUnknownScaling,
+			fmt.Sprintf("no scaling experiment %q", r.PathValue("id")), nil)
 		return
 	}
 	writeJSON(w, http.StatusOK, view)

@@ -176,6 +176,13 @@ type Server struct {
 	expCache  map[string][]byte
 	nextExpID int
 
+	// Scaling-experiment state, same shape again.
+	scls      map[string]*ScalingExp
+	sclOrder  []string
+	sclByHash map[string]*ScalingExp
+	sclCache  map[string][]byte
+	nextSclID int
+
 	queue   chan *Job
 	ctx     context.Context
 	stop    context.CancelFunc
@@ -228,6 +235,9 @@ func New(opts Options) *Server {
 		exps:      map[string]*Experiment{},
 		expByHash: map[string]*Experiment{},
 		expCache:  map[string][]byte{},
+		scls:      map[string]*ScalingExp{},
+		sclByHash: map[string]*ScalingExp{},
+		sclCache:  map[string][]byte{},
 		queue:     make(chan *Job, opts.QueueDepth),
 		ctx:       ctx,
 		stop:      stop,
@@ -411,54 +421,65 @@ func parseSummary(report []byte) *VerifySummary {
 	return &sum
 }
 
-// pruneLocked drops terminal jobs older than JobTTL from the job table, so
-// it cannot grow without bound under sustained traffic. Their results stay
-// addressable through the store by spec hash.
-func (s *Server) pruneLocked() {
-	ttl := s.opts.JobTTL
-	if ttl <= 0 || len(s.jobs) == 0 {
-		return
-	}
-	cutoff := s.now().Add(-ttl)
-	kept := s.order[:0]
+// resourceRecord is the lifecycle surface shared by the three resource
+// tables (jobs, convergence experiments, scaling experiments); the generic
+// prune and delete helpers run over it so TTL and deletion semantics cannot
+// drift apart between resources.
+type resourceRecord interface {
+	lifecycle() (JobState, time.Time)
+	cacheHash() string
+}
+
+func (j *Job) lifecycle() (JobState, time.Time)        { return j.State, j.doneAt }
+func (j *Job) cacheHash() string                       { return j.Hash }
+func (e *Experiment) lifecycle() (JobState, time.Time) { return e.State, e.doneAt }
+func (e *Experiment) cacheHash() string                { return e.Hash }
+func (e *ScalingExp) lifecycle() (JobState, time.Time) { return e.State, e.doneAt }
+func (e *ScalingExp) cacheHash() string                { return e.Hash }
+
+// pruneTable drops terminal records older than cutoff from one resource
+// table, then removes cache entries whose hash no longer backs any
+// surviving record (with a store attached the result stays addressable on
+// disk regardless). Returns the kept order.
+func pruneTable[R resourceRecord, C any](order []string, recs map[string]R,
+	cache map[string]C, cutoff time.Time) []string {
+
+	kept := order[:0]
 	dropped := map[string]bool{}
-	for _, id := range s.order {
-		job := s.jobs[id]
-		switch job.State {
+	for _, id := range order {
+		rec := recs[id]
+		switch state, doneAt := rec.lifecycle(); state {
 		case StateCompleted, StateFailed, StateCancelled:
-			if !job.doneAt.IsZero() && job.doneAt.Before(cutoff) {
-				delete(s.jobs, id)
-				dropped[job.Hash] = true
+			if !doneAt.IsZero() && doneAt.Before(cutoff) {
+				delete(recs, id)
+				dropped[rec.cacheHash()] = true
 				continue
 			}
 		}
 		kept = append(kept, id)
 	}
-	s.order = kept
-	// Drop cache entries whose hash no longer backs any live job; with a
-	// store attached the result stays addressable on disk regardless.
-	for _, id := range s.order {
-		delete(dropped, s.jobs[id].Hash)
+	for _, id := range kept {
+		delete(dropped, recs[id].cacheHash())
 	}
 	for hash := range dropped {
-		delete(s.cache, hash)
+		delete(cache, hash)
 	}
-	// Experiments age out on the same clock; their persisted results stay
-	// addressable by sweep hash.
-	keptExps := s.expOrder[:0]
-	for _, id := range s.expOrder {
-		exp := s.exps[id]
-		switch exp.State {
-		case StateCompleted, StateFailed:
-			if !exp.doneAt.IsZero() && exp.doneAt.Before(cutoff) {
-				delete(s.exps, id)
-				delete(s.expCache, exp.Hash)
-				continue
-			}
-		}
-		keptExps = append(keptExps, id)
+	return kept
+}
+
+// pruneLocked drops terminal jobs, experiments, and scaling experiments
+// older than JobTTL from their tables, so none can grow without bound
+// under sustained traffic. Their results stay addressable through the
+// store by spec/sweep hash.
+func (s *Server) pruneLocked() {
+	ttl := s.opts.JobTTL
+	if ttl <= 0 {
+		return
 	}
-	s.expOrder = keptExps
+	cutoff := s.now().Add(-ttl)
+	s.order = pruneTable(s.order, s.jobs, s.cache, cutoff)
+	s.expOrder = pruneTable(s.expOrder, s.exps, s.expCache, cutoff)
+	s.sclOrder = pruneTable(s.sclOrder, s.scls, s.sclCache, cutoff)
 }
 
 // Get returns a snapshot of the job, or false.
@@ -600,6 +621,117 @@ func (s *Server) interrupt(id string, kill bool) error {
 	delete(s.byHash, job.Hash)
 	close(job.done)
 	return nil
+}
+
+// Deletion failure classes for the HTTP layer: unknown resource (404) vs a
+// resource still queued or running (409 — cancel it first).
+var (
+	ErrNotFound    = errors.New("server: not found")
+	ErrNotTerminal = errors.New("server: not in a terminal state")
+)
+
+// removeID drops one id from an order slice, preserving order.
+func removeID(order []string, id string) []string {
+	for i, v := range order {
+		if v == id {
+			return append(order[:i], order[i+1:]...)
+		}
+	}
+	return order
+}
+
+// deleteTerminal removes one terminal record from a resource table: 404
+// semantics for unknown ids, 409 for records still queued or running. The
+// memory cache entry is reclaimed when no surviving record shares the hash
+// (mirroring pruneTable, so repeated submit+delete traffic cannot grow the
+// cache without bound); with a store attached the result stays addressable
+// on disk regardless.
+func deleteTerminal[R resourceRecord, C any](id, kind string, recs map[string]R,
+	order *[]string, cache map[string]C) error {
+
+	rec, ok := recs[id]
+	if !ok {
+		return fmt.Errorf("%w: no %s %q", ErrNotFound, kind, id)
+	}
+	switch state, _ := rec.lifecycle(); state {
+	case StateCompleted, StateFailed, StateCancelled:
+	default:
+		return fmt.Errorf("%s %s is %s, %w", kind, id, state, ErrNotTerminal)
+	}
+	delete(recs, id)
+	*order = removeID(*order, id)
+	hash := rec.cacheHash()
+	for _, other := range recs {
+		if other.cacheHash() == hash {
+			return nil
+		}
+	}
+	delete(cache, hash)
+	return nil
+}
+
+// DeleteJob removes a terminal job record from the job table. With a store
+// attached the result (snapshot, report) stays addressable by spec hash —
+// resubmitting the identical spec is still a cache hit; deletion forgets
+// the record, not the persisted result.
+func (s *Server) DeleteJob(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return deleteTerminal(id, "job", s.jobs, &s.order, s.cache)
+}
+
+// DeleteExperiment removes a terminal experiment record; its persisted
+// regression stays addressable by sweep hash.
+func (s *Server) DeleteExperiment(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return deleteTerminal(id, "experiment", s.exps, &s.expOrder, s.expCache)
+}
+
+// DeleteScaling removes a terminal scaling-experiment record; its persisted
+// result stays addressable by sweep hash.
+func (s *Server) DeleteScaling(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return deleteTerminal(id, "scaling experiment", s.scls, &s.sclOrder, s.sclCache)
+}
+
+// memberDone returns the done channel of a member job, or an already-closed
+// one when the record has vanished between Submit and this call — only
+// terminal records are deletable or prunable, so a missing record means the
+// member already finished (its result stays reachable by hash). Without
+// this, an experiment collector would block forever on a nil channel.
+func (s *Server) memberDone(id string) <-chan struct{} {
+	if done, ok := s.Done(id); ok {
+		return done
+	}
+	closed := make(chan struct{})
+	close(closed)
+	return closed
+}
+
+// resolveRawResult consults one experiment-result memory layer under the
+// server lock, then the persistent store (CRC-verified, outside the lock);
+// store hits are promoted into memory.
+func (s *Server) resolveRawResult(cache map[string][]byte, hash string) ([]byte, bool) {
+	s.mu.Lock()
+	raw, ok := cache[hash]
+	s.mu.Unlock()
+	if ok {
+		return raw, true
+	}
+	st := s.opts.Store
+	if st == nil {
+		return nil, false
+	}
+	b, _, err := st.ReadObject(hash)
+	if err != nil {
+		return nil, false
+	}
+	s.mu.Lock()
+	cache[hash] = b
+	s.mu.Unlock()
+	return b, true
 }
 
 // Snapshot returns the completed job's final particle state in the part
@@ -802,7 +934,7 @@ func (s *Server) run(job *Job) {
 		simTime:   simTime,
 		steps:     spec.Steps,
 	}
-	result.report, result.summary = buildReport(sc, spec, cfg, res.PS, simTime, initial)
+	result.report, result.summary = buildReport(sc, spec, cfg, res.PS, simTime, initial, res.Timing)
 	if st := s.opts.Store; st != nil {
 		err := st.Put(store.Meta{
 			Hash:      job.Hash,
@@ -902,6 +1034,7 @@ func (s *Server) buildChunk(job *Job, spec scenario.JobSpec, cfg core.Config) (r
 			Steps:     res.StepsCompleted,
 			SimTime:   res.SimTime,
 			Cancelled: res.Cancelled,
+			Timing:    res.Timing,
 		}, nil
 	}, nil
 }
@@ -961,11 +1094,31 @@ func calibrationTest(cfg core.Config) codes.Test {
 // analytic reference (when the scenario registers one), error norms,
 // plateau estimate, conservation drift, and the acceptance checks. A
 // report is always produced — scenarios without a reference are scored on
-// conservation alone.
+// conservation alone. The persisted JSON additionally carries the run's
+// per-phase timing breakdown (parallel backend only), which is what the
+// scaling-experiment aggregator reads back by member hash.
 func buildReport(sc *scenario.Scenario, spec scenario.JobSpec, cfg core.Config,
-	ps *part.Set, simTime float64, initial conserve.State) ([]byte, *VerifySummary) {
+	ps *part.Set, simTime float64, initial conserve.State, timing *core.RunTiming) ([]byte, *VerifySummary) {
 
 	sol, refErr := sc.BuildReference(spec.Params)
+	thr := sc.Accept
+	if v := spec.Verify; v != nil {
+		// The spec's verification section overrides the registered trim
+		// quantiles; it is covered by the canonical hash, so the persisted
+		// report always matches its spec.
+		if v.TrimQuantile > 0 {
+			thr.TrimQuantile = v.TrimQuantile
+		}
+		if v.TrimDensity > 0 {
+			thr.TrimQuantileDensity = v.TrimDensity
+		}
+		if v.TrimVelocity > 0 {
+			thr.TrimQuantileVelocity = v.TrimVelocity
+		}
+		if v.TrimPressure > 0 {
+			thr.TrimQuantilePressure = v.TrimPressure
+		}
+	}
 	rep := verify.Evaluate(verify.Input{
 		Scenario: spec.Scenario,
 		PS:       ps,
@@ -976,11 +1129,14 @@ func buildReport(sc *scenario.Scenario, spec scenario.JobSpec, cfg core.Config,
 		// registered acceptance bar to conservation-only.
 		ReferenceErr: refErr,
 		EOS:          cfg.SPH.EOS,
-		Thresholds:   sc.Accept,
+		Thresholds:   thr,
 		Initial:      initial,
 		HaveInitial:  true,
 	})
-	b, err := json.Marshal(rep)
+	b, err := json.Marshal(struct {
+		*verify.Report
+		Timing *core.RunTiming `json:"timing,omitempty"`
+	}{rep, timing})
 	if err != nil {
 		return nil, nil
 	}

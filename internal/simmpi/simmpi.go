@@ -165,10 +165,18 @@ type Rank struct {
 	W  *World
 
 	// CommTime and ComputeTime decompose the simulated clock for the POP
-	// efficiency metrics (internal/trace).
-	CommTime    float64
-	ComputeTime float64
-	IdleTime    float64
+	// efficiency metrics (internal/trace). CommTime further splits into
+	// HaloTime (point-to-point transfers and their waits — the halo
+	// exchanges of the SPH step) and CollectiveTime (allreduce / allgather
+	// / barrier synchronization), so scaling studies can attribute lost
+	// time to the phase that lost it. Invariants, up to float addition
+	// order: CommTime == HaloTime + CollectiveTime and the rank's clock ==
+	// ComputeTime + CommTime.
+	CommTime       float64
+	HaloTime       float64
+	CollectiveTime float64
+	ComputeTime    float64
+	IdleTime       float64
 }
 
 // Clock returns the rank's simulated time.
@@ -216,7 +224,9 @@ func (r *Rank) Recv(from, tag int) any {
 		r.advance(m.arrival - now)
 	}
 	// Unpacking overhead is folded into the sender-side cost model.
-	r.CommTime += math.Max(0, m.arrival-now)
+	wait := math.Max(0, m.arrival-now)
+	r.CommTime += wait
+	r.HaloTime += wait
 	return m.data
 }
 
@@ -268,7 +278,9 @@ func (r *Rank) Allreduce(val any, op func(a, b any) any, bytes int) any {
 	}
 	cost := w.Model.Collective(w.N, bytes)
 	r.advance(cost)
-	r.CommTime += cost + math.Max(0, maxClock-now)
+	spent := cost + math.Max(0, maxClock-now)
+	r.CommTime += spent
+	r.CollectiveTime += spent
 	return out
 }
 

@@ -258,3 +258,39 @@ func BenchmarkAllreduce8(b *testing.B) {
 		}
 	})
 }
+
+// TestPhaseTimingInvariants pins the per-phase accounting contract the
+// scaling studies rely on: CommTime splits exactly into HaloTime
+// (point-to-point) + CollectiveTime, and the simulated clock decomposes
+// into ComputeTime + CommTime.
+func TestPhaseTimingInvariants(t *testing.T) {
+	model := AlphaBeta{Alpha: 1e-3, Beta: 1e-8}
+	w := NewWorld(4, model)
+	w.Run(func(r *Rank) {
+		for step := 0; step < 3; step++ {
+			// Uneven compute creates genuine waits on both paths.
+			r.Compute(float64(r.ID+1)*1e-2, nil)
+			next := (r.ID + 1) % w.N
+			prev := (r.ID + w.N - 1) % w.N
+			r.Send(next, 1, 1<<12, r.ID)
+			r.Recv(prev, 1)
+			r.AllreduceF64([]float64{float64(r.ID)}, MaxF64)
+		}
+
+		const tol = 1e-12
+		if d := math.Abs(r.CommTime - (r.HaloTime + r.CollectiveTime)); d > tol*math.Max(1, r.CommTime) {
+			t.Errorf("rank %d: CommTime %.12g != Halo %.12g + Collective %.12g",
+				r.ID, r.CommTime, r.HaloTime, r.CollectiveTime)
+		}
+		if d := math.Abs(r.Clock() - (r.ComputeTime + r.CommTime)); d > tol*math.Max(1, r.Clock()) {
+			t.Errorf("rank %d: clock %.12g != Compute %.12g + Comm %.12g",
+				r.ID, r.Clock(), r.ComputeTime, r.CommTime)
+		}
+		if r.HaloTime < 0 || r.CollectiveTime < 0 {
+			t.Errorf("rank %d: negative phase time (halo %g, collective %g)", r.ID, r.HaloTime, r.CollectiveTime)
+		}
+		if r.CollectiveTime == 0 {
+			t.Errorf("rank %d: collectives ran but CollectiveTime is zero", r.ID)
+		}
+	})
+}

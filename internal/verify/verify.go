@@ -31,8 +31,14 @@ const DefaultTrimQuantile = 0.95
 // unchecked; norm bounds bind on the trimmed L1 of the corresponding field.
 type Thresholds struct {
 	// TrimQuantile is the kept fraction for trimmed norms (0 selects
-	// DefaultTrimQuantile).
-	TrimQuantile float64 `json:"trimQuantile,omitempty"`
+	// DefaultTrimQuantile). The per-field variants override it for one
+	// field each — the spec's verification section (scenario.VerifySpec)
+	// threads them through the canonical hash, so differently-trimmed
+	// reports never share a stored result.
+	TrimQuantile         float64 `json:"trimQuantile,omitempty"`
+	TrimQuantileDensity  float64 `json:"trimQuantileDensity,omitempty"`
+	TrimQuantileVelocity float64 `json:"trimQuantileVelocity,omitempty"`
+	TrimQuantilePressure float64 `json:"trimQuantilePressure,omitempty"`
 	// L1Density / L1Velocity / L1Pressure bound the trimmed relative L1
 	// error of the field against the analytic reference.
 	L1Density  float64 `json:"l1Density,omitempty"`
@@ -42,6 +48,30 @@ type Thresholds struct {
 	// the run (conserve.Drift components).
 	MaxEnergyDrift   float64 `json:"maxEnergyDrift,omitempty"`
 	MaxMomentumDrift float64 `json:"maxMomentumDrift,omitempty"`
+}
+
+// Quantile resolves the kept fraction for one field's trimmed norms:
+// the per-field override, then TrimQuantile, then DefaultTrimQuantile.
+func (t Thresholds) Quantile(field string) float64 {
+	q := t.TrimQuantile
+	switch field {
+	case "density":
+		if t.TrimQuantileDensity > 0 {
+			q = t.TrimQuantileDensity
+		}
+	case "velocity":
+		if t.TrimQuantileVelocity > 0 {
+			q = t.TrimQuantileVelocity
+		}
+	case "pressure":
+		if t.TrimQuantilePressure > 0 {
+			q = t.TrimQuantilePressure
+		}
+	}
+	if q <= 0 || q > 1 {
+		q = DefaultTrimQuantile
+	}
+	return q
 }
 
 // Norms are the error norms of one field against the reference, normalized
@@ -159,11 +189,6 @@ func Evaluate(in Input) *Report {
 		Particles:  in.PS.NLocal,
 		Thresholds: in.Thresholds,
 	}
-	q := in.Thresholds.TrimQuantile
-	if q <= 0 || q > 1 {
-		q = DefaultTrimQuantile
-	}
-
 	if in.HaveInitial {
 		rep.Conservation = conserve.Compare(in.Initial, conserve.Measure(in.PS, nil))
 	}
@@ -173,7 +198,7 @@ func Evaluate(in Input) *Report {
 
 	if in.Solution != nil {
 		rep.Reference = in.Solution.Name()
-		evalFields(rep, in, q)
+		evalFields(rep, in)
 		if ps, ok := in.Solution.(analytic.PlateauSolution); ok {
 			if pl, ok := ps.Plateau(in.SimTime); ok {
 				rep.Plateau = measurePlateau(in.PS, pl)
@@ -192,8 +217,9 @@ func Evaluate(in Input) *Report {
 }
 
 // evalFields computes the density, velocity, and pressure error norms over
-// the particles inside the solution's validity domain.
-func evalFields(rep *Report, in Input, q float64) {
+// the particles inside the solution's validity domain, each trimmed at its
+// resolved per-field quantile.
+func evalFields(rep *Report, in Input) {
 	ps := in.PS
 	var eRho, eV, eP []float64
 	var sRho, sV, sP float64
@@ -221,10 +247,11 @@ func evalFields(rep *Report, in Input, q float64) {
 	if rep.Compared == 0 {
 		return
 	}
+	thr := in.Thresholds
 	rep.Fields = []FieldError{
-		{Field: "density", Norms: computeNorms(eRho, sRho, q)},
-		{Field: "velocity", Norms: computeNorms(eV, sV, q)},
-		{Field: "pressure", Norms: computeNorms(eP, sP, q)},
+		{Field: "density", Norms: computeNorms(eRho, sRho, thr.Quantile("density"))},
+		{Field: "velocity", Norms: computeNorms(eV, sV, thr.Quantile("velocity"))},
+		{Field: "pressure", Norms: computeNorms(eP, sP, thr.Quantile("pressure"))},
 	}
 	rep.L1Density = rep.Fields[0].TrimmedL1
 }

@@ -210,3 +210,49 @@ func TestReportJSONRollup(t *testing.T) {
 		t.Errorf("rollup = %+v, want reference=uniform pass=false l1Density=0.1", roll)
 	}
 }
+
+// TestPerFieldTrimQuantiles pins the quantile resolution order (per-field
+// override > TrimQuantile > default) and that Evaluate actually trims each
+// field at its own quantile.
+func TestPerFieldTrimQuantiles(t *testing.T) {
+	thr := Thresholds{TrimQuantile: 0.8, TrimQuantileVelocity: 0.5}
+	if q := thr.Quantile("density"); q != 0.8 {
+		t.Fatalf("density quantile %g, want the shared 0.8", q)
+	}
+	if q := thr.Quantile("velocity"); q != 0.5 {
+		t.Fatalf("velocity quantile %g, want the per-field 0.5", q)
+	}
+	if q := (Thresholds{}).Quantile("pressure"); q != DefaultTrimQuantile {
+		t.Fatalf("unset quantile %g, want default %g", q, DefaultTrimQuantile)
+	}
+
+	// 10 particles against a uniform reference: each field trims at its
+	// own quantile, visible in the per-field Trimmed counts.
+	ps := part.New(10)
+	ps.NLocal = 10
+	for i := 0; i < 10; i++ {
+		ps.Pos[i] = vec.V3{X: float64(i)}
+		ps.Rho[i] = 1
+		ps.P[i] = 1
+	}
+	rep := Evaluate(Input{
+		Scenario: "uniform-test",
+		PS:       ps,
+		Solution: uniformSolution{rho: 1, p: 1},
+		Thresholds: Thresholds{
+			TrimQuantile:         1, // keep everything...
+			TrimQuantileVelocity: 0.7,
+		},
+	})
+	byField := map[string]Norms{}
+	for _, f := range rep.Fields {
+		byField[f.Field] = f.Norms
+	}
+	if byField["density"].Trimmed != 0 || byField["pressure"].Trimmed != 0 {
+		t.Fatalf("q=1 fields trimmed %d/%d samples, want 0",
+			byField["density"].Trimmed, byField["pressure"].Trimmed)
+	}
+	if byField["velocity"].Trimmed != 3 {
+		t.Fatalf("velocity trimmed %d of 10 at q=0.7, want 3", byField["velocity"].Trimmed)
+	}
+}

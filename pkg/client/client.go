@@ -17,8 +17,10 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -38,6 +40,43 @@ type Client struct {
 	http *http.Client
 	// poll is the interval of the Wait helpers.
 	poll time.Duration
+	// retry, when non-nil, re-attempts submissions rejected with
+	// queue_full.
+	retry *RetryPolicy
+}
+
+// RetryPolicy backs off and resubmits when the server's job queue is full
+// (the queue_full error code, HTTP 503). Delays grow exponentially from
+// BaseDelay, are capped at MaxDelay, and carry full jitter (a uniformly
+// random fraction of the computed delay), so a thundering herd of clients
+// spreads out instead of re-colliding.
+type RetryPolicy struct {
+	// MaxAttempts bounds total tries, the first included (<= 1 disables
+	// retrying).
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff (default 100ms).
+	BaseDelay time.Duration
+	// MaxDelay caps a single wait (default 5s).
+	MaxDelay time.Duration
+}
+
+func (p *RetryPolicy) defaults() {
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 100 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 5 * time.Second
+	}
+}
+
+// delay computes the jittered wait before retry attempt (1-based).
+func (p *RetryPolicy) delay(attempt int) time.Duration {
+	d := p.BaseDelay << (attempt - 1)
+	if d > p.MaxDelay || d <= 0 { // <= 0: shift overflow
+		d = p.MaxDelay
+	}
+	// Full jitter: uniform in (0, d].
+	return time.Duration(rand.Int63n(int64(d))) + 1
 }
 
 // Option configures a Client.
@@ -50,6 +89,16 @@ func WithHTTPClient(h *http.Client) Option { return func(c *Client) { c.http = h
 // WithPollInterval sets the polling cadence of WaitJob/WaitExperiment
 // (default 50ms).
 func WithPollInterval(d time.Duration) Option { return func(c *Client) { c.poll = d } }
+
+// WithRetry makes the Submit methods back off and retry when the server
+// rejects a submission with queue_full, per the policy. Off by default —
+// callers that want the 503 surfaced (load shedders, tests) keep it.
+func WithRetry(p RetryPolicy) Option {
+	return func(c *Client) {
+		p.defaults()
+		c.retry = &p
+	}
+}
 
 // New returns a client for the server at base (e.g. "http://localhost:8080").
 func New(base string, opts ...Option) *Client {
@@ -241,6 +290,33 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
+// CodeQueueFull is the stable error code of a submission rejected because
+// the server's job queue is full (HTTP 503) — the one the retry policy
+// keys on.
+const CodeQueueFull = "queue_full"
+
+// submit issues one submission request, retrying queue_full rejections per
+// the configured policy with jittered exponential backoff. The wait
+// respects ctx: cancellation during a backoff returns immediately with
+// both the rejection and the context error joined.
+func (c *Client) submit(ctx context.Context, path string, body, out any) error {
+	attempt := 1
+	for {
+		err := c.do(ctx, http.MethodPost, path, body, out)
+		var apiErr *APIError
+		if err == nil || c.retry == nil || attempt >= c.retry.MaxAttempts ||
+			!errors.As(err, &apiErr) || apiErr.Code != CodeQueueFull {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return errors.Join(err, ctx.Err())
+		case <-time.After(c.retry.delay(attempt)):
+		}
+		attempt++
+	}
+}
+
 // decodeError turns a non-2xx response into *APIError, degrading gracefully
 // when the body is not an envelope.
 func decodeError(resp *http.Response) error {
@@ -270,18 +346,22 @@ func (c *Client) Scenarios(ctx context.Context) ([]ScenarioInfo, error) {
 }
 
 // Submit posts one typed job spec; a completed response is a cache hit.
+// With a retry policy configured, queue_full rejections back off and
+// resubmit.
 func (c *Client) Submit(ctx context.Context, spec scenario.JobSpec) (*Job, error) {
 	var out Job
-	if err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &out); err != nil {
+	if err := c.submit(ctx, "/v1/jobs", spec, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
 }
 
-// SubmitBatch posts an array of specs; outcomes are per-item.
+// SubmitBatch posts an array of specs; outcomes are per-item (per-item
+// queue_full errors are reported, not retried — only a whole-request
+// rejection backs off).
 func (c *Client) SubmitBatch(ctx context.Context, specs []scenario.JobSpec) ([]BatchItem, error) {
 	var out []BatchItem
-	err := c.do(ctx, http.MethodPost, "/v1/jobs/batch", specs, &out)
+	err := c.submit(ctx, "/v1/jobs/batch", specs, &out)
 	return out, err
 }
 
@@ -367,7 +447,7 @@ func (c *Client) RawMetrics(ctx context.Context, id string) ([]byte, error) {
 // cache hit served from the persisted regression.
 func (c *Client) SubmitExperiment(ctx context.Context, sw experiments.Sweep) (*Experiment, error) {
 	var out Experiment
-	if err := c.do(ctx, http.MethodPost, "/v1/experiments", sw, &out); err != nil {
+	if err := c.submit(ctx, "/v1/experiments", sw, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -407,6 +487,102 @@ func (c *Client) WaitExperiment(ctx context.Context, id string) (*Experiment, er
 		case <-time.After(c.poll):
 		}
 	}
+}
+
+// ScalingMember is one (arm, core count) ladder point of a scaling view.
+type ScalingMember struct {
+	Arm    string         `json:"arm,omitempty"`
+	Cores  int            `json:"cores"`
+	N      int            `json:"n"`
+	JobID  string         `json:"jobId"`
+	Hash   string         `json:"hash"`
+	State  string         `json:"state,omitempty"`
+	Verify *VerifySummary `json:"verify,omitempty"`
+}
+
+// Scaling is the wire shape of a scaling-experiment view. Result is decoded
+// from the persisted aggregation when the experiment is completed.
+type Scaling struct {
+	ID       string                     `json:"id"`
+	Sweep    experiments.ScalingSweep   `json:"sweep"`
+	Hash     string                     `json:"hash"`
+	State    string                     `json:"state"`
+	CacheHit bool                       `json:"cacheHit"`
+	Members  []ScalingMember            `json:"members,omitempty"`
+	Result   *experiments.ScalingResult `json:"result,omitempty"`
+	Error    string                     `json:"error,omitempty"`
+}
+
+// Terminal reports whether the scaling experiment has reached a final
+// state.
+func (e *Scaling) Terminal() bool { return TerminalState(e.State) }
+
+// ScalingPage is one page of the scaling-experiment listing.
+type ScalingPage struct {
+	Scaling    []Scaling `json:"scaling"`
+	NextCursor string    `json:"nextCursor,omitempty"`
+}
+
+// SubmitScaling posts a scaling sweep; a completed response is a cache hit
+// served from the persisted result.
+func (c *Client) SubmitScaling(ctx context.Context, sw experiments.ScalingSweep) (*Scaling, error) {
+	var out Scaling
+	if err := c.submit(ctx, "/v1/scaling", sw, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Scaling fetches one scaling-experiment view.
+func (c *Client) Scaling(ctx context.Context, id string) (*Scaling, error) {
+	var out Scaling
+	if err := c.do(ctx, http.MethodGet, "/v1/scaling/"+id, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Scalings fetches one page of the scaling-experiment listing.
+func (c *Client) Scalings(ctx context.Context, opts ListOptions) (*ScalingPage, error) {
+	var out ScalingPage
+	if err := c.do(ctx, http.MethodGet, "/v1/scaling"+opts.query(), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// WaitScaling polls until the scaling experiment reaches a terminal state.
+func (c *Client) WaitScaling(ctx context.Context, id string) (*Scaling, error) {
+	for {
+		scl, err := c.Scaling(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if scl.Terminal() {
+			return scl, nil
+		}
+		select {
+		case <-ctx.Done():
+			return scl, ctx.Err()
+		case <-time.After(c.poll):
+		}
+	}
+}
+
+// DeleteJob forgets a terminal job record (404 for unknown ids, 409 while
+// queued or running). The stored result stays addressable by spec hash.
+func (c *Client) DeleteJob(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, nil)
+}
+
+// DeleteExperiment forgets a terminal convergence-experiment record.
+func (c *Client) DeleteExperiment(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/experiments/"+id, nil, nil)
+}
+
+// DeleteScaling forgets a terminal scaling-experiment record.
+func (c *Client) DeleteScaling(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/scaling/"+id, nil, nil)
 }
 
 // StoreStats fetches the result-store metrics.

@@ -3,8 +3,10 @@ package client_test
 import (
 	"context"
 	"errors"
+	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -207,5 +209,148 @@ func TestClientDeprecationProbe(t *testing.T) {
 	}
 	if dep != "" {
 		t.Fatalf("/v1 route reports Deprecation=%q", dep)
+	}
+}
+
+// queueFullServer rejects the first `failures` submissions with the
+// queue_full envelope, then accepts — the backoff contract's test double.
+func queueFullServer(failures int32) (*httptest.Server, *int32) {
+	var calls int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := atomic.AddInt32(&calls, 1)
+		w.Header().Set("Content-Type", "application/json")
+		if n <= failures {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_, _ = w.Write([]byte(`{"error":{"code":"queue_full","message":"server: job queue full"}}`))
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		_, _ = w.Write([]byte(`{"id":"job-000001","state":"queued"}`))
+	}))
+	return ts, &calls
+}
+
+// TestSubmitRetriesQueueFull: with a policy configured, transient
+// queue_full rejections back off and resubmit until accepted.
+func TestSubmitRetriesQueueFull(t *testing.T) {
+	ts, calls := queueFullServer(2)
+	defer ts.Close()
+
+	c := client.New(ts.URL, client.WithRetry(client.RetryPolicy{
+		MaxAttempts: 5, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond,
+	}))
+	job, err := c.Submit(context.Background(), sedovSpec(1, 216))
+	if err != nil {
+		t.Fatalf("Submit with retry: %v", err)
+	}
+	if job.ID != "job-000001" {
+		t.Fatalf("job %+v", job)
+	}
+	if got := atomic.LoadInt32(calls); got != 3 {
+		t.Fatalf("server saw %d submissions, want 3 (2 rejections + 1 success)", got)
+	}
+}
+
+// TestSubmitRetryExhaustsAttempts: a persistently full queue surfaces the
+// queue_full error after exactly MaxAttempts tries.
+func TestSubmitRetryExhaustsAttempts(t *testing.T) {
+	ts, calls := queueFullServer(100)
+	defer ts.Close()
+
+	c := client.New(ts.URL, client.WithRetry(client.RetryPolicy{
+		MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond,
+	}))
+	_, err := c.Submit(context.Background(), sedovSpec(1, 216))
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != client.CodeQueueFull {
+		t.Fatalf("error %v, want a surfaced queue_full after exhausting retries", err)
+	}
+	if got := atomic.LoadInt32(calls); got != 3 {
+		t.Fatalf("server saw %d submissions, want exactly MaxAttempts=3", got)
+	}
+}
+
+// TestSubmitNoRetryByDefault: without the option the rejection surfaces
+// immediately (load shedders and tests rely on seeing the 503).
+func TestSubmitNoRetryByDefault(t *testing.T) {
+	ts, calls := queueFullServer(100)
+	defer ts.Close()
+
+	c := client.New(ts.URL)
+	_, err := c.Submit(context.Background(), sedovSpec(1, 216))
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != client.CodeQueueFull {
+		t.Fatalf("error %v, want queue_full surfaced immediately", err)
+	}
+	if got := atomic.LoadInt32(calls); got != 1 {
+		t.Fatalf("server saw %d submissions, want 1 (no retry configured)", got)
+	}
+}
+
+// TestSubmitRetryRespectsContext: a backoff wait ends with the context,
+// joining the rejection and the cancellation.
+func TestSubmitRetryRespectsContext(t *testing.T) {
+	ts, _ := queueFullServer(100)
+	defer ts.Close()
+
+	c := client.New(ts.URL, client.WithRetry(client.RetryPolicy{
+		MaxAttempts: 10, BaseDelay: time.Hour, MaxDelay: time.Hour,
+	}))
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Submit(ctx, sedovSpec(1, 216))
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("retry wait outlived the context: %v", elapsed)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error %v, want the context deadline joined in", err)
+	}
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != client.CodeQueueFull {
+		t.Fatalf("error %v, want the queue_full rejection joined in", err)
+	}
+}
+
+// TestClientScalingRoundTrip: the scaling experiment round trip — submit,
+// wait, typed result, cache hit, delete.
+func TestClientScalingRoundTrip(t *testing.T) {
+	_, c := newServer(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	sw := experiments.ScalingSweep{Base: sedovSpec(2, 216), Cores: []int{12, 24}}
+	scl, err := c.SubmitScaling(ctx, sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.WaitScaling(ctx, scl.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != client.StateCompleted || final.Result == nil {
+		t.Fatalf("scaling %s: %s (%s)", final.ID, final.State, final.Error)
+	}
+	if len(final.Result.Arms) != 1 || len(final.Result.Arms[0].Points) != 2 || final.Result.Arms[0].Fit == nil {
+		t.Fatalf("result %+v", final.Result)
+	}
+
+	page, err := c.Scalings(ctx, client.ListOptions{Limit: 10})
+	if err != nil || len(page.Scaling) != 1 {
+		t.Fatalf("scaling page %+v (%v)", page, err)
+	}
+
+	again, err := c.SubmitScaling(ctx, sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.CacheHit {
+		t.Fatalf("identical scaling resubmission not a cache hit: %+v", again)
+	}
+	if err := c.DeleteScaling(ctx, again.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Scaling(ctx, again.ID); err == nil {
+		t.Fatal("deleted scaling experiment still served")
 	}
 }

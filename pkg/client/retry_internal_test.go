@@ -1,0 +1,25 @@
+package client
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRetryDelayCapsAndStaysPositive pins the backoff arithmetic: jittered
+// delays never exceed MaxDelay and never collapse to zero, including far
+// past the shift-overflow point.
+func TestRetryDelayCapsAndStaysPositive(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 10}
+	p.defaults()
+	if p.BaseDelay != 100*time.Millisecond || p.MaxDelay != 5*time.Second {
+		t.Fatalf("defaults %+v", p)
+	}
+	for attempt := 1; attempt < 70; attempt++ {
+		for trial := 0; trial < 20; trial++ {
+			d := p.delay(attempt)
+			if d <= 0 || d > p.MaxDelay {
+				t.Fatalf("attempt %d: delay %v outside (0, %v]", attempt, d, p.MaxDelay)
+			}
+		}
+	}
+}
