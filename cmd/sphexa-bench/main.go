@@ -1,0 +1,72 @@
+// Command sphexa-bench records the subsystem benchmark trajectory: it runs
+// every case registered in internal/bench (tree build, neighbor search,
+// density, forces, halo-exchange planning, server submit→complete) through
+// testing.Benchmark and writes one JSON trajectory file whose headline
+// figure per case is particle-steps per second. Checked-in BENCH_*.json
+// files recorded across PRs form a performance history of the serving
+// stack.
+//
+//	sphexa-bench -o BENCH_PR6.json -label pr6
+//	sphexa-bench -check BENCH_PR6.json
+//
+// -check validates an existing trajectory file (structure, positive
+// timings, finite throughput) without running anything; CI uses it to fail
+// on missing or malformed artifacts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		out   = flag.String("o", "", "write the trajectory JSON to this file (default stdout)")
+		label = flag.String("label", "dev", "trajectory label recorded in the file")
+		check = flag.String("check", "", "validate an existing trajectory file and exit (no benchmarks run)")
+	)
+	flag.Parse()
+	if err := run(*out, *label, *check); err != nil {
+		fmt.Fprintln(os.Stderr, "sphexa-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out, label, check string) error {
+	if check != "" {
+		f, err := os.Open(check)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		t, err := bench.ReadTrajectory(f)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: ok (%d results, label %q, %s/%s go %s)\n",
+			check, len(t.Results), t.Label, t.GOOS, t.GOARCH, t.GoVersion)
+		return nil
+	}
+
+	t := bench.Run(label)
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	for _, r := range t.Results {
+		fmt.Fprintf(os.Stderr, "%-24s %-10s %12.0f particle-steps/s  (%d it, %.2f ms/op)\n",
+			r.Name, r.Subsystem, r.ParticleStepsPerSec, r.Iterations, r.NsPerOp/1e6)
+	}
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return t.WriteJSON(w)
+}

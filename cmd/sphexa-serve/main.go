@@ -17,6 +17,13 @@
 // GET /v1/store reports store metrics. The pre-/v1 unversioned routes
 // remain as deprecated aliases (Deprecation: true).
 //
+// Observability: every request carries an X-Request-Id (generated when the
+// client sends none) and a Server-Timing header; GET /statusz serves a
+// human-readable snapshot (uptime, queue, workers, per-route latency
+// digest, job phase totals) and GET /metricsz the Prometheus text
+// exposition. Structured request/lifecycle logs go to stderr (-log-level),
+// and -pprof-addr exposes net/http/pprof on a separate listener.
+//
 //	sphexa-serve -addr :8080 -workers 4 -data-dir /var/lib/sphexa \
 //	    -store-dir /var/lib/sphexa/results -store-ttl 168h -store-max-bytes 1073741824
 //
@@ -27,7 +34,9 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof" // registered on DefaultServeMux; exposed only via -pprof-addr
 	"os"
 	"os/signal"
 	"syscall"
@@ -53,27 +62,37 @@ func main() {
 		storeMax = flag.Int64("store-max-bytes", 0, "cap on total stored snapshot bytes, LRU-evicted (0 = unbounded)")
 		sweep    = flag.Duration("store-sweep", time.Minute,
 			"interval between background TTL/LRU eviction sweeps of the result store (0 leaves eviction to submissions/reads)")
+		pprofAddr = flag.String("pprof-addr", "",
+			"serve net/http/pprof on this address (empty disables; keep it off the public listener)")
+		logLevel = flag.String("log-level", "info", "minimum structured log level: debug, info, warn, error")
 	)
 	flag.Parse()
 	if err := run(*addr, *workers, *queue, *dataDir, *ckptEvery, *machine,
-		*storeDir, *storeTTL, *storeMax, *sweep); err != nil {
+		*storeDir, *storeTTL, *storeMax, *sweep, *pprofAddr, *logLevel); err != nil {
 		fmt.Fprintln(os.Stderr, "sphexa-serve:", err)
 		os.Exit(1)
 	}
 }
 
 func run(addr string, workers, queue int, dataDir string, ckptEvery int, machine,
-	storeDir string, storeTTL time.Duration, storeMax int64, sweep time.Duration) error {
+	storeDir string, storeTTL time.Duration, storeMax int64, sweep time.Duration,
+	pprofAddr, logLevel string) error {
 	m, err := perfmodel.ByName(machine)
 	if err != nil {
 		return err
 	}
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(logLevel)); err != nil {
+		return fmt.Errorf("parsing -log-level: %w", err)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 	opts := server.Options{
 		Workers:         workers,
 		QueueDepth:      queue,
 		DataDir:         dataDir,
 		CheckpointEvery: ckptEvery,
 		Machine:         m,
+		Logger:          logger,
 	}
 	if storeDir != "" {
 		st, err := store.Open(storeDir, store.Options{TTL: storeTTL, MaxBytes: storeMax})
@@ -110,6 +129,17 @@ func run(addr string, workers, queue int, dataDir string, ckptEvery int, machine
 	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
+
+	if pprofAddr != "" {
+		// The pprof handlers live on their own listener (DefaultServeMux)
+		// so profiling never rides the public API address.
+		go func() {
+			logger.Info("pprof listening", "addr", pprofAddr)
+			if err := http.ListenAndServe(pprofAddr, nil); err != nil {
+				logger.Error("pprof server exited", "error", err)
+			}
+		}()
+	}
 
 	fmt.Printf("sphexa-serve: listening on %s (%d workers, scenarios: %v)\n",
 		addr, workers, scenario.Names())

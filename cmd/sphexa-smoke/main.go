@@ -15,7 +15,12 @@
 //     Daint sod ladder returns paper-shaped curves — per-phase breakdowns
 //     summing to the rank-seconds totals, parallel efficiency monotone
 //     non-increasing past the knee, a fitted serial fraction in a sane
-//     band — and its identical resubmission is a store-level cache hit.
+//     band — and its identical resubmission is a store-level cache hit;
+//  6. the observability surfaces work end to end: requests echo
+//     X-Request-Id and carry Server-Timing, /statusz shows the route
+//     latency digest and job phase totals for the traffic the earlier legs
+//     generated, and /metricsz serves the Prometheus exposition with the
+//     request and lifecycle families populated.
 //
 // Any regression exits non-zero, which is what CI keys on.
 //
@@ -26,7 +31,9 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"math"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -60,6 +67,10 @@ func main() {
 		os.Exit(1)
 	}
 	if err := runScaling(*addr, *scen, *sclCores, *sclN, *sclSteps, *nbrs, *timeout, *maxSerial); err != nil {
+		fmt.Fprintln(os.Stderr, "sphexa-smoke: FAIL:", err)
+		os.Exit(1)
+	}
+	if err := runObservability(*addr, *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, "sphexa-smoke: FAIL:", err)
 		os.Exit(1)
 	}
@@ -283,5 +294,90 @@ func runScaling(addr, scen, coresCSV string, n, steps, nbrs int,
 		return fmt.Errorf("identical scaling sweeps hashed differently: %s vs %s", scl.Hash, again.Hash)
 	}
 	fmt.Println("identical scaling resubmission: cache hit")
+	return nil
+}
+
+// runObservability checks the telemetry surfaces against the traffic the
+// earlier legs generated: request tracing headers, the /statusz snapshot,
+// and the /metricsz Prometheus exposition.
+func runObservability(addr string, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+
+	get := func(path, requestID string) (*http.Response, string, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+path, nil)
+		if err != nil {
+			return nil, "", err
+		}
+		if requestID != "" {
+			req.Header.Set("X-Request-Id", requestID)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return nil, "", fmt.Errorf("GET %s: %w", path, err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, "", fmt.Errorf("GET %s: reading body: %w", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, "", fmt.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+		return resp, string(b), nil
+	}
+
+	// Request tracing: a pinned ID is echoed, a missing one is generated,
+	// and every response carries Server-Timing.
+	resp, _, err := get("/v1/healthz", "smoke-trace-1")
+	if err != nil {
+		return err
+	}
+	if got := resp.Header.Get("X-Request-Id"); got != "smoke-trace-1" {
+		return fmt.Errorf("pinned request ID not echoed: got %q", got)
+	}
+	if st := resp.Header.Get("Server-Timing"); !strings.Contains(st, "total;dur=") {
+		return fmt.Errorf("response lacks Server-Timing: %q", st)
+	}
+	resp, _, err = get("/v1/healthz", "")
+	if err != nil {
+		return err
+	}
+	if got := resp.Header.Get("X-Request-Id"); len(got) != 16 {
+		return fmt.Errorf("generated request ID %q, want 16 hex chars", got)
+	}
+
+	// /statusz: the human snapshot reflects the jobs the earlier legs ran.
+	_, body, err := get("/statusz", "")
+	if err != nil {
+		return err
+	}
+	for _, want := range []string{"uptime", "workers", "route", "p95", "trimmed mean", "phase", "run"} {
+		if !strings.Contains(body, want) {
+			return fmt.Errorf("/statusz missing %q:\n%s", want, body)
+		}
+	}
+
+	// /metricsz: the exposition carries the request and lifecycle families.
+	mresp, metrics, err := get("/metricsz", "")
+	if err != nil {
+		return err
+	}
+	if ct := mresp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		return fmt.Errorf("/metricsz content type %q", ct)
+	}
+	for _, want := range []string{
+		"# TYPE http_requests_total counter",
+		"# TYPE http_request_duration_seconds histogram",
+		"jobs_submitted_total",
+		`job_phase_seconds_count{phase="run"}`,
+		"deprecated_requests_total",
+		"workers_total",
+	} {
+		if !strings.Contains(metrics, want) {
+			return fmt.Errorf("/metricsz missing %q", want)
+		}
+	}
+	fmt.Println("observability: tracing headers, /statusz, /metricsz intact")
 	return nil
 }

@@ -1,0 +1,302 @@
+// Package bench is the shared subsystem benchmark harness behind both the
+// `go test -bench Subsystem` wrappers in the repository root and the
+// sphexa-bench binary that records a benchmark trajectory (BENCH_*.json).
+//
+// Each Case pins one subsystem of the serving stack — tree build, neighbor
+// search, density, forces, halo-exchange planning, and the full server
+// submit→complete path — on a fixed workload, so successive trajectory
+// files recorded across PRs are directly comparable. The headline figure is
+// particle-steps per second (particles x steps / wall time per op), the
+// paper's own throughput unit.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"testing"
+
+	"repro/internal/domain"
+	"repro/internal/eos"
+	"repro/internal/ic"
+	"repro/internal/kernel"
+	"repro/internal/part"
+	"repro/internal/scenario"
+	"repro/internal/server"
+	"repro/internal/sph"
+	"repro/internal/tree"
+)
+
+// Result is one benchmarked case of a trajectory file.
+type Result struct {
+	Name      string `json:"name"`
+	Subsystem string `json:"subsystem"`
+	// Particles and Steps define the fixed workload of one benchmark op;
+	// their product divided by seconds-per-op is the throughput figure.
+	Particles   int     `json:"particles"`
+	Steps       int     `json:"steps"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+	// ParticleStepsPerSec is particles*steps/(nsPerOp/1e9).
+	ParticleStepsPerSec float64 `json:"particleStepsPerSec"`
+}
+
+// Trajectory is the serialized form of one benchmark run: enough machine
+// context to interpret the numbers, plus one Result per case.
+type Trajectory struct {
+	Label     string   `json:"label"`
+	GoVersion string   `json:"goVersion"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	NumCPU    int      `json:"numCPU"`
+	Results   []Result `json:"results"`
+}
+
+// Case is one registered subsystem benchmark. Bench must do its own setup
+// before b.ResetTimer and perform exactly one workload of Particles*Steps
+// particle-steps per iteration.
+type Case struct {
+	Name      string
+	Subsystem string
+	Particles int
+	Steps     int
+	Bench     func(b *testing.B)
+}
+
+// benchN is the particle count of the Evrard fixture: large enough that the
+// neighbor loops dominate setup, small enough for CI.
+const benchN = 8000
+
+// benchRanks is the modeled rank count of the halo-exchange case.
+const benchRanks = 4
+
+// fixture is the shared single-rank SPH state the subsystem cases run on:
+// Evrard collapse ICs carried through smoothing-length iteration, density,
+// EOS, and IAD so every downstream kernel sees realistic inputs.
+type fixture struct {
+	ps *part.Set
+	p  sph.Params
+	tr *tree.Tree
+	nl *sph.NeighborList
+}
+
+func newFixture() *fixture {
+	ev := ic.DefaultEvrard(benchN)
+	ev.NNeighbors = 60
+	ps, pbc, box := ev.Generate()
+	f := &fixture{
+		ps: ps,
+		p: sph.Params{
+			Kernel: kernel.NewSinc(5), EOS: eos.NewIdealGas(5.0 / 3.0),
+			NNeighbors: 60, Gradients: sph.IAD, PBC: pbc, Box: box,
+		},
+	}
+	f.tr = sph.BuildTree(ps, &f.p)
+	f.nl = sph.UpdateSmoothingLengths(ps, f.tr, &f.p)
+	sph.Density(ps, f.nl, &f.p)
+	sph.EquationOfState(ps, &f.p)
+	sph.ComputeIAD(ps, f.nl, &f.p)
+	return f
+}
+
+// Cases returns the subsystem benchmark registry in canonical order.
+func Cases() []Case {
+	return []Case{
+		{
+			Name: "tree-build", Subsystem: "tree", Particles: benchN, Steps: 1,
+			Bench: func(b *testing.B) {
+				f := newFixture()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if tr := sph.BuildTree(f.ps, &f.p); tr == nil {
+						b.Fatal("nil tree")
+					}
+				}
+			},
+		},
+		{
+			Name: "neighbor-search", Subsystem: "neighbors", Particles: benchN, Steps: 1,
+			Bench: func(b *testing.B) {
+				f := newFixture()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if nl := sph.BuildNeighborList(f.ps, f.tr, &f.p); nl == nil {
+						b.Fatal("nil neighbor list")
+					}
+				}
+			},
+		},
+		{
+			Name: "density", Subsystem: "sph", Particles: benchN, Steps: 1,
+			Bench: func(b *testing.B) {
+				f := newFixture()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					sph.Density(f.ps, f.nl, &f.p)
+				}
+			},
+		},
+		{
+			Name: "forces", Subsystem: "sph", Particles: benchN, Steps: 1,
+			Bench: func(b *testing.B) {
+				f := newFixture()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					st := sph.MomentumEnergy(f.ps, f.nl, &f.p)
+					if st.Interactions == 0 {
+						b.Fatal("force loop evaluated no pairs")
+					}
+				}
+			},
+		},
+		{
+			Name: "halo-exchange", Subsystem: "domain", Particles: benchN, Steps: 1,
+			Bench: func(b *testing.B) {
+				f := newFixture()
+				margin := 0.0
+				for i := 0; i < f.ps.NLocal; i++ {
+					if h := 2 * f.ps.H[i]; h > margin {
+						margin = h
+					}
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					asg := domain.Decompose(domain.MortonSFC, f.ps, f.p.Box, benchRanks, nil)
+					locals := domain.Split(f.ps, asg, benchRanks)
+					boxes := make([]domain.AABB, benchRanks)
+					for r, l := range locals {
+						boxes[r] = domain.BoundsOf(l)
+					}
+					sent := 0
+					for r, l := range locals {
+						plan := domain.PlanHalo(l, boxes, r, margin, f.p.PBC)
+						for _, idx := range plan.ToPeer {
+							sent += len(idx)
+						}
+					}
+					if sent == 0 {
+						b.Fatal("halo plan shipped no ghosts")
+					}
+				}
+			},
+		},
+		{
+			// The full serving path: a fresh in-process server per iteration
+			// (so the content-addressed cache cannot coalesce the repeat
+			// submissions), one sedov job submitted and driven to completion.
+			Name: "server-submit-complete", Subsystem: "server",
+			Particles: 216, Steps: 2,
+			Bench: func(b *testing.B) {
+				spec := scenario.JobSpec{Spec: scenario.Spec{
+					Scenario: "sedov",
+					Params: scenario.Params{
+						N: 216, NNeighbors: 20,
+						Extra: map[string]float64{"energy": 1},
+					},
+					Steps: 2,
+					Cores: 4,
+				}}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					s := server.New(server.Options{Workers: 1})
+					view, err := s.Submit(spec)
+					if err != nil {
+						b.Fatal(err)
+					}
+					done, ok := s.Done(view.ID)
+					if !ok {
+						b.Fatalf("job %s has no done channel", view.ID)
+					}
+					<-done
+					if got, _ := s.Get(view.ID); got.State != server.StateCompleted {
+						b.Fatalf("job ended %s: %s", got.State, got.Error)
+					}
+					s.Close()
+				}
+			},
+		},
+	}
+}
+
+// Run executes every registered case through testing.Benchmark and collects
+// the trajectory.
+func Run(label string) Trajectory {
+	tr := Trajectory{
+		Label:     label,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+	for _, c := range Cases() {
+		r := testing.Benchmark(c.Bench)
+		tr.Results = append(tr.Results, toResult(c, r))
+	}
+	return tr
+}
+
+// toResult converts one testing.BenchmarkResult into the trajectory row.
+func toResult(c Case, r testing.BenchmarkResult) Result {
+	ns := float64(r.NsPerOp())
+	if r.N > 0 && r.T > 0 {
+		// NsPerOp truncates to integer nanoseconds; keep the full precision.
+		ns = float64(r.T.Nanoseconds()) / float64(r.N)
+	}
+	res := Result{
+		Name: c.Name, Subsystem: c.Subsystem,
+		Particles: c.Particles, Steps: c.Steps,
+		Iterations: r.N, NsPerOp: ns,
+		BytesPerOp: r.AllocedBytesPerOp(), AllocsPerOp: r.AllocsPerOp(),
+	}
+	if ns > 0 {
+		res.ParticleStepsPerSec = float64(c.Particles*c.Steps) / (ns / 1e9)
+	}
+	return res
+}
+
+// WriteJSON serializes the trajectory with stable indentation (the file is
+// checked in; diffs should be readable).
+func (t Trajectory) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// Validate checks a decoded trajectory for structural sanity: at least one
+// result, and every result carrying a name, positive timing, and a finite
+// positive throughput. CI runs this against the freshly-recorded artifact
+// and the build against the checked-in file.
+func (t Trajectory) Validate() error {
+	if len(t.Results) == 0 {
+		return fmt.Errorf("bench: trajectory %q has no results", t.Label)
+	}
+	for i, r := range t.Results {
+		if r.Name == "" || r.Subsystem == "" {
+			return fmt.Errorf("bench: result %d has empty name/subsystem", i)
+		}
+		if r.Iterations <= 0 || r.NsPerOp <= 0 {
+			return fmt.Errorf("bench: result %q ran %d iterations at %v ns/op", r.Name, r.Iterations, r.NsPerOp)
+		}
+		if r.ParticleStepsPerSec <= 0 || math.IsInf(r.ParticleStepsPerSec, 0) || math.IsNaN(r.ParticleStepsPerSec) {
+			return fmt.Errorf("bench: result %q has degenerate throughput %v", r.Name, r.ParticleStepsPerSec)
+		}
+	}
+	return nil
+}
+
+// ReadTrajectory decodes and validates a trajectory file.
+func ReadTrajectory(r io.Reader) (Trajectory, error) {
+	var t Trajectory
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&t); err != nil {
+		return Trajectory{}, fmt.Errorf("bench: decoding trajectory: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return Trajectory{}, err
+	}
+	return t, nil
+}

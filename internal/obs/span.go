@@ -1,0 +1,118 @@
+// Span and SpanSet trace per-request and per-job lifecycle phases: a Span
+// measures one named stage, a SpanSet accumulates the stages of one
+// traced unit (an HTTP request, a job's queue-wait → run → checkpoint →
+// verify → persist lifecycle) into an ordered, JSON-serializable record
+// the server persists next to the verification report.
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Phase is one named stage of a traced lifecycle, in seconds.
+type Phase struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+}
+
+// SpanSet is the recorded lifecycle of one traced unit. The zero value is
+// ready to use. Not safe for concurrent use — a lifecycle is owned by the
+// goroutine executing it.
+type SpanSet struct {
+	// Phases are the recorded stages in the order they were added; repeated
+	// names accumulate into one phase (a chunked run checkpoints many
+	// times, but reports one checkpoint phase).
+	Phases []Phase `json:"phases"`
+	// Total is the sum of the phase durations.
+	Total float64 `json:"total"`
+}
+
+// Add accumulates d into the named phase (creating it at the end of the
+// order on first use). Negative durations are clamped to zero — a clock
+// that steps backwards must not produce negative spans.
+func (ss *SpanSet) Add(name string, d time.Duration) {
+	ss.AddSeconds(name, d.Seconds())
+}
+
+// AddSeconds is Add for a duration already measured in seconds.
+func (ss *SpanSet) AddSeconds(name string, seconds float64) {
+	if seconds < 0 {
+		seconds = 0
+	}
+	ss.Total += seconds
+	for i := range ss.Phases {
+		if ss.Phases[i].Name == name {
+			ss.Phases[i].Seconds += seconds
+			return
+		}
+	}
+	ss.Phases = append(ss.Phases, Phase{Name: name, Seconds: seconds})
+}
+
+// Seconds returns the accumulated duration of the named phase (0 when it
+// was never recorded).
+func (ss *SpanSet) Seconds(name string) float64 {
+	for _, p := range ss.Phases {
+		if p.Name == name {
+			return p.Seconds
+		}
+	}
+	return 0
+}
+
+// ServerTiming renders the set as an RFC 9211-style Server-Timing header
+// value: `queue-wait;dur=1.2, run;dur=340.5` (durations in milliseconds).
+// Phase names are sanitized to header-token characters.
+func (ss *SpanSet) ServerTiming() string {
+	parts := make([]string, 0, len(ss.Phases))
+	for _, p := range ss.Phases {
+		parts = append(parts, fmt.Sprintf("%s;dur=%.1f", headerToken(p.Name), p.Seconds*1e3))
+	}
+	return strings.Join(parts, ", ")
+}
+
+// headerToken keeps only RFC 7230 token characters (letters, digits, and
+// common symbol characters), mapping everything else to '-'.
+func headerToken(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+// Span measures one in-progress stage; construct with StartSpan and finish
+// with End (or EndTo to record into a SpanSet).
+type Span struct {
+	name  string
+	start time.Time
+	clock func() time.Time
+}
+
+// StartSpan begins measuring a named stage. clock overrides the time
+// source (tests); nil means time.Now.
+func StartSpan(name string, clock func() time.Time) *Span {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Span{name: name, start: clock(), clock: clock}
+}
+
+// End returns the elapsed duration since the span started.
+func (s *Span) End() time.Duration { return s.clock().Sub(s.start) }
+
+// EndTo records the elapsed duration into the set under the span's name
+// and returns it.
+func (s *Span) EndTo(ss *SpanSet) time.Duration {
+	d := s.End()
+	ss.Add(s.name, d)
+	return d
+}

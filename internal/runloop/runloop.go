@@ -10,6 +10,7 @@ package runloop
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/ft"
@@ -64,6 +65,19 @@ type Options struct {
 	// OnRestore observes a successful checkpoint restore before the first
 	// chunk runs.
 	OnRestore func(step int, simTime float64)
+	// Clock overrides the time source of the phase breakdown (tests); nil
+	// means time.Now.
+	Clock func() time.Time
+}
+
+// PhaseSeconds is the loop's wall-clock breakdown: time spent restoring
+// the checkpoint, executing chunks, and writing interim checkpoints. It is
+// the execution half of a job's lifecycle trace (internal/obs SpanSet);
+// the server adds the queue-wait, verify, and persist phases around it.
+type PhaseSeconds struct {
+	Restore    float64 `json:"restore,omitempty"`
+	Run        float64 `json:"run"`
+	Checkpoint float64 `json:"checkpoint,omitempty"`
 }
 
 // Result is the loop outcome.
@@ -86,6 +100,10 @@ type Result struct {
 	// the engine reports none. Restored steps contribute nothing (their
 	// timing was spent — and recorded — by the run that checkpointed them).
 	Timing *core.RunTiming
+	// Phases is the loop's real wall-clock breakdown (as opposed to
+	// Timing's modeled clocks): restore, chunk execution, and interim
+	// checkpoint writes.
+	Phases PhaseSeconds
 }
 
 // Run executes the loop: optional restore, then chunks of ChunkSteps with
@@ -97,10 +115,16 @@ func Run(opts Options, ps *part.Set, chunk Chunk) (Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	clock := opts.Clock
+	if clock == nil {
+		clock = time.Now
+	}
 	res := Result{PS: ps}
 
 	if ck := opts.Checkpointer; ck != nil && opts.Resume {
+		restoreStart := clock()
 		restored, step, simTime, err := ck.Restore()
+		res.Phases.Restore = clock().Sub(restoreStart).Seconds()
 		switch {
 		case err == nil && step > 0 && step <= opts.TotalSteps:
 			res.PS, res.Start, res.Steps, res.SimTime = restored, step, step, simTime
@@ -127,7 +151,9 @@ func Run(opts Options, ps *part.Set, chunk Chunk) (Result, error) {
 		if opts.ChunkSteps > 0 && n > opts.ChunkSteps {
 			n = opts.ChunkSteps
 		}
+		chunkStart := clock()
 		cr, err := chunk(ctx, res.PS, Base{Step: res.Steps, Time: res.SimTime}, n)
+		res.Phases.Run += clock().Sub(chunkStart).Seconds()
 		if err != nil && !cr.Cancelled {
 			return res, err
 		}
@@ -147,7 +173,10 @@ func Run(opts Options, ps *part.Set, chunk Chunk) (Result, error) {
 			return res, nil
 		}
 		if ck := opts.Checkpointer; ck != nil && res.Steps < opts.TotalSteps {
-			if err := ck.Write(0, res.Steps, res.SimTime, res.PS); err != nil {
+			ckStart := clock()
+			err := ck.Write(0, res.Steps, res.SimTime, res.PS)
+			res.Phases.Checkpoint += clock().Sub(ckStart).Seconds()
+			if err != nil {
 				return res, fmt.Errorf("runloop: checkpoint at step %d: %w", res.Steps, err)
 			}
 		}

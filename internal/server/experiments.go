@@ -112,6 +112,9 @@ func (s *Server) SubmitExperiment(sw experiments.Sweep) (*ExperimentView, error)
 		exp.Result = raw
 		exp.doneAt = s.now()
 		close(exp.done)
+		s.met.sweeps.With("convergence").Inc()
+		s.met.sweepCacheHits.With("convergence").Inc()
+		s.met.sweepsDone.With("convergence", string(StateCompleted)).Inc()
 		v := s.expViewLocked(exp)
 		return &v, nil
 	}
@@ -130,6 +133,12 @@ func (s *Server) SubmitExperiment(sw experiments.Sweep) (*ExperimentView, error)
 		if err != nil {
 			return nil, fmt.Errorf("server: submitting sweep member N=%d: %w", n, err)
 		}
+		// Attribute the fan-out: these job submissions belong to a
+		// convergence sweep, not ad-hoc clients.
+		s.met.sweepMembers.With("convergence").Inc()
+		if view.CacheHit {
+			s.met.sweepMemberHits.With("convergence").Inc()
+		}
 		members = append(members, ExpMember{N: n, JobID: view.ID, Hash: view.Hash, done: s.memberDone(view.ID)})
 	}
 
@@ -146,6 +155,7 @@ func (s *Server) SubmitExperiment(sw experiments.Sweep) (*ExperimentView, error)
 	s.expByHash[hash] = exp
 	v := s.expViewLocked(exp)
 	s.mu.Unlock()
+	s.met.sweeps.With("convergence").Inc()
 
 	go s.collectExperiment(exp)
 	return &v, nil
@@ -242,6 +252,9 @@ func (s *Server) collectExperiment(exp *Experiment) {
 	delete(s.expByHash, exp.Hash)
 	close(exp.done)
 	s.mu.Unlock()
+	s.met.sweepsDone.With("convergence", string(StateCompleted)).Inc()
+	s.log.Info("experiment completed", "experiment", exp.ID, "hash", exp.Hash,
+		"members", len(exp.Members))
 }
 
 // failExperiment terminates an experiment with an error message.
@@ -253,6 +266,8 @@ func (s *Server) failExperiment(exp *Experiment, msg string) {
 	delete(s.expByHash, exp.Hash)
 	close(exp.done)
 	s.mu.Unlock()
+	s.met.sweepsDone.With("convergence", string(StateFailed)).Inc()
+	s.log.Error("experiment failed", "experiment", exp.ID, "hash", exp.Hash, "error", msg)
 }
 
 // reportByHash returns the verification report of a completed result by

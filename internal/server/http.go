@@ -42,6 +42,8 @@ import (
 //	DELETE /v1/scaling/{id}        forget a terminal scaling record
 //	GET  /v1/store                 result-store metrics (entries, bytes,
 //	                               hit rate, quarantine count)
+//	GET  /statusz                  human-readable operational snapshot
+//	GET  /metricsz                 Prometheus text exposition of the registry
 //
 // Every error is a structured envelope:
 //
@@ -89,6 +91,8 @@ func (s *Server) Handler() http.Handler {
 		{method: "GET", path: "/v1/scaling/{id}/events", h: s.handleScalingEvents},
 		{method: "DELETE", path: "/v1/scaling/{id}", h: s.handleDelete(CodeUnknownScaling, s.DeleteScaling)},
 		{method: "GET", path: "/v1/store", h: s.handleStore, legacy: "/storez", successor: "/v1/store"},
+		{method: "GET", path: "/statusz", h: s.handleStatusz},
+		{method: "GET", path: "/metricsz", h: s.handleMetricsz},
 	}
 	for _, r := range routes {
 		mux.HandleFunc(r.method+" "+r.path, r.h)
@@ -100,7 +104,7 @@ func (s *Server) Handler() http.Handler {
 			mux.HandleFunc(r.method+" "+r.legacy, deprecated(r.successor, h))
 		}
 	}
-	return mux
+	return s.instrument(mux)
 }
 
 // deprecated wraps a /v1 handler as its unversioned alias: same behavior,
@@ -219,6 +223,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		submitError(w, err)
 		return
 	}
+	w.Header().Set(HashHeader, view.Hash)
 	status := http.StatusAccepted
 	if view.State == StateCompleted {
 		status = http.StatusOK // cache hit: nothing to wait for
@@ -318,6 +323,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("no job %q", r.PathValue("id")), nil)
 		return
 	}
+	w.Header().Set(HashHeader, view.Hash)
 	writeJSON(w, http.StatusOK, view)
 }
 
@@ -502,6 +508,7 @@ func (s *Server) handleSubmitExperiment(w http.ResponseWriter, r *http.Request) 
 		submitError(w, err)
 		return
 	}
+	w.Header().Set(HashHeader, view.Hash)
 	status := http.StatusAccepted
 	if view.State == StateCompleted {
 		status = http.StatusOK // cache hit: nothing to wait for
@@ -551,6 +558,7 @@ func (s *Server) handleSubmitScaling(w http.ResponseWriter, r *http.Request) {
 		submitError(w, err)
 		return
 	}
+	w.Header().Set(HashHeader, view.Hash)
 	status := http.StatusAccepted
 	if view.State == StateCompleted {
 		status = http.StatusOK // cache hit: nothing to wait for

@@ -1,0 +1,169 @@
+package server
+
+import (
+	"repro/internal/obs"
+)
+
+// Lifecycle phase names of a job's span trace, in execution order. The
+// queue-wait → restore → run → checkpoint → verify phases are persisted
+// inside the job's report JSON (phasePersist happens after the report is
+// written, so it only exists in the registry's job_phase_seconds
+// histogram).
+const (
+	phaseQueueWait  = "queue-wait"
+	phaseRestore    = "restore"
+	phaseRun        = "run"
+	phaseCheckpoint = "checkpoint"
+	phaseVerify     = "verify"
+	phasePersist    = "persist"
+)
+
+// metrics bundles the server's registry handles. Families are registered
+// once at construction; children materialize on first use.
+type metrics struct {
+	reg *obs.Registry
+
+	// HTTP middleware.
+	httpReqs     *obs.CounterVec   // http_requests_total{route,method,code}
+	httpLatency  *obs.HistogramVec // http_request_duration_seconds{route,method,code}
+	routeLatency *obs.HistogramVec // http_route_duration_seconds{route}
+	httpInflight *obs.Gauge        // http_inflight_requests
+	deprecated   *obs.CounterVec   // deprecated_requests_total{route}
+
+	// Job lifecycle.
+	jobsSubmitted *obs.Counter      // jobs_submitted_total
+	jobCacheHits  *obs.Counter      // job_cache_hits_total
+	jobsDone      *obs.CounterVec   // jobs_terminal_total{state}
+	jobRestarts   *obs.Counter      // job_restarts_total
+	jobPhase      *obs.HistogramVec // job_phase_seconds{phase}
+
+	// Sweep fan-out attribution (convergence + scaling experiments).
+	sweeps           *obs.CounterVec // sweeps_total{kind}
+	sweepCacheHits   *obs.CounterVec // sweep_cache_hits_total{kind}
+	sweepMembers     *obs.CounterVec // sweep_members_total{kind}
+	sweepMemberHits  *obs.CounterVec // sweep_member_cache_hits_total{kind}
+	sweepsDone       *obs.CounterVec // sweeps_terminal_total{kind,state}
+	memberQueueDepth *obs.Gauge      // job_queue_depth (collected at scrape)
+	queueCapacity    *obs.Gauge      // job_queue_capacity
+	workersBusy      *obs.Gauge      // workers_busy
+	workersTotal     *obs.Gauge      // workers_total
+	uptime           *obs.Gauge      // uptime_seconds
+
+	// Store mirror gauges, collected at scrape time from store.Stats.
+	storeEntries   *obs.Gauge // store_entries
+	storeBytes     *obs.Gauge // store_bytes
+	storeHitRate   *obs.Gauge // store_hit_rate
+	storePuts      *obs.Gauge // store_puts_total
+	storeEvictions *obs.Gauge // store_evictions_total
+}
+
+// newMetrics registers the server's metric families on reg.
+func newMetrics(reg *obs.Registry) *metrics {
+	return &metrics{
+		reg: reg,
+
+		httpReqs: reg.Counter("http_requests_total",
+			"HTTP requests served, by route pattern, method, and status code",
+			"route", "method", "code"),
+		httpLatency: reg.Histogram("http_request_duration_seconds",
+			"HTTP request latency in seconds, by route pattern, method, and status code",
+			nil, "route", "method", "code"),
+		routeLatency: reg.Histogram("http_route_duration_seconds",
+			"HTTP request latency in seconds aggregated per route pattern "+
+				"(the /statusz per-route digest reads this family)",
+			nil, "route"),
+		httpInflight: reg.Gauge("http_inflight_requests",
+			"HTTP requests currently being served").With(),
+		deprecated: reg.Counter("deprecated_requests_total",
+			"requests served through deprecated unversioned alias routes, by route pattern",
+			"route"),
+
+		jobsSubmitted: reg.Counter("jobs_submitted_total",
+			"job submissions accepted (including cache hits and coalesced duplicates)").With(),
+		jobCacheHits: reg.Counter("job_cache_hits_total",
+			"job submissions served instantly from the result cache or store").With(),
+		jobsDone: reg.Counter("jobs_terminal_total",
+			"jobs reaching a terminal state, by state", "state"),
+		jobRestarts: reg.Counter("job_restarts_total",
+			"job resumptions after a simulated kill").With(),
+		jobPhase: reg.Histogram("job_phase_seconds",
+			"wall-clock seconds jobs spend per lifecycle phase "+
+				"(queue-wait, restore, run, checkpoint, verify, persist)",
+			nil, "phase"),
+
+		sweeps: reg.Counter("sweeps_total",
+			"experiment sweeps started, by kind (convergence, scaling)", "kind"),
+		sweepCacheHits: reg.Counter("sweep_cache_hits_total",
+			"experiment sweeps served instantly from a persisted result, by kind", "kind"),
+		sweepMembers: reg.Counter("sweep_members_total",
+			"member jobs submitted by experiment sweeps, by kind — attributes job fan-out to sweeps", "kind"),
+		sweepMemberHits: reg.Counter("sweep_member_cache_hits_total",
+			"sweep member jobs that were instant cache hits, by kind", "kind"),
+		sweepsDone: reg.Counter("sweeps_terminal_total",
+			"experiment sweeps reaching a terminal state, by kind and state", "kind", "state"),
+
+		memberQueueDepth: reg.Gauge("job_queue_depth",
+			"jobs waiting in the submission queue").With(),
+		queueCapacity: reg.Gauge("job_queue_capacity",
+			"submission queue capacity").With(),
+		workersBusy: reg.Gauge("workers_busy",
+			"workers currently executing a job").With(),
+		workersTotal: reg.Gauge("workers_total",
+			"configured simulation workers").With(),
+		uptime: reg.Gauge("uptime_seconds",
+			"seconds since this server started").With(),
+
+		storeEntries: reg.Gauge("store_entries",
+			"live snapshot objects in the result store").With(),
+		storeBytes: reg.Gauge("store_bytes",
+			"total bytes of live snapshot objects in the result store").With(),
+		storeHitRate: reg.Gauge("store_hit_rate",
+			"result-store lookup hit rate since open (0..1)").With(),
+		storePuts: reg.Gauge("store_puts_total",
+			"result-store writes since open").With(),
+		storeEvictions: reg.Gauge("store_evictions_total",
+			"result-store TTL/LRU evictions since open").With(),
+	}
+}
+
+// collect refreshes the scrape-time gauges (queue occupancy, worker
+// occupancy, uptime, store mirror) from live server state. Called by the
+// /statusz and /metricsz handlers right before rendering.
+func (s *Server) collect() {
+	s.mu.Lock()
+	busy := 0
+	for _, job := range s.jobs {
+		if job.State == StateRunning {
+			busy++
+		}
+	}
+	s.mu.Unlock()
+
+	m := s.met
+	m.memberQueueDepth.Set(float64(len(s.queue)))
+	m.queueCapacity.Set(float64(cap(s.queue)))
+	m.workersBusy.Set(float64(busy))
+	m.workersTotal.Set(float64(s.opts.Workers))
+	m.uptime.Set(s.now().Sub(s.started).Seconds())
+
+	if st := s.opts.Store; st != nil {
+		stats := st.Stats()
+		m.storeEntries.Set(float64(stats.Entries))
+		m.storeBytes.Set(float64(stats.Bytes))
+		m.storeHitRate.Set(stats.HitRate)
+		m.storePuts.Set(float64(stats.Puts))
+		m.storeEvictions.Set(float64(stats.Evictions))
+	}
+}
+
+// recordJobPhases feeds a completed lifecycle trace into the per-phase
+// histogram (the aggregate the /statusz phase table and /metricsz expose).
+func (s *Server) recordJobPhases(spans *obs.SpanSet) {
+	for _, p := range spans.Phases {
+		s.met.jobPhase.With(p.Name).Observe(p.Seconds)
+	}
+}
+
+// Registry exposes the server's metrics registry (the serve binary hangs
+// auxiliary collectors off it; tests read it back).
+func (s *Server) Registry() *obs.Registry { return s.met.reg }

@@ -113,6 +113,9 @@ func (s *Server) SubmitScaling(sw experiments.ScalingSweep) (*ScalingView, error
 		scl.Result = raw
 		scl.doneAt = s.now()
 		close(scl.done)
+		s.met.sweeps.With("scaling").Inc()
+		s.met.sweepCacheHits.With("scaling").Inc()
+		s.met.sweepsDone.With("scaling", string(StateCompleted)).Inc()
 		v := s.sclViewLocked(scl)
 		return &v, nil
 	}
@@ -132,6 +135,12 @@ func (s *Server) SubmitScaling(sw experiments.ScalingSweep) (*ScalingView, error
 			if err != nil {
 				return nil, fmt.Errorf("server: submitting scaling member %s@%d cores: %w",
 					csw.ArmLabel(arm), cores, err)
+			}
+			// Attribute the fan-out: these job submissions belong to a
+			// scaling sweep, not ad-hoc clients.
+			s.met.sweepMembers.With("scaling").Inc()
+			if view.CacheHit {
+				s.met.sweepMemberHits.With("scaling").Inc()
 			}
 			members = append(members, SclMember{
 				Arm: arm, Cores: cores, N: view.Spec.Params.N,
@@ -153,6 +162,7 @@ func (s *Server) SubmitScaling(sw experiments.ScalingSweep) (*ScalingView, error
 	s.sclByHash[hash] = scl
 	v := s.sclViewLocked(scl)
 	s.mu.Unlock()
+	s.met.sweeps.With("scaling").Inc()
 
 	go s.collectScaling(scl)
 	return &v, nil
@@ -248,6 +258,9 @@ func (s *Server) collectScaling(scl *ScalingExp) {
 	delete(s.sclByHash, scl.Hash)
 	close(scl.done)
 	s.mu.Unlock()
+	s.met.sweepsDone.With("scaling", string(StateCompleted)).Inc()
+	s.log.Info("scaling experiment completed", "scaling", scl.ID, "hash", scl.Hash,
+		"members", len(scl.Members))
 }
 
 // failScaling terminates a scaling experiment with an error message.
@@ -259,6 +272,8 @@ func (s *Server) failScaling(scl *ScalingExp, msg string) {
 	delete(s.sclByHash, scl.Hash)
 	close(scl.done)
 	s.mu.Unlock()
+	s.met.sweepsDone.With("scaling", string(StateFailed)).Inc()
+	s.log.Error("scaling experiment failed", "scaling", scl.ID, "hash", scl.Hash, "error", msg)
 }
 
 // GetScaling returns a snapshot of the scaling experiment, or false.

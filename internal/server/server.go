@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"path/filepath"
 	"sync"
 	"time"
@@ -30,6 +31,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/domain"
 	"repro/internal/ft"
+	"repro/internal/obs"
 	"repro/internal/part"
 	"repro/internal/perfmodel"
 	"repro/internal/runloop"
@@ -85,6 +87,12 @@ type Job struct {
 	done chan struct{}
 	// doneAt is when the job turned terminal; JobTTL pruning keys on it.
 	doneAt time.Time
+	// submittedAt is when the job entered the queue (reset on a
+	// kill-requeue); the queue-wait span is measured against it.
+	submittedAt time.Time
+	// spans accumulates the job's lifecycle trace across restart attempts;
+	// the completed trace is persisted inside the report JSON.
+	spans obs.SpanSet
 }
 
 // VerifySummary is the compact verification rollup carried by job views:
@@ -154,6 +162,12 @@ type Options struct {
 	JobTTL time.Duration
 	// Clock overrides the time source (tests); nil means time.Now.
 	Clock func() time.Time
+	// Registry receives the server's metrics; nil allocates a private one
+	// (each Server owns its families either way — /metricsz serves them).
+	Registry *obs.Registry
+	// Logger receives structured request/job lifecycle lines; nil discards
+	// them (tests stay quiet; the serve binary passes a real handler).
+	Logger *slog.Logger
 }
 
 // Server owns the job table, the result cache, and the worker pool.
@@ -188,6 +202,10 @@ type Server struct {
 	stop    context.CancelFunc
 	workers sync.WaitGroup
 	now     func() time.Time
+
+	met     *metrics
+	log     *slog.Logger
+	started time.Time
 }
 
 // errKilled is the cancellation cause for a simulated kill.
@@ -226,6 +244,12 @@ func New(opts Options) *Server {
 	if opts.Clock == nil {
 		opts.Clock = time.Now
 	}
+	if opts.Registry == nil {
+		opts.Registry = obs.NewRegistry()
+	}
+	if opts.Logger == nil {
+		opts.Logger = slog.New(slog.DiscardHandler)
+	}
 	ctx, stop := context.WithCancel(context.Background())
 	s := &Server{
 		opts:      opts,
@@ -242,7 +266,10 @@ func New(opts Options) *Server {
 		ctx:       ctx,
 		stop:      stop,
 		now:       opts.Clock,
+		met:       newMetrics(opts.Registry),
+		log:       opts.Logger,
 	}
+	s.started = s.now()
 	for i := 0; i < opts.Workers; i++ {
 		s.workers.Add(1)
 		go s.worker()
@@ -323,11 +350,15 @@ func (s *Server) Submit(spec scenario.JobSpec) (*JobView, error) {
 		close(job.done)
 		s.jobs[job.ID] = job
 		s.order = append(s.order, job.ID)
+		s.met.jobsSubmitted.Inc()
+		s.met.jobCacheHits.Inc()
+		s.met.jobsDone.With(string(StateCompleted)).Inc()
 		v := job.view()
 		return &v, nil
 	}
 
 	job.State = StateQueued
+	job.submittedAt = s.now()
 	select {
 	case s.queue <- job:
 	default:
@@ -336,6 +367,7 @@ func (s *Server) Submit(spec scenario.JobSpec) (*JobView, error) {
 	s.jobs[job.ID] = job
 	s.order = append(s.order, job.ID)
 	s.byHash[hash] = job
+	s.met.jobsSubmitted.Inc()
 	v := job.view()
 	return &v, nil
 }
@@ -620,6 +652,7 @@ func (s *Server) interrupt(id string, kill bool) error {
 	job.doneAt = s.now()
 	delete(s.byHash, job.Hash)
 	close(job.done)
+	s.met.jobsDone.With(string(StateCancelled)).Inc()
 	return nil
 }
 
@@ -819,6 +852,9 @@ func (s *Server) run(job *Job) {
 		return
 	}
 	job.State = StateRunning
+	if !job.submittedAt.IsZero() {
+		job.spans.AddSeconds(phaseQueueWait, s.now().Sub(job.submittedAt).Seconds())
+	}
 	ctx, cancel := context.WithCancelCause(s.ctx)
 	job.cancel = func() {
 		cause := context.Canceled
@@ -840,6 +876,9 @@ func (s *Server) run(job *Job) {
 		delete(s.byHash, job.Hash)
 		close(job.done)
 		s.mu.Unlock()
+		s.met.jobsDone.With(string(StateFailed)).Inc()
+		s.log.Error("job failed", "job", job.ID, "hash", job.Hash,
+			"scenario", spec.Scenario, "error", err)
 	}
 
 	sc, err := scenario.Get(spec.Scenario)
@@ -872,12 +911,24 @@ func (s *Server) run(job *Job) {
 		Resume:       true,
 		TotalSteps:   spec.Steps,
 		ChunkSteps:   s.opts.CheckpointEvery,
+		Clock:        s.now,
 		OnRestore: func(step int, simTime float64) {
 			s.mu.Lock()
 			job.Progress = Progress{Step: step, Total: spec.Steps, SimTime: simTime}
 			s.mu.Unlock()
 		},
 	}, ps, chunk)
+	// Fold the loop's wall-clock breakdown into the lifecycle trace before
+	// branching: killed runs accumulate their partial work across attempts.
+	// Phases the run never entered (no restore, no interim checkpoint) stay
+	// out of the trace.
+	if v := res.Phases.Restore; v > 0 {
+		job.spans.AddSeconds(phaseRestore, v)
+	}
+	job.spans.AddSeconds(phaseRun, res.Phases.Run)
+	if v := res.Phases.Checkpoint; v > 0 {
+		job.spans.AddSeconds(phaseCheckpoint, v)
+	}
 	if err != nil {
 		fail(err)
 		return
@@ -896,6 +947,7 @@ func (s *Server) run(job *Job) {
 			job.killed = false
 			job.cancel = nil
 			job.Restarts++
+			job.submittedAt = s.now()
 			requeued := false
 			select {
 			case s.queue <- job:
@@ -910,6 +962,15 @@ func (s *Server) run(job *Job) {
 				close(job.done)
 			}
 			s.mu.Unlock()
+			if requeued {
+				s.met.jobRestarts.Inc()
+				s.log.Info("job requeued after kill", "job", job.ID,
+					"hash", job.Hash, "restarts", job.Restarts, "step", res.Steps)
+			} else {
+				s.met.jobsDone.With(string(StateFailed)).Inc()
+				s.log.Error("job failed", "job", job.ID, "hash", job.Hash,
+					"error", "requeue after kill failed: queue full")
+			}
 			return
 		}
 		s.mu.Lock()
@@ -919,6 +980,8 @@ func (s *Server) run(job *Job) {
 		delete(s.byHash, job.Hash)
 		close(job.done)
 		s.mu.Unlock()
+		s.met.jobsDone.With(string(StateCancelled)).Inc()
+		s.log.Info("job cancelled", "job", job.ID, "hash", job.Hash, "step", res.Steps)
 		return
 	}
 
@@ -934,7 +997,16 @@ func (s *Server) run(job *Job) {
 		simTime:   simTime,
 		steps:     spec.Steps,
 	}
-	result.report, result.summary = buildReport(sc, spec, cfg, res.PS, simTime, initial, res.Timing)
+	vspan := obs.StartSpan(phaseVerify, s.now)
+	rep := evaluateReport(sc, spec, cfg, res.PS, simTime, initial)
+	vspan.EndTo(&job.spans)
+	// The marshaled report carries the lifecycle trace recorded so far
+	// (queue-wait through verify); it is persisted once, so a cache-hit
+	// resubmission serves the identical bytes. The persist phase below is
+	// necessarily measured after the marshal and lives only in the
+	// registry's job_phase_seconds histogram.
+	result.report, result.summary = marshalReport(rep, res.Timing, &job.spans)
+	pspan := obs.StartSpan(phasePersist, s.now)
 	if st := s.opts.Store; st != nil {
 		err := st.Put(store.Meta{
 			Hash:      job.Hash,
@@ -971,6 +1043,15 @@ func (s *Server) run(job *Job) {
 	delete(s.byHash, job.Hash)
 	close(job.done)
 	s.mu.Unlock()
+
+	s.recordJobPhases(&job.spans)
+	s.met.jobPhase.With(phasePersist).Observe(pspan.End().Seconds())
+	s.met.jobsDone.With(string(StateCompleted)).Inc()
+	pass := result.summary != nil && result.summary.Pass
+	s.log.Info("job completed", "job", job.ID, "hash", job.Hash,
+		"scenario", spec.Scenario, "steps", spec.Steps, "particles", result.particles,
+		"pass", pass, "restarts", job.Restarts,
+		"queueWaitS", job.spans.Seconds(phaseQueueWait), "runS", job.spans.Seconds(phaseRun))
 }
 
 // buildChunk resolves the job's execution section into a runloop chunk:
@@ -1090,15 +1171,13 @@ func calibrationTest(cfg core.Config) codes.Test {
 	return codes.SquarePatch
 }
 
-// buildReport evaluates the verification report for a completed run:
+// evaluateReport evaluates the verification report for a completed run:
 // analytic reference (when the scenario registers one), error norms,
 // plateau estimate, conservation drift, and the acceptance checks. A
 // report is always produced — scenarios without a reference are scored on
-// conservation alone. The persisted JSON additionally carries the run's
-// per-phase timing breakdown (parallel backend only), which is what the
-// scaling-experiment aggregator reads back by member hash.
-func buildReport(sc *scenario.Scenario, spec scenario.JobSpec, cfg core.Config,
-	ps *part.Set, simTime float64, initial conserve.State, timing *core.RunTiming) ([]byte, *VerifySummary) {
+// conservation alone.
+func evaluateReport(sc *scenario.Scenario, spec scenario.JobSpec, cfg core.Config,
+	ps *part.Set, simTime float64, initial conserve.State) *verify.Report {
 
 	sol, refErr := sc.BuildReference(spec.Params)
 	thr := sc.Accept
@@ -1119,7 +1198,7 @@ func buildReport(sc *scenario.Scenario, spec scenario.JobSpec, cfg core.Config,
 			thr.TrimQuantilePressure = v.TrimPressure
 		}
 	}
-	rep := verify.Evaluate(verify.Input{
+	return verify.Evaluate(verify.Input{
 		Scenario: spec.Scenario,
 		PS:       ps,
 		SimTime:  simTime,
@@ -1133,10 +1212,23 @@ func buildReport(sc *scenario.Scenario, spec scenario.JobSpec, cfg core.Config,
 		Initial:      initial,
 		HaveInitial:  true,
 	})
+}
+
+// marshalReport renders the persisted report JSON: the verification report
+// plus the run's per-phase modeled timing breakdown (parallel backend only
+// — what the scaling-experiment aggregator reads back by member hash) and
+// the job's wall-clock lifecycle trace (queue-wait → restore → run →
+// checkpoint → verify). The bytes are written once and served verbatim
+// thereafter, so cache hits stay byte-identical.
+func marshalReport(rep *verify.Report, timing *core.RunTiming, spans *obs.SpanSet) ([]byte, *VerifySummary) {
+	if spans != nil && len(spans.Phases) == 0 {
+		spans = nil
+	}
 	b, err := json.Marshal(struct {
 		*verify.Report
 		Timing *core.RunTiming `json:"timing,omitempty"`
-	}{rep, timing})
+		Spans  *obs.SpanSet    `json:"spans,omitempty"`
+	}{rep, timing, spans})
 	if err != nil {
 		return nil, nil
 	}

@@ -1,0 +1,107 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// handleStatusz serves the human-readable operational snapshot: uptime,
+// worker/queue occupancy, job lifecycle totals, store health, per-route
+// latency digests (p50/p95/trimmed mean), job phase totals, and
+// deprecated-alias traffic. It is diagnostics prose, not an API —
+// /metricsz is the machine-readable surface.
+func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	s.collect()
+	snap := s.met.reg.Snapshot()
+	byName := make(map[string]obs.FamilySnapshot, len(snap))
+	for _, f := range snap {
+		byName[f.Name] = f
+	}
+
+	s.mu.Lock()
+	states := map[JobState]int{}
+	for _, job := range s.jobs {
+		states[job.State]++
+	}
+	njobs, nexps, nscls := len(s.jobs), len(s.exps), len(s.scls)
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	tw := tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+	defer tw.Flush()
+
+	gauge := func(name string) float64 {
+		if f, ok := byName[name]; ok && len(f.Series) == 1 {
+			return f.Series[0].Value
+		}
+		return 0
+	}
+
+	fmt.Fprintf(tw, "sphexa-serve status\n\n")
+	fmt.Fprintf(tw, "uptime\t%s\n", time.Duration(gauge("uptime_seconds")*float64(time.Second)).Round(time.Second))
+	fmt.Fprintf(tw, "workers\t%.0f/%.0f busy\n", gauge("workers_busy"), gauge("workers_total"))
+	fmt.Fprintf(tw, "queue\t%.0f/%.0f waiting\n", gauge("job_queue_depth"), gauge("job_queue_capacity"))
+	fmt.Fprintf(tw, "inflight requests\t%.0f\n", gauge("http_inflight_requests"))
+	fmt.Fprintf(tw, "jobs\t%d tracked (%d queued, %d running, %d completed, %d failed, %d cancelled)\n",
+		njobs, states[StateQueued], states[StateRunning], states[StateCompleted],
+		states[StateFailed], states[StateCancelled])
+	fmt.Fprintf(tw, "experiments\t%d convergence, %d scaling\n", nexps, nscls)
+
+	if st := s.opts.Store; st != nil {
+		stats := st.Stats()
+		fmt.Fprintf(tw, "store\t%d entries, %d bytes, hit rate %.2f, %d puts, %d evictions, %d quarantined\n",
+			stats.Entries, stats.Bytes, stats.HitRate, stats.Puts, stats.Evictions, stats.Quarantined)
+	} else {
+		fmt.Fprintf(tw, "store\tnone (memory-only cache)\n")
+	}
+
+	// Per-route latency digest, from the route-aggregated histogram family
+	// (methods and status codes folded together).
+	if f, ok := byName["http_route_duration_seconds"]; ok && len(f.Series) > 0 {
+		series := append([]obs.Series(nil), f.Series...)
+		sort.Slice(series, func(i, j int) bool { return series[i].Labels[0] < series[j].Labels[0] })
+		fmt.Fprintf(tw, "\nroute\trequests\tp50\tp95\ttrimmed mean\n")
+		for _, sr := range series {
+			if sr.Hist == nil {
+				continue
+			}
+			fmt.Fprintf(tw, "%s\t%d\t%.1fms\t%.1fms\t%.1fms\n",
+				sr.Labels[0], sr.Hist.Count, sr.Hist.P50*1e3, sr.Hist.P95*1e3, sr.Hist.TrimmedMean*1e3)
+		}
+	}
+
+	// Job lifecycle phase totals (sum of wall-clock seconds per phase over
+	// every executed job).
+	if f, ok := byName["job_phase_seconds"]; ok && len(f.Series) > 0 {
+		fmt.Fprintf(tw, "\nphase\tjobs\ttotal\tmean\n")
+		for _, phase := range []string{phaseQueueWait, phaseRestore, phaseRun, phaseCheckpoint, phaseVerify, phasePersist} {
+			for _, series := range f.Series {
+				if series.Labels[0] != phase || series.Hist == nil {
+					continue
+				}
+				fmt.Fprintf(tw, "%s\t%d\t%.3fs\t%.1fms\n",
+					phase, series.Hist.Count, series.Hist.Sum, series.Hist.Mean*1e3)
+			}
+		}
+	}
+
+	if f, ok := byName["deprecated_requests_total"]; ok && len(f.Series) > 0 {
+		fmt.Fprintf(tw, "\ndeprecated route\thits\n")
+		for _, series := range f.Series {
+			fmt.Fprintf(tw, "%s\t%.0f\n", series.Labels[0], series.Value)
+		}
+	}
+}
+
+// handleMetricsz serves the registry in the Prometheus text exposition
+// format (version 0.0.4), scrape-time gauges refreshed.
+func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	s.collect()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.met.reg.WritePrometheus(w)
+}

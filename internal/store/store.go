@@ -92,6 +92,9 @@ type Store struct {
 	// hits and misses count result lookups (Get and OpenObject) since
 	// this instance opened; the /storez endpoint derives the hit rate.
 	hits, misses uint64
+	// puts and evictions count writes and policy removals (TTL + LRU)
+	// since this instance opened, for the serving layer's telemetry.
+	puts, evictions uint64
 }
 
 type indexFile struct {
@@ -295,6 +298,7 @@ func (s *Store) evictLocked(now time.Time) {
 		for hash, m := range s.entries {
 			if m.LastUsed < cutoff {
 				s.removeLocked(hash)
+				s.evictions++
 			}
 		}
 	}
@@ -320,6 +324,7 @@ func (s *Store) evictLocked(now time.Time) {
 			break
 		}
 		s.removeLocked(c.hash)
+		s.evictions++
 	}
 }
 
@@ -359,6 +364,7 @@ func (s *Store) Put(meta Meta, snapshot []byte) error {
 	meta.LastUsed = now
 	s.entries[meta.Hash] = &meta
 	s.total += meta.Size
+	s.puts++
 
 	s.evictLocked(s.opts.Now())
 	return s.saveIndexLocked()
@@ -559,6 +565,10 @@ type Stats struct {
 	// Quarantined counts objects this instance moved aside as corrupt or
 	// unvouched-for.
 	Quarantined int `json:"quarantined"`
+	// Puts and Evictions count writes and TTL/LRU policy removals since
+	// this instance opened.
+	Puts      uint64 `json:"puts"`
+	Evictions uint64 `json:"evictions"`
 }
 
 // Stats returns the current metrics snapshot.
@@ -571,6 +581,8 @@ func (s *Store) Stats() Stats {
 		Hits:        s.hits,
 		Misses:      s.misses,
 		Quarantined: s.quarantined,
+		Puts:        s.puts,
+		Evictions:   s.evictions,
 	}
 	for _, m := range s.entries {
 		if m.ReportSize > 0 {

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 	"repro/internal/store"
 	"repro/internal/verify"
@@ -43,6 +44,9 @@ type Client struct {
 	// retry, when non-nil, re-attempts submissions rejected with
 	// queue_full.
 	retry *RetryPolicy
+	// requestID overrides per-request ID generation (tracing contexts that
+	// already own a correlation ID).
+	requestID func() string
 }
 
 // RetryPolicy backs off and resubmits when the server's job queue is full
@@ -79,6 +83,11 @@ func (p *RetryPolicy) delay(attempt int) time.Duration {
 	return time.Duration(rand.Int63n(int64(d))) + 1
 }
 
+// RequestIDHeader is the correlation header: the client sends one per
+// request (honoring WithRequestID, generating otherwise) and the server
+// echoes it, so a failed call can be matched to the server's request log.
+const RequestIDHeader = "X-Request-Id"
+
 // Option configures a Client.
 type Option func(*Client)
 
@@ -98,6 +107,12 @@ func WithRetry(p RetryPolicy) Option {
 		p.defaults()
 		c.retry = &p
 	}
+}
+
+// WithRequestID sets the generator of per-request correlation IDs (called
+// once per request). The default generates a fresh random ID each time.
+func WithRequestID(gen func() string) Option {
+	return func(c *Client) { c.requestID = gen }
 }
 
 // New returns a client for the server at base (e.g. "http://localhost:8080").
@@ -120,10 +135,18 @@ type APIError struct {
 	Code    string         `json:"code"`
 	Message string         `json:"message"`
 	Details map[string]any `json:"details,omitempty"`
+	// RequestID is the correlation ID the failed exchange ran under (as
+	// echoed by the server, falling back to the ID the client sent), for
+	// matching against the server's request log.
+	RequestID string `json:"-"`
 }
 
 func (e *APIError) Error() string {
-	return fmt.Sprintf("api error %d (%s): %s", e.Status, e.Code, e.Message)
+	msg := fmt.Sprintf("api error %d (%s): %s", e.Status, e.Code, e.Message)
+	if e.RequestID != "" {
+		msg += fmt.Sprintf(" [request %s]", e.RequestID)
+	}
+	return msg
 }
 
 // Job states, mirroring the server's lifecycle.
@@ -267,13 +290,21 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	reqID := ""
+	if c.requestID != nil {
+		reqID = c.requestID()
+	}
+	if reqID == "" {
+		reqID = obs.NewRequestID()
+	}
+	req.Header.Set(RequestIDHeader, reqID)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 300 {
-		return decodeError(resp)
+		return decodeError(resp, reqID)
 	}
 	if out == nil {
 		_, _ = io.Copy(io.Discard, resp.Body)
@@ -318,8 +349,13 @@ func (c *Client) submit(ctx context.Context, path string, body, out any) error {
 }
 
 // decodeError turns a non-2xx response into *APIError, degrading gracefully
-// when the body is not an envelope.
-func decodeError(resp *http.Response) error {
+// when the body is not an envelope. The error carries the exchange's
+// correlation ID: the server's echo when present, else the ID that was sent.
+func decodeError(resp *http.Response, sentID string) error {
+	reqID := resp.Header.Get(RequestIDHeader)
+	if reqID == "" {
+		reqID = sentID
+	}
 	b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	var env struct {
 		Error APIError `json:"error"`
@@ -327,10 +363,11 @@ func decodeError(resp *http.Response) error {
 	if err := json.Unmarshal(b, &env); err == nil && env.Error.Code != "" {
 		e := env.Error
 		e.Status = resp.StatusCode
+		e.RequestID = reqID
 		return &e
 	}
 	return &APIError{Status: resp.StatusCode, Code: "internal",
-		Message: strings.TrimSpace(string(b))}
+		Message: strings.TrimSpace(string(b)), RequestID: reqID}
 }
 
 // Health probes GET /v1/healthz.

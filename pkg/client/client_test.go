@@ -354,3 +354,46 @@ func TestClientScalingRoundTrip(t *testing.T) {
 		t.Fatal("deleted scaling experiment still served")
 	}
 }
+
+// TestRequestIDPropagation pins the correlation contract: every client
+// request carries an X-Request-Id the server echoes, WithRequestID
+// overrides the generator, and a decoded *APIError carries the ID of the
+// failed exchange (both in the struct and in Error()).
+func TestRequestIDPropagation(t *testing.T) {
+	var lastID atomic.Value
+	_, c := newServer(t)
+
+	// Against the real server: an unknown-job error carries a request ID.
+	ctx := context.Background()
+	_, err := c.Job(ctx, "job-999999")
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("expected *APIError, got %v", err)
+	}
+	if apiErr.Code != "unknown_job" {
+		t.Fatalf("code = %q, want unknown_job", apiErr.Code)
+	}
+	if len(apiErr.RequestID) != 16 {
+		t.Fatalf("APIError.RequestID = %q, want a 16-hex-char generated ID", apiErr.RequestID)
+	}
+	if !strings.Contains(apiErr.Error(), apiErr.RequestID) {
+		t.Fatalf("Error() %q does not mention the request ID", apiErr.Error())
+	}
+
+	// A pinned generator propagates verbatim — through request, server
+	// echo, and the decoded error.
+	seen := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		lastID.Store(r.Header.Get(client.RequestIDHeader))
+		w.Header().Set(client.RequestIDHeader, r.Header.Get(client.RequestIDHeader))
+		http.Error(w, `{"error":{"code":"conflict","message":"nope"}}`, http.StatusConflict)
+	}))
+	defer seen.Close()
+	pinned := client.New(seen.URL, client.WithRequestID(func() string { return "trace-42" }))
+	_, err = pinned.Job(context.Background(), "whatever")
+	if got, _ := lastID.Load().(string); got != "trace-42" {
+		t.Fatalf("server saw request ID %q, want trace-42", got)
+	}
+	if !errors.As(err, &apiErr) || apiErr.RequestID != "trace-42" {
+		t.Fatalf("APIError.RequestID = %v, want trace-42 (err=%v)", apiErr, err)
+	}
+}
