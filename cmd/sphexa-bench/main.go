@@ -6,12 +6,19 @@
 // files recorded across PRs form a performance history of the serving
 // stack.
 //
-//	sphexa-bench -o BENCH_PR6.json -label pr6
+//	sphexa-bench -o BENCH_PR7.json -label pr7
 //	sphexa-bench -check BENCH_PR6.json
+//	sphexa-bench -baseline BENCH_PR6.json -max-loss 0.25
 //
 // -check validates an existing trajectory file (structure, positive
 // timings, finite throughput) without running anything; CI uses it to fail
 // on missing or malformed artifacts.
+//
+// -baseline records a fresh trajectory, compares it case-by-case against
+// the given file, prints per-case throughput deltas, and exits non-zero
+// when any case lost more than -max-loss of its baseline throughput (or
+// vanished). CI runs this with a loose allowance — cross-machine noise —
+// while a local run keeps the default 25%.
 package main
 
 import (
@@ -24,18 +31,20 @@ import (
 
 func main() {
 	var (
-		out   = flag.String("o", "", "write the trajectory JSON to this file (default stdout)")
-		label = flag.String("label", "dev", "trajectory label recorded in the file")
-		check = flag.String("check", "", "validate an existing trajectory file and exit (no benchmarks run)")
+		out      = flag.String("o", "", "write the trajectory JSON to this file (default stdout)")
+		label    = flag.String("label", "dev", "trajectory label recorded in the file")
+		check    = flag.String("check", "", "validate an existing trajectory file and exit (no benchmarks run)")
+		baseline = flag.String("baseline", "", "compare the fresh trajectory against this recorded file")
+		maxLoss  = flag.Float64("max-loss", 0.25, "tolerated per-case throughput loss vs -baseline (0.25 = 25%)")
 	)
 	flag.Parse()
-	if err := run(*out, *label, *check); err != nil {
+	if err := run(*out, *label, *check, *baseline, *maxLoss); err != nil {
 		fmt.Fprintln(os.Stderr, "sphexa-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out, label, check string) error {
+func run(out, label, check, baseline string, maxLoss float64) error {
 	if check != "" {
 		f, err := os.Open(check)
 		if err != nil {
@@ -59,14 +68,49 @@ func run(out, label, check string) error {
 		fmt.Fprintf(os.Stderr, "%-24s %-10s %12.0f particle-steps/s  (%d it, %.2f ms/op)\n",
 			r.Name, r.Subsystem, r.ParticleStepsPerSec, r.Iterations, r.NsPerOp/1e6)
 	}
-	w := os.Stdout
 	if out != "" {
 		f, err := os.Create(out)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		w = f
+		if err := t.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	} else if baseline == "" {
+		if err := t.WriteJSON(os.Stdout); err != nil {
+			return err
+		}
 	}
-	return t.WriteJSON(w)
+
+	if baseline == "" {
+		return nil
+	}
+	bf, err := os.Open(baseline)
+	if err != nil {
+		return err
+	}
+	defer bf.Close()
+	base, err := bench.ReadTrajectory(bf)
+	if err != nil {
+		return err
+	}
+	cmp := bench.Compare(base, t, maxLoss)
+	fmt.Fprintf(os.Stderr, "vs %s (label %q, max tolerated loss %.0f%%):\n", baseline, base.Label, maxLoss*100)
+	for _, d := range cmp.Deltas {
+		if d.Missing {
+			fmt.Fprintf(os.Stderr, "  %-24s MISSING (baseline %.0f particle-steps/s)\n", d.Name, d.Baseline)
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "  %-24s %12.0f -> %12.0f particle-steps/s  (x%.2f)\n",
+			d.Name, d.Baseline, d.Current, d.Ratio)
+	}
+	if len(cmp.Regressions) > 0 {
+		return fmt.Errorf("throughput regressions vs %s: %v", baseline, cmp.Regressions)
+	}
+	fmt.Fprintln(os.Stderr, "no regressions")
+	return nil
 }

@@ -14,15 +14,22 @@
 // and -store-max-bytes, so identical resubmissions hit disk even across
 // restarts; a background goroutine sweeps the TTL/LRU eviction policy
 // every -store-sweep so idle entries expire without traffic, and
-// GET /v1/store reports store metrics. The pre-/v1 unversioned routes
-// remain as deprecated aliases (Deprecation: true).
+// GET /v1/store reports store metrics. The pre-/v1 unversioned alias
+// routes are removed — requests to them 404.
 //
 // Observability: every request carries an X-Request-Id (generated when the
 // client sends none) and a Server-Timing header; GET /statusz serves a
 // human-readable snapshot (uptime, queue, workers, per-route latency
-// digest, job phase totals) and GET /metricsz the Prometheus text
-// exposition. Structured request/lifecycle logs go to stderr (-log-level),
-// and -pprof-addr exposes net/http/pprof on a separate listener.
+// digest, job phase totals, watchdog trips) and GET /metricsz the
+// Prometheus text exposition. Every executing job feeds an in-run flight
+// recorder (conservation drift, dt, smoothing-length and neighbor extrema,
+// rank imbalance, per-phase timings) served by GET /v1/jobs/{id}/telemetry
+// and streamed live over GET /v1/jobs/{id}/telemetry/events; physics
+// watchdogs (NaN, drift slope, dt collapse, imbalance) mark the job and
+// count trips in telemetry_watchdog_trips_total. POST
+// /v1/jobs/{id}/profile captures an on-demand CPU profile. Structured
+// request/lifecycle logs go to stderr (-log-level), and -pprof-addr
+// exposes net/http/pprof on a separate listener.
 //
 //	sphexa-serve -addr :8080 -workers 4 -data-dir /var/lib/sphexa \
 //	    -store-dir /var/lib/sphexa/results -store-ttl 168h -store-max-bytes 1073741824

@@ -9,8 +9,10 @@
 //     persisted result;
 //  3. the same member JobSpec under a different execution backend hashes
 //     (and stores) differently — backends never share results;
-//  4. the legacy unversioned routes still answer and carry the
-//     Deprecation + successor-version Link headers;
+//  4. step telemetry works end to end: the completed serial job serves a
+//     flight-recorder track (contiguous per-step samples, clean watchdog
+//     rollup on a healthy run), an on-demand CPU profile capture returns
+//     parseable pprof bytes, and the removed pre-/v1 alias routes 404;
 //  5. a 3-point strong-scaling sweep (POST /v1/scaling) on a modeled Piz
 //     Daint sod ladder returns paper-shaped curves — per-phase breakdowns
 //     summing to the rank-seconds totals, parallel efficiency monotone
@@ -196,18 +198,54 @@ func run(addr, scen, nsCSV string, steps, nbrs, cores int,
 	}
 	fmt.Printf("serial backend: distinct hash %.12s, completed\n", sj.Hash)
 
-	// 4. Legacy routes answer with the deprecation signal.
+	// 4. Step telemetry: the completed serial job serves a full
+	// flight-recorder track with a clean watchdog rollup, and a CPU profile
+	// capture returns parseable (gzipped) pprof bytes.
+	track, err := c.Telemetry(ctx, sj.ID)
+	if err != nil {
+		return fmt.Errorf("fetching telemetry track: %w", err)
+	}
+	if len(track.Samples) == 0 {
+		return fmt.Errorf("completed job served an empty telemetry track")
+	}
+	first, last := track.Samples[0], track.Samples[len(track.Samples)-1]
+	if first.Step != 1 || last.Step != steps {
+		return fmt.Errorf("telemetry track spans steps %d..%d, want 1..%d",
+			first.Step, last.Step, steps)
+	}
+	if track.Status != "ok" || len(track.Trips) != 0 {
+		return fmt.Errorf("healthy run tripped watchdogs: status=%q trips=%v",
+			track.Status, track.Trips)
+	}
+	fmt.Printf("telemetry: %d samples (stride %d), steps 1..%d, watchdogs clean\n",
+		len(track.Samples), track.Stride, last.Step)
+
+	profile, err := c.Profile(ctx, sj.ID, 1)
+	if err != nil {
+		return fmt.Errorf("capturing CPU profile: %w", err)
+	}
+	if len(profile) < 2 || profile[0] != 0x1f || profile[1] != 0x8b {
+		return fmt.Errorf("CPU profile is not gzipped pprof data (%d bytes)", len(profile))
+	}
+	fmt.Printf("profile: %d pprof bytes captured\n", len(profile))
+
+	// The removed pre-/v1 aliases must 404 with no deprecation signal.
 	for _, path := range []string{"/scenarios", "/jobs", "/storez"} {
-		dep, link, err := c.Deprecation(ctx, path)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+path, nil)
+		if err != nil {
+			return err
+		}
+		resp, err := http.DefaultClient.Do(req)
 		if err != nil {
 			return fmt.Errorf("legacy route %s: %w", path, err)
 		}
-		if dep != "true" || !strings.Contains(link, `rel="successor-version"`) {
-			return fmt.Errorf("legacy route %s lost its deprecation signal (Deprecation=%q, Link=%q)",
-				path, dep, link)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			return fmt.Errorf("removed legacy route %s answered %d, want 404", path, resp.StatusCode)
 		}
 	}
-	fmt.Println("legacy routes: deprecation headers intact")
+	fmt.Println("legacy routes: removed (404)")
 	return nil
 }
 
@@ -371,7 +409,10 @@ func runObservability(addr string, timeout time.Duration) error {
 		"# TYPE http_request_duration_seconds histogram",
 		"jobs_submitted_total",
 		`job_phase_seconds_count{phase="run"}`,
+		// Removed-alias family: zero series, but HELP/TYPE must keep
+		// rendering for dashboards keyed on it.
 		"deprecated_requests_total",
+		"# TYPE telemetry_watchdog_trips_total counter",
 		"workers_total",
 	} {
 		if !strings.Contains(metrics, want) {

@@ -88,14 +88,16 @@ func main() {
 			"modeled machine of a -server job (daint, marenostrum; empty = server default)")
 		costModel = flag.String("cost", "",
 			"parent-code cost calibration of a -server job (sphynx, changa, sphflow; empty = server default)")
-		cores = flag.Int("cores", 0, "modeled core count of a -server job")
+		cores     = flag.Int("cores", 0, "modeled core count of a -server job")
+		telemetry = flag.Bool("telemetry", false,
+			"tail the live step-telemetry stream of a -server job (drift, dt, watchdogs)")
 	)
 	flag.StringVar(test, "test", *test, "deprecated alias for -scenario")
 	flag.Parse()
 	var err error
 	if *serverURL != "" {
 		err = runRemote(*serverURL, *test, *n, *steps, *neighbors, *cores,
-			*backend, *machine, *costModel, *doVerify)
+			*backend, *machine, *costModel, *doVerify, *telemetry)
 	} else {
 		err = run(*test, *n, *steps, *kern, *gradients, *volumes, *stepping,
 			*neighbors, *gravOrder, *workers, *ckptDir, *ckptEvery, *restart, *sdc, *doVerify)
@@ -107,9 +109,12 @@ func main() {
 }
 
 // runRemote submits the job to a sphexa-serve instance as a typed /v1
-// JobSpec and follows it to completion through the shared client.
+// JobSpec and follows it to completion through the shared client — either
+// by polling progress or, with -telemetry, by tailing the live SSE
+// flight-recorder stream (per-step conservation drift, dt, and the physics
+// watchdog rollup).
 func runRemote(base, test string, n, steps, neighbors, cores int,
-	backend, machine, costModel string, doVerify bool) error {
+	backend, machine, costModel string, doVerify, telemetry bool) error {
 
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
@@ -131,6 +136,30 @@ func runRemote(base, test string, n, steps, neighbors, cores int,
 	fmt.Printf("sphexa: submitted %s to %s (job %s, hash %.12s, cacheHit=%v)\n",
 		test, base, job.ID, job.Hash, job.CacheHit)
 
+	if telemetry && !job.Terminal() {
+		// Tail the flight recorder: one line per new sample, watchdog
+		// rollup changes flagged as they happen. The stream survives
+		// kill-requeues and ends on the terminal frame.
+		lastStep, lastStatus := -1, ""
+		err := c.StreamTelemetry(ctx, job.ID, func(ev client.TelemetryEvent) bool {
+			if ev.Telemetry != "" && ev.Telemetry != lastStatus {
+				lastStatus = ev.Telemetry
+				fmt.Printf("  watchdogs: %s\n", ev.Telemetry)
+			}
+			if s := ev.Sample; s != nil && s.Step != lastStep {
+				lastStep = s.Step
+				fmt.Printf("  step %d t=%.6f dt=%.3e |dE|=%.3e |dp|=%.3e h=[%.4f,%.4f]\n",
+					s.Step, s.Time, s.DT, s.EnergyDrift, s.MomentumDrift, s.HMin, s.HMax)
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		if job, err = c.Job(ctx, job.ID); err != nil {
+			return err
+		}
+	}
 	lastStep := -1
 	for !job.Terminal() {
 		if job.Progress.Step != lastStep {

@@ -288,6 +288,59 @@ func (t Trajectory) Validate() error {
 	return nil
 }
 
+// Delta is the per-case comparison row of two trajectories. Ratio is
+// current/baseline throughput (particle-steps per second): 1.0 means
+// unchanged, below 1 is a slowdown.
+type Delta struct {
+	Name     string  `json:"name"`
+	Baseline float64 `json:"baseline"` // baseline particle-steps/s
+	Current  float64 `json:"current"`  // current particle-steps/s, 0 when missing
+	Ratio    float64 `json:"ratio"`
+	// Missing marks a baseline case absent from the current trajectory —
+	// always a regression (a silently dropped benchmark reads as coverage).
+	Missing bool `json:"missing,omitempty"`
+}
+
+// Comparison is the outcome of comparing a current trajectory against a
+// recorded baseline.
+type Comparison struct {
+	Deltas []Delta `json:"deltas"`
+	// Regressions names the cases whose throughput lost more than the
+	// allowed fraction (or vanished); empty means the comparison passes.
+	Regressions []string `json:"regressions,omitempty"`
+}
+
+// Compare matches current results to baseline cases by name and flags every
+// case whose throughput dropped by more than maxLoss (0.25 = tolerate up to
+// a 25% loss) or that disappeared. Cases new in current are ignored — only
+// the recorded baseline sets expectations.
+func Compare(baseline, current Trajectory, maxLoss float64) Comparison {
+	byName := make(map[string]Result, len(current.Results))
+	for _, r := range current.Results {
+		byName[r.Name] = r
+	}
+	var cmp Comparison
+	for _, b := range baseline.Results {
+		d := Delta{Name: b.Name, Baseline: b.ParticleStepsPerSec}
+		cur, ok := byName[b.Name]
+		if !ok {
+			d.Missing = true
+			cmp.Regressions = append(cmp.Regressions, b.Name)
+			cmp.Deltas = append(cmp.Deltas, d)
+			continue
+		}
+		d.Current = cur.ParticleStepsPerSec
+		if b.ParticleStepsPerSec > 0 {
+			d.Ratio = cur.ParticleStepsPerSec / b.ParticleStepsPerSec
+		}
+		if d.Ratio < 1-maxLoss {
+			cmp.Regressions = append(cmp.Regressions, b.Name)
+		}
+		cmp.Deltas = append(cmp.Deltas, d)
+	}
+	return cmp
+}
+
 // ReadTrajectory decodes and validates a trajectory file.
 func ReadTrajectory(r io.Reader) (Trajectory, error) {
 	var t Trajectory

@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func traj(label string, cases map[string]float64) Trajectory {
+	t := Trajectory{Label: label, GoVersion: "go1.x", GOOS: "linux", GOARCH: "amd64", NumCPU: 4}
+	for name, tput := range cases {
+		t.Results = append(t.Results, Result{
+			Name: name, Subsystem: "sub", Particles: 100, Steps: 1,
+			Iterations: 10, NsPerOp: 1e6, ParticleStepsPerSec: tput,
+		})
+	}
+	return t
+}
+
+// TestCompareFlagsRegressionsAndMissingCases: a throughput loss beyond
+// maxLoss or a vanished baseline case is a regression; gains and tolerable
+// losses pass.
+func TestCompareFlagsRegressionsAndMissingCases(t *testing.T) {
+	base := traj("base", map[string]float64{
+		"steady": 1000, "faster": 1000, "slower": 1000, "gone": 1000,
+	})
+	cur := traj("cur", map[string]float64{
+		"steady": 900,  // -10%: within a 25% allowance
+		"faster": 2000, // +100%: never a regression
+		"slower": 500,  // -50%: regression
+		"extra":  1,    // new case: ignored
+	})
+
+	cmp := Compare(base, cur, 0.25)
+	if len(cmp.Deltas) != 4 {
+		t.Fatalf("got %d deltas, want 4 (one per baseline case): %+v", len(cmp.Deltas), cmp.Deltas)
+	}
+	regressed := strings.Join(cmp.Regressions, ",")
+	for _, want := range []string{"slower", "gone"} {
+		if !strings.Contains(regressed, want) {
+			t.Fatalf("regressions %v missing %q", cmp.Regressions, want)
+		}
+	}
+	if len(cmp.Regressions) != 2 {
+		t.Fatalf("regressions %v, want exactly {slower, gone}", cmp.Regressions)
+	}
+	for _, d := range cmp.Deltas {
+		switch d.Name {
+		case "steady":
+			if d.Ratio != 0.9 || d.Missing {
+				t.Fatalf("steady delta %+v", d)
+			}
+		case "gone":
+			if !d.Missing || d.Current != 0 {
+				t.Fatalf("gone delta %+v", d)
+			}
+		}
+	}
+
+	// A looser allowance passes the slowdown but never resurrects the
+	// missing case.
+	loose := Compare(base, cur, 0.9)
+	if len(loose.Regressions) != 1 || loose.Regressions[0] != "gone" {
+		t.Fatalf("loose regressions %v, want only gone", loose.Regressions)
+	}
+}
+
+// TestTrajectoryRoundTripAndValidate: the JSON round trip preserves results
+// and Validate rejects degenerate rows.
+func TestTrajectoryRoundTripAndValidate(t *testing.T) {
+	tr := traj("rt", map[string]float64{"a": 10})
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrajectory(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Label != "rt" || len(got.Results) != 1 || got.Results[0].Name != "a" {
+		t.Fatalf("round trip %+v", got)
+	}
+
+	bad := traj("bad", map[string]float64{"a": 10})
+	bad.Results[0].NsPerOp = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("Validate accepted a zero-timing result")
+	}
+	if err := (Trajectory{Label: "empty"}).Validate(); err == nil {
+		t.Fatal("Validate accepted an empty trajectory")
+	}
+}

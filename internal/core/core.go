@@ -95,6 +95,12 @@ type StepInfo struct {
 	IADFallbacks         int
 	MaxVSignal           float64
 	MeanNeighbors        float64
+	// Smoothing-length and neighbor-count extrema after this step's
+	// smoothing-length iteration (telemetry inputs).
+	HMin         float64
+	HMax         float64
+	MinNeighbors int
+	MaxNeighbors int
 }
 
 // Sim is a shared-memory simulation instance.
@@ -177,6 +183,20 @@ func (s *Sim) Step() (StepInfo, error) {
 	info.NeighborInteractions = totNbr
 	if ps.NLocal > 0 {
 		info.MeanNeighbors = float64(totNbr) / float64(ps.NLocal)
+		info.HMin, info.HMax = ps.H[0], ps.H[0]
+		info.MinNeighbors, info.MaxNeighbors = int(ps.NN[0]), int(ps.NN[0])
+		for i := 1; i < ps.NLocal; i++ {
+			if h := ps.H[i]; h < info.HMin {
+				info.HMin = h
+			} else if h > info.HMax {
+				info.HMax = h
+			}
+			if nn := int(ps.NN[i]); nn < info.MinNeighbors {
+				info.MinNeighbors = nn
+			} else if nn > info.MaxNeighbors {
+				info.MaxNeighbors = nn
+			}
+		}
 	}
 
 	// Phase E: density.

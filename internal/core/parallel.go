@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/conserve"
 	"repro/internal/domain"
 	"repro/internal/gravity"
 	"repro/internal/part"
@@ -88,6 +89,41 @@ type ParallelConfig struct {
 	// still be working, so it must be fast and must not call back into the
 	// run.
 	OnStep func(step int, simTime, dt float64)
+	// OnSample, when non-nil, is invoked by rank 0 after every completed
+	// step with the step's reduced physics snapshot (conservation sums,
+	// smoothing-length/neighbor extrema, per-rank imbalance). Sampling
+	// issues extra collectives, so the hook is only wired when telemetry
+	// is wanted; like OnStep it runs on a rank goroutine and must not call
+	// back into the run. The sampling collectives are issued after the
+	// step-end clock reduction, so stepSeconds stay unpolluted (their cost
+	// lands in the rank Collective totals, preserving the clock
+	// decomposition invariant).
+	OnSample func(StepStats)
+}
+
+// StepStats is the per-step reduced physics snapshot OnSample delivers:
+// global conservation sums plus distribution extrema and the step's
+// compute-imbalance figure, already allreduced across ranks.
+type StepStats struct {
+	// Step is the zero-based chunk-relative step index (matching OnStep).
+	Step    int
+	SimTime float64
+	DT      float64
+	// Cons is the globally-summed conserved state after the step.
+	Cons conserve.State
+	// Smoothing-length and neighbor-count distribution across all ranks.
+	HMin    float64
+	HMax    float64
+	NbrMin  int
+	NbrMax  int
+	NbrMean float64
+	// Imbalance is max/mean per-rank compute seconds of this step (1 =
+	// perfectly balanced).
+	Imbalance float64
+	// Per-step phase-class seconds summed over ranks.
+	ComputeSeconds    float64
+	HaloSeconds       float64
+	CollectiveSeconds float64
 }
 
 // RankTiming decomposes one rank's simulated clock into the three phase
@@ -265,6 +301,10 @@ func RunParallelCapture(cfg ParallelConfig, ps *part.Set) (*part.Set, *ParallelR
 		}
 
 		simT := 0.0
+		// Phase-class baselines for OnSample's per-step deltas. Read before
+		// the sampling collectives run, so a sampling collective's own cost
+		// is charged to the following step's delta, never the current one.
+		var prevCompute, prevHalo, prevColl float64
 		for step := 0; step < cfg.Steps; step++ {
 			// Cancellation vote: all ranks must agree to stop at the same
 			// step boundary, so each contributes its own Done observation
@@ -556,6 +596,77 @@ func RunParallelCapture(cfg ParallelConfig, ps *part.Set) (*part.Set, *ParallelR
 				}
 			}
 
+			// --- Telemetry sampling (gated: extra collectives). ---
+			if cfg.OnSample != nil {
+				computeDelta := r.ComputeTime - prevCompute
+				haloDelta := r.HaloTime - prevHalo
+				collDelta := r.CollectiveTime - prevColl
+				prevCompute, prevHalo, prevColl = r.ComputeTime, r.HaloTime, r.CollectiveTime
+
+				local.DropGhosts()
+				cons := conserve.Measure(local, nil)
+				hmin, hmax := math.Inf(1), math.Inf(-1)
+				nbrMin, nbrMax := math.Inf(1), math.Inf(-1)
+				var nbrSum float64
+				for i := 0; i < local.NLocal; i++ {
+					h := local.H[i]
+					if h < hmin {
+						hmin = h
+					}
+					if h > hmax {
+						hmax = h
+					}
+					nn := float64(local.NN[i])
+					if nn < nbrMin {
+						nbrMin = nn
+					}
+					if nn > nbrMax {
+						nbrMax = nn
+					}
+					nbrSum += nn
+				}
+				maxes := r.AllreduceF64([]float64{hmax, nbrMax, computeDelta}, simmpi.MaxF64)
+				mins := r.AllreduceF64([]float64{hmin, nbrMin}, simmpi.MinF64)
+				sums := r.AllreduceF64([]float64{
+					cons.Mass,
+					cons.Momentum.X, cons.Momentum.Y, cons.Momentum.Z,
+					cons.AngularMomentum.X, cons.AngularMomentum.Y, cons.AngularMomentum.Z,
+					cons.Kinetic, cons.Internal,
+					nbrSum, float64(local.NLocal),
+					computeDelta, haloDelta, collDelta,
+				}, simmpi.SumF64)
+				if r.ID == 0 {
+					st := StepStats{
+						Step: step, SimTime: simT, DT: dt,
+						Cons: conserve.State{
+							Mass:            sums[0],
+							Momentum:        vec.V3{X: sums[1], Y: sums[2], Z: sums[3]},
+							AngularMomentum: vec.V3{X: sums[4], Y: sums[5], Z: sums[6]},
+							Kinetic:         sums[7],
+							Internal:        sums[8],
+						},
+						HMin: mins[0], HMax: maxes[0],
+						NbrMin: int(mins[1]), NbrMax: int(maxes[1]),
+						ComputeSeconds:    sums[11],
+						HaloSeconds:       sums[12],
+						CollectiveSeconds: sums[13],
+					}
+					if n := sums[10]; n > 0 {
+						st.NbrMean = sums[9] / n
+					}
+					if mean := sums[11] / float64(ranks); mean > 0 {
+						st.Imbalance = maxes[2] / mean
+					} else {
+						st.Imbalance = 1
+					}
+					if math.IsInf(st.HMin, 1) { // every rank empty
+						st.HMin, st.HMax = 0, 0
+						st.NbrMin, st.NbrMax = 0, 0
+					}
+					cfg.OnSample(st)
+				}
+			}
+
 			// --- Dynamic load balancing (re-decomposition). ---
 			if cfg.DynamicLB && ranks > 1 {
 				comm(PhaseUpdate, func() {
@@ -575,6 +686,12 @@ func RunParallelCapture(cfg ParallelConfig, ps *part.Set) (*part.Set, *ParallelR
 			Seconds:    r.Clock(),
 		}
 	})
+	if v, ok := world.Failure(); ok {
+		// A rank panicked (typically a physics blowup feeding an index
+		// computation). The world joined cleanly, so surface it as a run
+		// error the caller can attribute to this one job.
+		return nil, nil, fmt.Errorf("core: parallel engine aborted: %v", v)
+	}
 
 	stepSeconds = stepSeconds[:stepsDone]
 	res := &ParallelResult{

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"repro/internal/domain"
@@ -215,5 +216,22 @@ func TestParallelSquarePatchRuns(t *testing.T) {
 	}
 	if res.ThreadsPerRank != 1 {
 		t.Fatalf("threads per rank = %d, want 1", res.ThreadsPerRank)
+	}
+}
+
+func TestParallelEngineAbortsOnRankPanic(t *testing.T) {
+	// A panic on a rank goroutine (here injected via OnStep on rank 0, in
+	// reality a physics blowup inside a kernel) must come back as a run
+	// error with the panic value — not a process crash, not a deadlock of
+	// the surviving ranks.
+	cfg, ps := evrardParallelCfg(t, 24, domain.MortonSFC, false)
+	cfg.Steps = 1
+	cfg.OnStep = func(step int, simT, dt float64) { panic("onstep blowup") }
+	_, _, err := RunParallelCapture(cfg, ps)
+	if err == nil {
+		t.Fatal("rank panic did not surface as an error")
+	}
+	if !strings.Contains(err.Error(), "aborted") || !strings.Contains(err.Error(), "onstep blowup") {
+		t.Fatalf("error %q missing abort context or panic value", err)
 	}
 }

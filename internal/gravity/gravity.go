@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/par"
 	"repro/internal/tree"
 	"repro/internal/vec"
 )
@@ -119,6 +120,7 @@ func (s *Solver) Accelerations(targets []int32, workers int) *Result {
 		return res
 	}
 	var wg sync.WaitGroup
+	var c par.Catcher
 	var niTotal, piTotal int64
 	var mu sync.Mutex
 	chunk := (len(targets) + workers - 1) / workers
@@ -134,6 +136,7 @@ func (s *Solver) Accelerations(targets []int32, workers int) *Result {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			defer c.Catch()
 			var ni, pi int64
 			for t := lo; t < hi; t++ {
 				idx := targets[t]
@@ -150,6 +153,7 @@ func (s *Solver) Accelerations(targets []int32, workers int) *Result {
 		}(lo, hi)
 	}
 	wg.Wait()
+	c.Rethrow()
 	res.NodeInteractions = niTotal
 	res.ParticleInteractions = piTotal
 	return res
@@ -316,6 +320,7 @@ func Direct(pos []vec.V3, mass []float64, g, eps float64, workers int) *Result {
 	res := &Result{Acc: make([]vec.V3, n), Pot: make([]float64, n)}
 	e2 := eps * eps
 	var wg sync.WaitGroup
+	var c par.Catcher
 	chunk := (n + workers - 1) / workers
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
@@ -329,6 +334,7 @@ func Direct(pos []vec.V3, mass []float64, g, eps float64, workers int) *Result {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			defer c.Catch()
 			for i := lo; i < hi; i++ {
 				var acc vec.V3
 				var pot float64
@@ -349,6 +355,7 @@ func Direct(pos []vec.V3, mass []float64, g, eps float64, workers int) *Result {
 		}(lo, hi)
 	}
 	wg.Wait()
+	c.Rethrow()
 	res.ParticleInteractions = int64(n) * int64(n-1)
 	return res
 }

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/scenario"
+	"repro/internal/telemetry"
 )
 
 // Handler returns the versioned HTTP API:
@@ -28,6 +29,11 @@ import (
 //	GET  /v1/jobs/{id}/snapshot    final particle state, part binary format
 //	GET  /v1/jobs/{id}/metrics     verification report (error norms vs analytic
 //	                               reference, plateau, conservation, pass/fail)
+//	GET  /v1/jobs/{id}/telemetry   step-telemetry track: downsampled drift/dt/
+//	                               h/neighbor/imbalance series + watchdog status
+//	GET  /v1/jobs/{id}/telemetry/events  live telemetry samples over SSE
+//	POST /v1/jobs/{id}/profile     capture a CPU profile (?seconds=N, pprof
+//	                               format; 409 while another capture runs)
 //	DELETE /v1/jobs/{id}           forget a terminal job record (404/409)
 //	POST /v1/experiments           submit a convergence sweep (experiments.Sweep)
 //	GET  /v1/experiments           list experiments; ?limit=/?cursor= paginate
@@ -49,36 +55,32 @@ import (
 //
 //	{"error": {"code": "unknown_job", "message": "...", "details": {...}}}
 //
-// The pre-/v1 unversioned routes (POST /jobs, GET /storez, ...) remain as
-// thin aliases of their /v1 successors; they serve identical bodies and
-// carry "Deprecation: true" plus a successor-version Link header.
+// The pre-/v1 unversioned aliases (POST /jobs, GET /storez, ...) served
+// through PR 6 with "Deprecation: true" headers are removed; requests to
+// them now 404. The deprecated_requests_total metric family stays
+// registered (with zero series) so dashboards keyed on it keep resolving.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 
 	type route struct {
 		method, path string
 		h            http.HandlerFunc
-		// legacy is the unversioned alias path ("" = none); legacyH
-		// overrides the handler behind the alias when the legacy response
-		// shape must be preserved.
-		legacy  string
-		legacyH http.HandlerFunc
-		// successor overrides the advertised successor URI when it is not
-		// "/v1" + the request path (the /storez rename).
-		successor string
 	}
 	routes := []route{
-		{method: "GET", path: "/v1/healthz", h: s.handleHealthz, legacy: "/healthz"},
-		{method: "GET", path: "/v1/scenarios", h: s.handleScenarios, legacy: "/scenarios"},
-		{method: "POST", path: "/v1/jobs", h: s.handleSubmit, legacy: "/jobs"},
-		{method: "POST", path: "/v1/jobs/batch", h: s.handleSubmitBatch, legacy: "/jobs/batch"},
-		{method: "GET", path: "/v1/jobs", h: s.handleList, legacy: "/jobs", legacyH: s.handleListLegacy},
-		{method: "GET", path: "/v1/jobs/{id}", h: s.handleStatus, legacy: "/jobs/{id}"},
-		{method: "GET", path: "/v1/jobs/{id}/events", h: s.handleEvents, legacy: "/jobs/{id}/events"},
-		{method: "POST", path: "/v1/jobs/{id}/cancel", h: s.handleInterrupt(false), legacy: "/jobs/{id}/cancel"},
-		{method: "POST", path: "/v1/jobs/{id}/kill", h: s.handleInterrupt(true), legacy: "/jobs/{id}/kill"},
-		{method: "GET", path: "/v1/jobs/{id}/snapshot", h: s.handleSnapshot, legacy: "/jobs/{id}/snapshot"},
-		{method: "GET", path: "/v1/jobs/{id}/metrics", h: s.handleMetrics, legacy: "/jobs/{id}/metrics"},
+		{method: "GET", path: "/v1/healthz", h: s.handleHealthz},
+		{method: "GET", path: "/v1/scenarios", h: s.handleScenarios},
+		{method: "POST", path: "/v1/jobs", h: s.handleSubmit},
+		{method: "POST", path: "/v1/jobs/batch", h: s.handleSubmitBatch},
+		{method: "GET", path: "/v1/jobs", h: s.handleList},
+		{method: "GET", path: "/v1/jobs/{id}", h: s.handleStatus},
+		{method: "GET", path: "/v1/jobs/{id}/events", h: s.handleEvents},
+		{method: "POST", path: "/v1/jobs/{id}/cancel", h: s.handleInterrupt(false)},
+		{method: "POST", path: "/v1/jobs/{id}/kill", h: s.handleInterrupt(true)},
+		{method: "GET", path: "/v1/jobs/{id}/snapshot", h: s.handleSnapshot},
+		{method: "GET", path: "/v1/jobs/{id}/metrics", h: s.handleMetrics},
+		{method: "GET", path: "/v1/jobs/{id}/telemetry", h: s.handleTelemetry},
+		{method: "GET", path: "/v1/jobs/{id}/telemetry/events", h: s.handleTelemetryEvents},
+		{method: "POST", path: "/v1/jobs/{id}/profile", h: s.handleProfile},
 		{method: "DELETE", path: "/v1/jobs/{id}", h: s.handleDelete(CodeUnknownJob, s.DeleteJob)},
 		{method: "POST", path: "/v1/experiments", h: s.handleSubmitExperiment},
 		{method: "GET", path: "/v1/experiments", h: s.handleListExperiments},
@@ -90,38 +92,14 @@ func (s *Server) Handler() http.Handler {
 		{method: "GET", path: "/v1/scaling/{id}", h: s.handleScaling},
 		{method: "GET", path: "/v1/scaling/{id}/events", h: s.handleScalingEvents},
 		{method: "DELETE", path: "/v1/scaling/{id}", h: s.handleDelete(CodeUnknownScaling, s.DeleteScaling)},
-		{method: "GET", path: "/v1/store", h: s.handleStore, legacy: "/storez", successor: "/v1/store"},
+		{method: "GET", path: "/v1/store", h: s.handleStore},
 		{method: "GET", path: "/statusz", h: s.handleStatusz},
 		{method: "GET", path: "/metricsz", h: s.handleMetricsz},
 	}
 	for _, r := range routes {
 		mux.HandleFunc(r.method+" "+r.path, r.h)
-		if r.legacy != "" {
-			h := r.h
-			if r.legacyH != nil {
-				h = r.legacyH
-			}
-			mux.HandleFunc(r.method+" "+r.legacy, deprecated(r.successor, h))
-		}
 	}
 	return s.instrument(mux)
-}
-
-// deprecated wraps a /v1 handler as its unversioned alias: same behavior,
-// plus the RFC 8594-style deprecation signal pointing at the successor.
-// The advertised Link is the concrete request URI under /v1 (never a route
-// pattern — a client must be able to follow it literally); successor
-// overrides it for renamed routes.
-func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		link := successor
-		if link == "" {
-			link = "/v1" + r.URL.Path
-		}
-		w.Header().Set("Deprecation", "true")
-		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", link))
-		h(w, r)
-	}
 }
 
 // Stable API error codes of the /v1 error envelope.
@@ -135,6 +113,7 @@ const (
 	CodeConflict          = "conflict"
 	CodeGone              = "gone"
 	CodeNoReport          = "no_report"
+	CodeNoTelemetry       = "no_telemetry"
 	CodeNoStore           = "no_store"
 	CodeInternal          = "internal"
 )
@@ -152,17 +131,8 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// writeError emits the structured error envelope with a stable code. A
-// request that arrived through a deprecated alias (marked by the header
-// the wrapper already set) gets the pre-/v1 flat shape
-// {"error":"<message>"} instead — old clients parse errors as strings, and
-// the aliases' whole purpose is to keep serving the bodies those clients
-// were written against.
+// writeError emits the structured error envelope with a stable code.
 func writeError(w http.ResponseWriter, status int, code, message string, details map[string]any) {
-	if w.Header().Get("Deprecation") == "true" {
-		writeJSON(w, status, map[string]string{"error": message})
-		return
-	}
 	writeJSON(w, status, map[string]APIError{
 		"error": {Code: code, Message: message, Details: details},
 	})
@@ -280,21 +250,6 @@ func pageParams(r *http.Request) (limit int, cursor string, err error) {
 		}
 	}
 	return limit, cursor, nil
-}
-
-// handleListLegacy serves the deprecated GET /jobs exactly as it always
-// responded: the complete listing as a bare JSON array, unpaginated — the
-// alias exists for old scripts, which must keep seeing the shape (and the
-// whole listing) they were written against.
-func (s *Server) handleListLegacy(w http.ResponseWriter, r *http.Request) {
-	state := JobState(r.URL.Query().Get("state"))
-	if state != "" && !ValidState(state) {
-		writeError(w, http.StatusBadRequest, CodeInvalidArgument,
-			fmt.Sprintf("unknown state %q (one of queued, running, completed, failed, cancelled)", state),
-			map[string]any{"state": string(state)})
-		return
-	}
-	writeJSON(w, http.StatusOK, s.List(state))
 }
 
 // handleList serves GET /v1/jobs with an optional ?state= lifecycle filter
@@ -489,6 +444,94 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(report)
+}
+
+// handleTelemetry serves the job's flight-recorder track: the persisted
+// bytes for completed jobs (byte-identical across cache hits and restarts),
+// a live snapshot for running (or killed/failed/cancelled) ones.
+func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	track, ok := s.Telemetry(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeUnknownJob, fmt.Sprintf("no job %q", id), nil)
+		return
+	}
+	if track == nil {
+		writeError(w, http.StatusNotFound, CodeNoTelemetry,
+			fmt.Sprintf("job %s has no telemetry recorded", id), nil)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(track)
+}
+
+// telemetryEvent is one SSE frame of the live telemetry stream: the job's
+// lifecycle context plus the most recent flight-recorder sample (nil until
+// the first step completes).
+type telemetryEvent struct {
+	Job       string            `json:"job"`
+	State     JobState          `json:"state"`
+	Telemetry string            `json:"telemetry,omitempty"`
+	Sample    *telemetry.Sample `json:"sample,omitempty"`
+}
+
+// handleTelemetryEvents streams flight-recorder samples as server-sent
+// events over the shared SSE loop: one frame per new sample (deduplicated),
+// closing after the terminal frame. A kill keeps the stream open — the job
+// requeues and resumes; only completion, failure, or cancel end it.
+func (s *Server) handleTelemetryEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	done, ok := s.Done(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeUnknownJob, fmt.Sprintf("no job %q", id), nil)
+		return
+	}
+	s.streamEvents(w, r, done, func() (any, JobState, bool) {
+		view, ok := s.Get(id)
+		if !ok {
+			return nil, view.State, false
+		}
+		ev := telemetryEvent{Job: view.ID, State: view.State, Telemetry: view.Telemetry}
+		if smp, ok := s.TelemetryLatest(id); ok {
+			ev.Sample = &smp
+		}
+		return ev, view.State, true
+	})
+}
+
+// handleProfile serves POST /v1/jobs/{id}/profile?seconds=N: capture a CPU
+// profile of the serving process attributed to the job, persist it as the
+// entry's profile artifact when the result is stored, and return the pprof
+// bytes. Captures are serialized process-wide (409 while one is running).
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	seconds := 1
+	if raw := r.URL.Query().Get("seconds"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n <= 0 || n > 30 {
+			writeError(w, http.StatusBadRequest, CodeInvalidArgument,
+				fmt.Sprintf("seconds must be an integer in [1,30], got %q", raw), nil)
+			return
+		}
+		seconds = n
+	}
+	b, err := s.Profile(id, time.Duration(seconds)*time.Second)
+	switch {
+	case errors.Is(err, ErrNotFound):
+		writeError(w, http.StatusNotFound, CodeUnknownJob, err.Error(), nil)
+		return
+	case errors.Is(err, ErrProfileBusy):
+		writeError(w, http.StatusConflict, CodeConflict, err.Error(), nil)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error(), nil)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%s.pprof", id))
+	w.Header().Set("Content-Length", strconv.Itoa(len(b)))
+	_, _ = w.Write(b)
 }
 
 // handleSubmitExperiment serves POST /v1/experiments: a convergence sweep

@@ -74,8 +74,7 @@ func routeLabel(r *http.Request) string {
 
 // instrument is the serving-layer telemetry middleware: request ID
 // passthrough, in-flight gauge, per-route/method/code counters and latency
-// histograms, deprecated-alias accounting, Server-Timing, and one
-// structured log line per request.
+// histograms, Server-Timing, and one structured log line per request.
 func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := s.now()
@@ -96,10 +95,6 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		s.met.httpReqs.With(route, r.Method, code).Inc()
 		s.met.httpLatency.With(route, r.Method, code).Observe(elapsed)
 		s.met.routeLatency.With(route).Observe(elapsed)
-		deprecatedAlias := sr.Header().Get("Deprecation") == "true"
-		if deprecatedAlias {
-			s.met.deprecated.With(route).Inc()
-		}
 
 		attrs := []any{
 			"requestId", reqID,
@@ -111,9 +106,6 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		}
 		if hash := sr.Header().Get(HashHeader); hash != "" {
 			attrs = append(attrs, "hash", hash)
-		}
-		if deprecatedAlias {
-			attrs = append(attrs, "deprecated", true)
 		}
 		s.log.Info("request", attrs...)
 	})

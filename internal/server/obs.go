@@ -28,7 +28,12 @@ type metrics struct {
 	httpLatency  *obs.HistogramVec // http_request_duration_seconds{route,method,code}
 	routeLatency *obs.HistogramVec // http_route_duration_seconds{route}
 	httpInflight *obs.Gauge        // http_inflight_requests
-	deprecated   *obs.CounterVec   // deprecated_requests_total{route}
+	// deprecated stays registered after the unversioned alias routes were
+	// removed: the family renders with zero series, so dashboards keyed on
+	// it keep resolving instead of erroring on a vanished metric.
+	deprecated *obs.CounterVec // deprecated_requests_total{route}
+	// Physics watchdogs (internal/telemetry) per tripped kind.
+	watchdogTrips *obs.CounterVec // telemetry_watchdog_trips_total{kind}
 
 	// Job lifecycle.
 	jobsSubmitted *obs.Counter      // jobs_submitted_total
@@ -75,8 +80,13 @@ func newMetrics(reg *obs.Registry) *metrics {
 		httpInflight: reg.Gauge("http_inflight_requests",
 			"HTTP requests currently being served").With(),
 		deprecated: reg.Counter("deprecated_requests_total",
-			"requests served through deprecated unversioned alias routes, by route pattern",
+			"requests served through deprecated unversioned alias routes, by route "+
+				"pattern (the aliases are removed; the family stays for dashboards)",
 			"route"),
+		watchdogTrips: reg.Counter("telemetry_watchdog_trips_total",
+			"physics watchdog trips on job flight-recorder samples, by kind "+
+				"(nan, drift-slope, dt-collapse, imbalance)",
+			"kind"),
 
 		jobsSubmitted: reg.Counter("jobs_submitted_total",
 			"job submissions accepted (including cache hits and coalesced duplicates)").With(),

@@ -98,14 +98,17 @@ func TestMiddlewareLabelsAndHeaders(t *testing.T) {
 	}
 }
 
-// TestDeprecatedRouteCounter pins satellite #2: traffic through the
-// unversioned aliases is counted per route and surfaced on /statusz.
-func TestDeprecatedRouteCounter(t *testing.T) {
+// TestDeprecatedFamilyKeptWithZeroSeries pins satellite #2 of the removal:
+// the unversioned aliases are gone, but the deprecated_requests_total family
+// stays registered (zero series) so dashboards keyed on it keep resolving,
+// and the new telemetry_watchdog_trips_total family is registered alongside.
+func TestDeprecatedFamilyKeptWithZeroSeries(t *testing.T) {
 	s := New(Options{Workers: 1})
 	defer s.Close()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
+	// Traffic to a former alias 404s and must not mint a series.
 	for i := 0; i < 3; i++ {
 		resp, err := http.Get(ts.URL + "/healthz")
 		if err != nil {
@@ -113,24 +116,31 @@ func TestDeprecatedRouteCounter(t *testing.T) {
 		}
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("/healthz status %d, want 404", resp.StatusCode)
+		}
 	}
-	if v, ok := familyValue(t, s.Registry(), "deprecated_requests_total", "/healthz"); !ok || v != 3 {
-		t.Fatalf("deprecated_requests_total{/healthz} = %v (found=%v), want 3", v, ok)
+	if _, ok := familyValue(t, s.Registry(), "deprecated_requests_total", "/healthz"); ok {
+		t.Fatal("deprecated_requests_total minted a series for a removed route")
 	}
-	// The versioned route must not count as deprecated.
-	resp, err := http.Get(ts.URL + "/v1/healthz")
+
+	// Both families still expose HELP/TYPE on /metricsz even with no series.
+	resp, err := http.Get(ts.URL + "/metricsz")
 	if err != nil {
 		t.Fatal(err)
 	}
-	io.Copy(io.Discard, resp.Body)
+	b, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	if v, ok := familyValue(t, s.Registry(), "deprecated_requests_total", "/v1/healthz"); ok && v != 0 {
-		t.Fatalf("deprecated_requests_total{/v1/healthz} = %v, want absent or 0", v)
+	body := string(b)
+	for _, fam := range []string{"deprecated_requests_total", "telemetry_watchdog_trips_total"} {
+		if !strings.Contains(body, "# TYPE "+fam+" counter") {
+			t.Fatalf("/metricsz missing %s family:\n%s", fam, body)
+		}
 	}
 
-	body := statuszBody(t, ts)
-	if !strings.Contains(body, "deprecated route") || !strings.Contains(body, "/healthz") {
-		t.Fatalf("/statusz missing deprecated-route table:\n%s", body)
+	// And /statusz no longer renders a deprecated-route table.
+	if sb := statuszBody(t, ts); strings.Contains(sb, "deprecated route") {
+		t.Fatalf("/statusz still renders a deprecated-route table:\n%s", sb)
 	}
 }
 

@@ -23,6 +23,7 @@ import (
 	"io"
 	"log/slog"
 	"path/filepath"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -37,6 +38,7 @@ import (
 	"repro/internal/runloop"
 	"repro/internal/scenario"
 	"repro/internal/store"
+	"repro/internal/telemetry"
 	"repro/internal/verify"
 )
 
@@ -78,6 +80,15 @@ type Job struct {
 	// Verify is the verification rollup of a completed job (nil until
 	// completion, and for pre-verification store entries).
 	Verify *VerifySummary
+	// TelemetryStatus is the physics-watchdog rollup ("ok" or "tripped");
+	// empty until the job starts executing (or, on a cache hit, when the
+	// stored entry predates telemetry).
+	TelemetryStatus string
+
+	// rec is the job's flight recorder, created when execution first starts
+	// and surviving kill-requeues (the same Job object re-enters the queue,
+	// so the recorder resumes where the checkpoint restores).
+	rec *telemetry.Recorder
 
 	cancel context.CancelFunc
 	// killed distinguishes a simulated kill (resume from checkpoint) from
@@ -119,6 +130,9 @@ type JobView struct {
 	CacheHit bool             `json:"cacheHit"`
 	Restarts int              `json:"restarts"`
 	Verify   *VerifySummary   `json:"verify,omitempty"`
+	// Telemetry is the physics-watchdog rollup ("ok"/"tripped"; empty
+	// before execution starts or for pre-telemetry store entries).
+	Telemetry string `json:"telemetry,omitempty"`
 }
 
 // cachedResult is the in-memory layer of the result cache: metadata always,
@@ -134,6 +148,10 @@ type cachedResult struct {
 	steps     int
 	report    []byte // verification Report JSON; nil if none recorded
 	summary   *VerifySummary
+	// telemetry is the persisted flight-recorder track JSON (nil if none);
+	// served byte-identically on cache hits, like the report.
+	telemetry       []byte
+	telemetryStatus string
 }
 
 // Options configures a Server.
@@ -168,6 +186,13 @@ type Options struct {
 	// Logger receives structured request/job lifecycle lines; nil discards
 	// them (tests stay quiet; the serve binary passes a real handler).
 	Logger *slog.Logger
+	// Telemetry tunes the per-job flight recorder (sample bound, watchdog
+	// thresholds); the zero value selects the package defaults.
+	Telemetry telemetry.Config
+	// FaultInjection, when non-nil, is called before every serial-backend
+	// telemetry sample with the 1-based step and the live particle state —
+	// a test hook for corrupting state to exercise the physics watchdogs.
+	FaultInjection func(step int, ps *part.Set)
 }
 
 // Server owns the job table, the result cache, and the worker pool.
@@ -346,6 +371,7 @@ func (s *Server) Submit(spec scenario.JobSpec) (*JobView, error) {
 		job.CacheHit = true
 		job.Progress = Progress{Step: res.steps, Total: res.steps, SimTime: res.simTime}
 		job.Verify = res.summary
+		job.TelemetryStatus = res.telemetryStatus
 		job.doneAt = s.now()
 		close(job.done)
 		s.jobs[job.ID] = job
@@ -437,6 +463,14 @@ func (s *Server) resolveResult(hash string) (*cachedResult, bool) {
 			res.summary = parseSummary(b)
 		}
 	}
+	// Same for the persisted telemetry track: the bytes are served verbatim
+	// on cache hits, the status feeds the job-view rollup.
+	if m.TelemetrySize > 0 {
+		if b, ok := st.ReadTelemetry(hash); ok {
+			res.telemetry = b
+			res.telemetryStatus = parseTrackStatus(b)
+		}
+	}
 	s.mu.Lock()
 	s.cache[hash] = res
 	s.mu.Unlock()
@@ -451,6 +485,17 @@ func parseSummary(report []byte) *VerifySummary {
 		return nil
 	}
 	return &sum
+}
+
+// parseTrackStatus extracts the watchdog status from persisted track JSON.
+func parseTrackStatus(track []byte) string {
+	var t struct {
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal(track, &t); err != nil {
+		return ""
+	}
+	return t.Status
 }
 
 // resourceRecord is the lifecycle surface shared by the three resource
@@ -825,7 +870,7 @@ func (j *Job) view() JobView {
 	return JobView{
 		ID: j.ID, Spec: j.Spec, Hash: j.Hash, State: j.State,
 		Progress: j.Progress, Error: j.Err, CacheHit: j.CacheHit,
-		Restarts: j.Restarts, Verify: j.Verify,
+		Restarts: j.Restarts, Verify: j.Verify, Telemetry: j.TelemetryStatus,
 	}
 }
 
@@ -881,6 +926,26 @@ func (s *Server) run(job *Job) {
 			"scenario", spec.Scenario, "error", err)
 	}
 
+	// A panicking engine must fail this job, never the process. The compute
+	// fan-outs rethrow worker-goroutine panics on this goroutine
+	// (internal/par) and the parallel world converts rank panics into a run
+	// error, so whatever still unwinds to here is contained the same way.
+	defer func() {
+		v := recover()
+		if v == nil {
+			return
+		}
+		s.mu.Lock()
+		running := job.State == StateRunning
+		s.mu.Unlock()
+		if running {
+			fail(fmt.Errorf("job panicked: %v", v))
+			return
+		}
+		s.log.Error("panic after job left the running state",
+			"job", job.ID, "state", string(job.State), "panic", fmt.Sprint(v))
+	}()
+
 	sc, err := scenario.Get(spec.Scenario)
 	if err != nil {
 		fail(err)
@@ -897,9 +962,31 @@ func (s *Server) run(job *Job) {
 
 	s.mu.Lock()
 	job.Progress = Progress{Total: spec.Steps}
+	// The flight recorder is created once per Job and survives
+	// kill-requeues: the requeued Job re-enters run() with its recorder
+	// intact, and each chunk truncates it to the chunk's base step before
+	// re-feeding — so the final track matches an uninterrupted run's.
+	if job.rec == nil {
+		tcfg := s.opts.Telemetry
+		userTrip := tcfg.OnTrip
+		tcfg.OnTrip = func(kind string) {
+			s.met.watchdogTrips.With(kind).Inc()
+			s.mu.Lock()
+			job.TelemetryStatus = telemetry.StatusTripped
+			s.mu.Unlock()
+			s.log.Warn("telemetry watchdog tripped", "job", job.ID,
+				"hash", job.Hash, "kind", kind)
+			if userTrip != nil {
+				userTrip(kind)
+			}
+		}
+		job.rec = telemetry.NewRecorder(tcfg)
+		job.TelemetryStatus = telemetry.StatusOK
+	}
+	rec := job.rec
 	s.mu.Unlock()
 
-	chunk, err := s.buildChunk(job, spec, cfg)
+	chunk, err := s.buildChunk(job, spec, cfg, initial, rec)
 	if err != nil {
 		fail(err)
 		return
@@ -1006,6 +1093,13 @@ func (s *Server) run(job *Job) {
 	// necessarily measured after the marshal and lives only in the
 	// registry's job_phase_seconds histogram.
 	result.report, result.summary = marshalReport(rep, res.Timing, &job.spans)
+	// Render the flight-recorder track once; these bytes are what cache-hit
+	// resubmissions serve verbatim (in memory and, below, from the store).
+	track := rec.TrackSnapshot()
+	if b, err := json.Marshal(track); err == nil {
+		result.telemetry = b
+		result.telemetryStatus = track.Status
+	}
 	pspan := obs.StartSpan(phasePersist, s.now)
 	if st := s.opts.Store; st != nil {
 		err := st.Put(store.Meta{
@@ -1029,6 +1123,9 @@ func (s *Server) run(job *Job) {
 					// copy stays for fast metrics serving either way.
 					_ = st.PutReport(job.Hash, result.report)
 				}
+				if result.telemetry != nil {
+					_ = st.PutTelemetry(job.Hash, result.telemetry)
+				}
 			}
 		}
 	}
@@ -1038,6 +1135,9 @@ func (s *Server) run(job *Job) {
 	job.State = StateCompleted
 	job.Progress = Progress{Step: spec.Steps, Total: spec.Steps, SimTime: simTime, DT: job.Progress.DT}
 	job.Verify = result.summary
+	if result.telemetryStatus != "" {
+		job.TelemetryStatus = result.telemetryStatus
+	}
 	job.doneAt = s.now()
 	job.cancel = nil
 	delete(s.byHash, job.Hash)
@@ -1059,9 +1159,11 @@ func (s *Server) run(job *Job) {
 // job's (or the server's default) machine model and parent-code cost
 // calibration. Exec was validated at submission, so name resolution here
 // cannot fail for canonical specs.
-func (s *Server) buildChunk(job *Job, spec scenario.JobSpec, cfg core.Config) (runloop.Chunk, error) {
+func (s *Server) buildChunk(job *Job, spec scenario.JobSpec, cfg core.Config,
+	initial conserve.State, rec *telemetry.Recorder) (runloop.Chunk, error) {
+
 	if spec.Exec.Backend == scenario.BackendSerial {
-		return s.serialChunk(job, cfg), nil
+		return s.serialChunk(job, cfg, initial, rec), nil
 	}
 
 	machine := s.opts.Machine
@@ -1089,6 +1191,10 @@ func (s *Server) buildChunk(job *Job, spec scenario.JobSpec, cfg core.Config) (r
 	// steps; the shared loop (internal/runloop) handles restore and
 	// interim checkpoints — the same path cmd/sphexa interrupts through.
 	return func(ctx context.Context, cps *part.Set, base runloop.Base, steps int) (runloop.ChunkResult, error) {
+		// Each chunk re-executes steps base.Step+1 onward; truncating the
+		// recorder to the base keeps the re-fed series identical to an
+		// uninterrupted run's (checkpoint-resume determinism).
+		rec.TruncateAfter(base.Step)
 		pcfg := core.ParallelConfig{
 			Core:         cfg,
 			Machine:      machine,
@@ -1104,6 +1210,29 @@ func (s *Server) buildChunk(job *Job, spec scenario.JobSpec, cfg core.Config) (r
 				job.Progress.SimTime = base.Time + simT
 				job.Progress.DT = dt
 				s.mu.Unlock()
+			},
+			OnSample: func(st core.StepStats) {
+				d := conserve.Compare(initial, st.Cons)
+				rec.Add(telemetry.Sample{
+					Step:          base.Step + st.Step + 1,
+					Time:          base.Time + st.SimTime,
+					DT:            st.DT,
+					MassDrift:     d.Mass,
+					MomentumDrift: d.Momentum,
+					AngMomDrift:   d.AngMom,
+					EnergyDrift:   d.Energy,
+					HMin:          st.HMin,
+					HMax:          st.HMax,
+					NbrMin:        st.NbrMin,
+					NbrMax:        st.NbrMax,
+					NbrMean:       st.NbrMean,
+					Imbalance:     st.Imbalance,
+					Phases: map[string]float64{
+						"compute":    st.ComputeSeconds,
+						"halo":       st.HaloSeconds,
+						"collective": st.CollectiveSeconds,
+					},
+				})
 			},
 		}
 		merged, res, err := core.RunParallelCapture(pcfg, cps)
@@ -1124,9 +1253,12 @@ func (s *Server) buildChunk(job *Job, spec scenario.JobSpec, cfg core.Config) (r
 // simulated MPI, no machine model — holding one Sim across chunks so the
 // integration state (half-kick phase, step counter) carries over; the
 // state handed back at each boundary is synchronized for checkpointing.
-func (s *Server) serialChunk(job *Job, cfg core.Config) runloop.Chunk {
+func (s *Server) serialChunk(job *Job, cfg core.Config,
+	initial conserve.State, rec *telemetry.Recorder) runloop.Chunk {
+
 	var sim *core.Sim
 	return func(ctx context.Context, cps *part.Set, base runloop.Base, steps int) (runloop.ChunkResult, error) {
+		rec.TruncateAfter(base.Step)
 		if sim == nil {
 			var err error
 			sim, err = core.New(cfg, cps)
@@ -1140,6 +1272,29 @@ func (s *Server) serialChunk(job *Job, cfg core.Config) runloop.Chunk {
 				job.Progress.SimTime = info.Time
 				job.Progress.DT = info.DT
 				s.mu.Unlock()
+				// info.Step is the zero-based index of the just-completed
+				// step; the recorder's Step is the 1-based completed count.
+				if fi := s.opts.FaultInjection; fi != nil {
+					fi(info.Step+1, sim.PS)
+				}
+				d := conserve.Compare(initial, conserve.Measure(sim.PS, sim.Potential()))
+				phases := make(map[string]float64, len(info.PhaseSeconds))
+				for ph, v := range info.PhaseSeconds {
+					phases[string(ph)] = v
+				}
+				rec.Add(telemetry.Sample{
+					Step: info.Step + 1, Time: info.Time, DT: info.DT,
+					MassDrift:     d.Mass,
+					MomentumDrift: d.Momentum,
+					AngMomDrift:   d.AngMom,
+					EnergyDrift:   d.Energy,
+					HMin:          info.HMin,
+					HMax:          info.HMax,
+					NbrMin:        info.MinNeighbors,
+					NbrMax:        info.MaxNeighbors,
+					NbrMean:       info.MeanNeighbors,
+					Phases:        phases,
+				})
 			}
 		}
 		sim.Ctx = ctx
@@ -1265,4 +1420,118 @@ func (s *Server) Metrics(id string) ([]byte, bool) {
 		}
 	}
 	return nil, true
+}
+
+// Telemetry returns the job's flight-recorder track JSON. Completed jobs
+// serve the persisted track verbatim (byte-identical across cache hits and
+// store restarts); running, killed-requeued, failed, and cancelled jobs
+// serve a live snapshot of the recorder — the post-mortem view. The second
+// return is false only for unknown ids; a job with no telemetry (queued, or
+// a cache hit against a pre-telemetry store entry) returns (nil, true).
+func (s *Server) Telemetry(id string) ([]byte, bool) {
+	s.mu.Lock()
+	job, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return nil, false
+	}
+	state := job.State
+	hash := job.Hash
+	rec := job.rec
+	var cached []byte
+	if res, hit := s.cache[hash]; hit {
+		cached = res.telemetry
+	}
+	s.mu.Unlock()
+
+	if state == StateCompleted {
+		if cached != nil {
+			return cached, true
+		}
+		if st := s.opts.Store; st != nil {
+			if b, ok := st.ReadTelemetry(hash); ok {
+				return b, true
+			}
+		}
+		return nil, true
+	}
+	if rec == nil {
+		return nil, true
+	}
+	b, err := json.Marshal(rec.TrackSnapshot())
+	if err != nil {
+		return nil, true
+	}
+	return b, true
+}
+
+// TelemetryLatest returns the most recent flight-recorder sample of a live
+// job (the SSE stream's per-frame payload).
+func (s *Server) TelemetryLatest(id string) (telemetry.Sample, bool) {
+	s.mu.Lock()
+	job, ok := s.jobs[id]
+	var rec *telemetry.Recorder
+	if ok {
+		rec = job.rec
+	}
+	s.mu.Unlock()
+	if rec == nil {
+		return telemetry.Sample{}, false
+	}
+	return rec.Latest()
+}
+
+// ErrProfileBusy rejects concurrent profile captures: runtime/pprof CPU
+// profiling is process-global, so only one capture can run at a time.
+var ErrProfileBusy = errors.New("server: a CPU profile capture is already in progress")
+
+// profileMu serializes CPU profile captures process-wide (the pprof CPU
+// profiler is a process singleton, even across Server instances).
+var profileMu sync.Mutex
+
+// Profile captures a CPU profile of the serving process for d (clamped to
+// [0, 30s]; non-positive means 1s) attributed to the job — most useful
+// while the job is running, but valid any time (the profile records
+// whatever the process is doing). When the job's result is persisted, the
+// capture is also stored as the entry's profile artifact; the bytes are
+// returned either way.
+func (s *Server) Profile(id string, d time.Duration) ([]byte, error) {
+	s.mu.Lock()
+	job, ok := s.jobs[id]
+	var hash string
+	if ok {
+		hash = job.Hash
+	}
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: no job %q", ErrNotFound, id)
+	}
+	if d <= 0 {
+		d = time.Second
+	}
+	if d > 30*time.Second {
+		d = 30 * time.Second
+	}
+	if !profileMu.TryLock() {
+		return nil, ErrProfileBusy
+	}
+	defer profileMu.Unlock()
+
+	var buf bytes.Buffer
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		return nil, fmt.Errorf("server: starting CPU profile: %w", err)
+	}
+	select {
+	case <-time.After(d):
+	case <-s.ctx.Done():
+	}
+	pprof.StopCPUProfile()
+	b := buf.Bytes()
+
+	if st := s.opts.Store; st != nil && st.Has(hash) {
+		_ = st.PutProfile(hash, b)
+	}
+	s.log.Info("cpu profile captured", "job", id, "hash", hash,
+		"seconds", d.Seconds(), "bytes", len(b))
+	return b, nil
 }

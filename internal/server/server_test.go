@@ -6,6 +6,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
@@ -580,101 +581,53 @@ func TestErrorEnvelope(t *testing.T) {
 	}
 }
 
-// TestLegacyRoutesDeprecatedButAlive: the unversioned routes still serve
-// their v1 bodies and carry the Deprecation + successor Link headers.
-func TestLegacyRoutesDeprecatedButAlive(t *testing.T) {
+// TestLegacyRoutesRemoved: the pre-/v1 unversioned aliases are gone; every
+// former alias path now 404s with no Deprecation signal, while the /v1
+// routes keep serving.
+func TestLegacyRoutesRemoved(t *testing.T) {
 	s := New(Options{Workers: 1})
 	defer s.Close()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
-	// Legacy submit with a bare pre-exec spec body still works.
 	body := []byte(`{"scenario":"sedov","params":{"n":216,"nNeighbors":20,"extra":{"energy":1}},"steps":1,"cores":2}`)
 	resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusAccepted {
-		t.Fatalf("legacy submit status %d, want 202", resp.StatusCode)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("legacy submit status %d, want 404", resp.StatusCode)
 	}
-	if dep := resp.Header.Get("Deprecation"); dep != "true" {
-		t.Fatalf("legacy submit Deprecation header %q, want \"true\"", dep)
+	if dep := resp.Header.Get("Deprecation"); dep != "" {
+		t.Fatalf("removed route still carries Deprecation header %q", dep)
 	}
-	if link := resp.Header.Get("Link"); !strings.Contains(link, `</v1/jobs>; rel="successor-version"`) {
-		t.Fatalf("legacy submit Link header %q", link)
-	}
-	var view JobView
-	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
-		t.Fatal(err)
-	}
-	waitState(t, s, view.ID, StateCompleted, 60*time.Second)
 
-	// Legacy status, listing, and storez all answer with the header; the
-	// successor Link is always a concrete URI, never a route pattern.
-	for path, successor := range map[string]string{
-		"/jobs/" + view.ID: "/v1/jobs/" + view.ID,
-		"/jobs":            "/v1/jobs",
-		"/scenarios":       "/v1/scenarios",
-		"/healthz":         "/v1/healthz",
-		"/storez":          "/v1/store",
-	} {
+	for _, path := range []string{"/jobs", "/jobs/some-id", "/scenarios", "/healthz", "/storez"} {
 		r, err := http.Get(ts.URL + path)
 		if err != nil {
 			t.Fatal(err)
 		}
+		io.Copy(io.Discard, r.Body)
 		r.Body.Close()
-		if path != "/storez" && r.StatusCode != http.StatusOK {
-			t.Fatalf("legacy %s status %d", path, r.StatusCode)
+		if r.StatusCode != http.StatusNotFound {
+			t.Fatalf("legacy %s status %d, want 404", path, r.StatusCode)
 		}
-		if r.Header.Get("Deprecation") != "true" {
-			t.Fatalf("legacy %s missing Deprecation header", path)
-		}
-		want := `<` + successor + `>; rel="successor-version"`
-		if link := r.Header.Get("Link"); link != want {
-			t.Fatalf("legacy %s Link %q, want %q", path, link, want)
+		if r.Header.Get("Deprecation") != "" || r.Header.Get("Link") != "" {
+			t.Fatalf("legacy %s still carries deprecation headers", path)
 		}
 	}
 
-	// The legacy listing keeps its original shape: a bare, unpaginated
-	// JSON array — old scripts parse it positionally.
-	r0, err := http.Get(ts.URL + "/jobs")
+	// The versioned routes are unaffected.
+	r, err := http.Get(ts.URL + "/v1/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
-	var legacyList []JobView
-	if err := json.NewDecoder(r0.Body).Decode(&legacyList); err != nil {
-		t.Fatalf("legacy /jobs is not a JSON array: %v", err)
-	}
-	r0.Body.Close()
-	if len(legacyList) != 1 || legacyList[0].ID != view.ID {
-		t.Fatalf("legacy listing %+v", legacyList)
-	}
-
-	// Legacy errors keep their original flat shape {"error":"<string>"};
-	// the structured envelope is a /v1 shape.
-	r1, err := http.Post(ts.URL+"/jobs", "application/json",
-		strings.NewReader(`{"scenario":"warp-drive","steps":1}`))
-	if err != nil {
-		t.Fatal(err)
-	}
-	var flat map[string]string
-	if err := json.NewDecoder(r1.Body).Decode(&flat); err != nil {
-		t.Fatalf("legacy error body is not a flat string map: %v", err)
-	}
-	r1.Body.Close()
-	if r1.StatusCode != http.StatusNotFound || !strings.Contains(flat["error"], "warp-drive") {
-		t.Fatalf("legacy error status=%d body=%+v", r1.StatusCode, flat)
-	}
-
-	// The v1 routes carry no deprecation signal.
-	r, err := http.Get(ts.URL + "/v1/jobs")
-	if err != nil {
-		t.Fatal(err)
-	}
+	io.Copy(io.Discard, r.Body)
 	r.Body.Close()
-	if r.Header.Get("Deprecation") != "" {
-		t.Fatal("/v1 route carries a Deprecation header")
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/healthz status %d", r.StatusCode)
 	}
 }
 

@@ -12,9 +12,9 @@ import (
 
 // handleStatusz serves the human-readable operational snapshot: uptime,
 // worker/queue occupancy, job lifecycle totals, store health, per-route
-// latency digests (p50/p95/trimmed mean), job phase totals, and
-// deprecated-alias traffic. It is diagnostics prose, not an API —
-// /metricsz is the machine-readable surface.
+// latency digests (p50/p95/trimmed mean), job phase totals, and physics
+// watchdog trips. It is diagnostics prose, not an API — /metricsz is the
+// machine-readable surface.
 func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	s.collect()
 	snap := s.met.reg.Snapshot()
@@ -90,6 +90,16 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// Physics watchdog trips, by kind (internal/telemetry flight recorders).
+	if f, ok := byName["telemetry_watchdog_trips_total"]; ok && len(f.Series) > 0 {
+		fmt.Fprintf(tw, "\nwatchdog\ttrips\n")
+		for _, series := range f.Series {
+			fmt.Fprintf(tw, "%s\t%.0f\n", series.Labels[0], series.Value)
+		}
+	}
+
+	// The unversioned alias routes are removed; the family stays registered
+	// for dashboards and renders here only if traffic somehow appears.
 	if f, ok := byName["deprecated_requests_total"]; ok && len(f.Series) > 0 {
 		fmt.Fprintf(tw, "\ndeprecated route\thits\n")
 		for _, series := range f.Series {

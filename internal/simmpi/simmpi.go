@@ -72,6 +72,7 @@ type mailbox struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	pending []message
+	aborted bool
 }
 
 func newMailbox() *mailbox {
@@ -88,7 +89,9 @@ func (mb *mailbox) put(m message) {
 }
 
 // take blocks until a message with the given source and tag is present and
-// removes it (first matching, preserving per-source-tag FIFO order).
+// removes it (first matching, preserving per-source-tag FIFO order). When
+// the world aborts, blocked takes unwind with worldAborted instead of
+// waiting forever for a message their dead peer will never send.
 func (mb *mailbox) take(from, tag int) message {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
@@ -99,8 +102,18 @@ func (mb *mailbox) take(from, tag int) message {
 				return m
 			}
 		}
+		if mb.aborted {
+			panic(worldAborted{})
+		}
 		mb.cond.Wait()
 	}
+}
+
+func (mb *mailbox) abort() {
+	mb.mu.Lock()
+	mb.aborted = true
+	mb.mu.Unlock()
+	mb.cond.Broadcast()
 }
 
 // World is a set of ranks sharing a cost model and collective state.
@@ -118,7 +131,18 @@ type World struct {
 	collGen   int
 	collOut   any
 	collMax   float64
+
+	// aborted/failure record the first rank panic (guarded by collMu).
+	// Once set, every blocked collective and mailbox wait unwinds with a
+	// worldAborted panic so Run can join instead of deadlocking.
+	aborted bool
+	failure any
 }
+
+// worldAborted is the panic value that unwinds ranks blocked in a
+// collective or Recv after another rank panicked. It is swallowed by Run's
+// per-rank recover: only the original panic is reported.
+type worldAborted struct{}
 
 // NewWorld creates a world of n ranks priced by model.
 func NewWorld(n int, model CostModel) *World {
@@ -139,12 +163,28 @@ func NewWorld(n int, model CostModel) *World {
 // Run executes fn on every rank concurrently and blocks until all return.
 // It returns the maximum simulated clock across ranks (the parallel
 // wall-clock of the run).
+//
+// A panic on any rank aborts the world: the other ranks are released from
+// whatever collective or Recv they are blocked in, Run joins normally, and
+// the original panic value is available from Failure. This turns a physics
+// blowup inside one rank goroutine into a per-run error the serving layer
+// can attribute to the one job, instead of an unrecoverable process crash.
 func (w *World) Run(fn func(r *Rank)) float64 {
 	var wg sync.WaitGroup
 	for i := 0; i < w.N; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			defer func() {
+				v := recover()
+				if v == nil {
+					return
+				}
+				if _, ok := v.(worldAborted); ok {
+					return // secondary victim of another rank's panic
+				}
+				w.abort(v)
+			}()
 			fn(&Rank{ID: i, W: w})
 		}(i)
 	}
@@ -156,6 +196,28 @@ func (w *World) Run(fn func(r *Rank)) float64 {
 		}
 	}
 	return max
+}
+
+// abort records the first failure and wakes every blocked rank.
+func (w *World) abort(v any) {
+	w.collMu.Lock()
+	if !w.aborted {
+		w.aborted = true
+		w.failure = v
+	}
+	w.collCond.Broadcast()
+	w.collMu.Unlock()
+	for _, mb := range w.boxes {
+		mb.abort()
+	}
+}
+
+// Failure returns the panic value of the rank that aborted the world, if
+// any rank panicked during Run.
+func (w *World) Failure() (any, bool) {
+	w.collMu.Lock()
+	defer w.collMu.Unlock()
+	return w.failure, w.aborted
 }
 
 // Rank is one simulated process. All methods must be called only from the
@@ -241,35 +303,45 @@ func (r *Rank) Barrier() {
 // every rank. bytes models the per-rank payload.
 func (r *Rank) Allreduce(val any, op func(a, b any) any, bytes int) any {
 	w := r.W
-	w.collMu.Lock()
-	gen := w.collGen
-	w.collVals[r.ID] = val
-	w.collCount++
-	if w.collCount == w.N {
-		// Last arrival reduces in rank order and releases the others.
-		acc := w.collVals[0]
-		for i := 1; i < w.N; i++ {
-			acc = op(acc, w.collVals[i])
+	// The critical section runs in a closure with a deferred unlock so a
+	// panic (an op callback blowing up, or the abort unwind below) never
+	// leaves collMu held — the abort path needs it to release the others.
+	out, maxClock := func() (any, float64) {
+		w.collMu.Lock()
+		defer w.collMu.Unlock()
+		if w.aborted {
+			panic(worldAborted{})
 		}
-		w.collOut = acc
-		var maxClock float64
-		for _, c := range w.clocks {
-			if c > maxClock {
-				maxClock = c
+		gen := w.collGen
+		w.collVals[r.ID] = val
+		w.collCount++
+		if w.collCount == w.N {
+			// Last arrival reduces in rank order and releases the others.
+			acc := w.collVals[0]
+			for i := 1; i < w.N; i++ {
+				acc = op(acc, w.collVals[i])
+			}
+			w.collOut = acc
+			var maxClock float64
+			for _, c := range w.clocks {
+				if c > maxClock {
+					maxClock = c
+				}
+			}
+			w.collMax = maxClock
+			w.collCount = 0
+			w.collGen++
+			w.collCond.Broadcast()
+		} else {
+			for gen == w.collGen {
+				if w.aborted {
+					panic(worldAborted{})
+				}
+				w.collCond.Wait()
 			}
 		}
-		w.collMax = maxClock
-		w.collCount = 0
-		w.collGen++
-		w.collCond.Broadcast()
-	} else {
-		for gen == w.collGen {
-			w.collCond.Wait()
-		}
-	}
-	out := w.collOut
-	maxClock := w.collMax
-	w.collMu.Unlock()
+		return w.collOut, w.collMax
+	}()
 
 	now := r.Clock()
 	if maxClock > now {

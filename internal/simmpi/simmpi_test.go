@@ -4,6 +4,7 @@ import (
 	"math"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/perfmodel"
 )
@@ -293,4 +294,45 @@ func TestPhaseTimingInvariants(t *testing.T) {
 			t.Errorf("rank %d: collectives ran but CollectiveTime is zero", r.ID)
 		}
 	})
+}
+
+func TestRunContainsRankPanic(t *testing.T) {
+	// One rank panicking must release the ranks blocked in a collective and
+	// in a Recv whose sender died — Run joins, and the panic is reported
+	// through Failure instead of crashing the process.
+	w := NewWorld(4, ZeroCost{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		w.Run(func(r *Rank) {
+			switch r.ID {
+			case 0:
+				panic("rank 0 exploded")
+			case 1:
+				r.Recv(0, 7) // message rank 0 will never send
+			default:
+				r.AllreduceF64([]float64{1}, SumF64) // collective rank 0 never joins
+			}
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Run deadlocked after a rank panic")
+	}
+	v, ok := w.Failure()
+	if !ok {
+		t.Fatal("Failure() reports no abort after a rank panic")
+	}
+	if v != "rank 0 exploded" {
+		t.Fatalf("Failure() = %v, want the original panic value", v)
+	}
+}
+
+func TestRunNoFailureOnCleanWorld(t *testing.T) {
+	w := NewWorld(2, ZeroCost{})
+	w.Run(func(r *Rank) { r.Barrier() })
+	if v, ok := w.Failure(); ok {
+		t.Fatalf("Failure() = %v on a clean run", v)
+	}
 }

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/par"
 	"repro/internal/part"
 	"repro/internal/vec"
 )
@@ -149,6 +150,7 @@ func parallelRangeIndexed(n, workers int, fn func(w, lo, hi int)) {
 		return
 	}
 	var wg sync.WaitGroup
+	var c par.Catcher
 	chunk := (n + workers - 1) / workers
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
@@ -162,10 +164,12 @@ func parallelRangeIndexed(n, workers int, fn func(w, lo, hi int)) {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
+			defer c.Catch()
 			fn(w, lo, hi)
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	c.Rethrow()
 }
 
 func sym33FromArray(a [6]float64) vec.Sym33 {

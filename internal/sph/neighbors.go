@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/kernel"
+	"repro/internal/par"
 	"repro/internal/part"
 	"repro/internal/tree"
 )
@@ -75,7 +76,12 @@ func UpdateSmoothingLengths(ps *part.Set, tr *tree.Tree, p *Params) *NeighborLis
 			}
 			ps.H[i] = h
 			buf = tr.BallSearch(ps.Pos[i], kernel.SupportRadius*h, buf[:0])
-			counts[i] = int32(len(buf) - 1)
+			// A non-finite particle (NaN position or h after a physics
+			// blowup) matches nothing, not even itself, making len(buf)-1
+			// negative; clamp to keep the CSR prefix sum monotone so the
+			// blowup is reported by the conservation/NaN watchdogs instead
+			// of an index panic here.
+			counts[i] = max32(int32(len(buf)-1), 0)
 		}
 	})
 
@@ -128,7 +134,9 @@ func BuildNeighborList(ps *part.Set, tr *tree.Tree, p *Params) *NeighborList {
 		buf := make([]tree.Hit, 0, 2*p.NNeighbors)
 		for i := lo; i < hi; i++ {
 			buf = tr.BallSearch(ps.Pos[i], kernel.SupportRadius*ps.H[i], buf[:0])
-			counts[i] = int32(len(buf) - 1)
+			// Clamped for the same reason as in UpdateSmoothingLengths: a
+			// non-finite particle finds nothing, not even itself.
+			counts[i] = max32(int32(len(buf)-1), 0)
 		}
 	})
 	nl := &NeighborList{Offsets: make([]int32, n+1)}
@@ -170,12 +178,14 @@ func max32(a, b int32) int32 {
 }
 
 // parallelRange splits [0, n) across workers and waits for completion.
+// Worker panics are rethrown on the calling goroutine.
 func parallelRange(n, workers int, fn func(lo, hi int)) {
 	if workers <= 1 || n < 64 {
 		fn(0, n)
 		return
 	}
 	var wg sync.WaitGroup
+	var c par.Catcher
 	chunk := (n + workers - 1) / workers
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
@@ -189,8 +199,10 @@ func parallelRange(n, workers int, fn func(lo, hi int)) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			defer c.Catch()
 			fn(lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()
+	c.Rethrow()
 }

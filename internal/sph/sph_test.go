@@ -425,3 +425,53 @@ func BenchmarkMomentumEnergy32k(b *testing.B) {
 		MomentumEnergy(ps, nl, p)
 	}
 }
+
+func TestNeighborCSRStaysWellFormedWithNonFiniteParticle(t *testing.T) {
+	// A particle whose position went NaN (physics blowup) matches nothing in
+	// a ball search — not even itself. The CSR builders must clamp its count
+	// at zero so the offsets stay monotone and downstream kernels see an
+	// empty neighbor set instead of panicking on a negative-width slice.
+	p := cubeParams(t)
+	ps, pbc, box := ic.UniformCube(8, p.NNeighbors)
+	p.PBC = pbc
+	p.Box = box
+	bad := 5
+	ps.Pos[bad] = vec.V3{X: math.NaN(), Y: math.NaN(), Z: math.NaN()}
+
+	tr := BuildTree(ps, p)
+	for name, nl := range map[string]*NeighborList{
+		"UpdateSmoothingLengths": UpdateSmoothingLengths(ps, tr, p),
+		"BuildNeighborList":      BuildNeighborList(ps, tr, p),
+	} {
+		for i := 0; i < ps.NLocal; i++ {
+			if nl.Offsets[i+1] < nl.Offsets[i] {
+				t.Fatalf("%s: offsets not monotone at %d: %d > %d",
+					name, i, nl.Offsets[i], nl.Offsets[i+1])
+			}
+			_ = nl.Of(i) // must not panic
+		}
+		if nl.Count(bad) != 0 {
+			t.Errorf("%s: NaN particle has %d neighbors, want 0", name, nl.Count(bad))
+		}
+	}
+
+	// The step kernels must run to completion over the poisoned set; the
+	// NaN is then the watchdogs' problem, not a crash.
+	nl := BuildNeighborList(ps, tr, p)
+	Density(ps, nl, p)
+	EquationOfState(ps, p)
+	MomentumEnergy(ps, nl, p)
+}
+
+func TestParallelRangeRethrowsWorkerPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("worker panic was not rethrown on the caller")
+		}
+	}()
+	parallelRange(1024, 4, func(lo, hi int) {
+		if lo > 0 {
+			panic("worker died")
+		}
+	})
+}

@@ -17,6 +17,9 @@
 //	                       (objects/abcd….sph) migrates transparently on Open
 //	reports/<hash>.json    verification reports attached to entries, served
 //	                       byte-identically across restarts
+//	telemetry/<hash>.json  step-telemetry tracks (downsampled flight-recorder
+//	                       series), same byte-identity contract as reports
+//	profiles/<hash>.pprof  on-demand CPU profiles captured against an entry
 //	quarantine/            corrupt or unindexed objects moved aside on detection
 package store
 
@@ -63,6 +66,15 @@ type Meta struct {
 	// does not count against MaxBytes (reports are metadata-scale).
 	ReportSize int64  `json:"reportSize,omitempty"`
 	ReportCRC  uint64 `json:"reportCRC,omitempty"`
+	// TelemetrySize and TelemetryCRC track the entry's step-telemetry track
+	// (telemetry/<hash>.json), attached by PutTelemetry — same byte-identity
+	// and eviction contract as the report.
+	TelemetrySize int64  `json:"telemetrySize,omitempty"`
+	TelemetryCRC  uint64 `json:"telemetryCRC,omitempty"`
+	// ProfileSize and ProfileCRC track the entry's most recent CPU profile
+	// (profiles/<hash>.pprof), attached by PutProfile.
+	ProfileSize int64  `json:"profileSize,omitempty"`
+	ProfileCRC  uint64 `json:"profileCRC,omitempty"`
 }
 
 // Options bounds the store.
@@ -171,12 +183,21 @@ func Open(dir string, opts Options) (*Store, error) {
 		}
 	}
 
-	// Report files whose entry is gone (object lost, entry dropped above)
-	// are stale; remove them so the reports directory tracks the index.
-	if names, err := filepath.Glob(filepath.Join(s.reportsDir(), "*.json")); err == nil {
+	// Report, telemetry, and profile files whose entry is gone (object
+	// lost, entry dropped above) are stale; remove them so the attachment
+	// directories track the index.
+	for _, sweep := range []struct{ glob, ext string }{
+		{filepath.Join(s.reportsDir(), "*.json"), ".json"},
+		{filepath.Join(s.telemetryDir(), "*.json"), ".json"},
+		{filepath.Join(s.profilesDir(), "*.pprof"), ".pprof"},
+	} {
+		names, err := filepath.Glob(sweep.glob)
+		if err != nil {
+			continue
+		}
 		for _, path := range names {
 			base := filepath.Base(path)
-			hash := base[:len(base)-len(".json")]
+			hash := base[:len(base)-len(sweep.ext)]
 			if _, ok := s.entries[hash]; !ok {
 				_ = os.Remove(path)
 			}
@@ -205,6 +226,14 @@ func (s *Store) objectPath(h string) string {
 func (s *Store) reportsDir() string { return filepath.Join(s.dir, "reports") }
 func (s *Store) reportPath(h string) string {
 	return filepath.Join(s.reportsDir(), h+".json")
+}
+func (s *Store) telemetryDir() string { return filepath.Join(s.dir, "telemetry") }
+func (s *Store) telemetryPath(h string) string {
+	return filepath.Join(s.telemetryDir(), h+".json")
+}
+func (s *Store) profilesDir() string { return filepath.Join(s.dir, "profiles") }
+func (s *Store) profilePath(h string) string {
+	return filepath.Join(s.profilesDir(), h+".pprof")
 }
 
 // fileHash recovers the hash from an object path ("<hash>.sph").
@@ -274,13 +303,15 @@ func (s *Store) quarantineFileLocked(path, hash string) {
 	if err := os.Rename(path, dst); err != nil {
 		_ = os.Remove(path)
 	}
-	// A quarantined object always accompanies a dropped entry; its report
-	// is meaningless without the snapshot it scored.
+	// A quarantined object always accompanies a dropped entry; its
+	// attachments are meaningless without the snapshot they describe.
 	_ = os.Remove(s.reportPath(hash))
+	_ = os.Remove(s.telemetryPath(hash))
+	_ = os.Remove(s.profilePath(hash))
 	s.quarantined++
 }
 
-// removeLocked evicts an entry and deletes its object and report files.
+// removeLocked evicts an entry and deletes its object and attachment files.
 func (s *Store) removeLocked(hash string) {
 	if m, ok := s.entries[hash]; ok {
 		s.total -= m.Size
@@ -288,6 +319,8 @@ func (s *Store) removeLocked(hash string) {
 	}
 	_ = os.Remove(s.objectPath(hash))
 	_ = os.Remove(s.reportPath(hash))
+	_ = os.Remove(s.telemetryPath(hash))
+	_ = os.Remove(s.profilePath(hash))
 }
 
 // evictLocked applies the TTL then the size cap: expired entries go first,
@@ -502,52 +535,102 @@ func (s *Store) Quarantined() int {
 // it to prune its job table in lockstep with the result store.
 func (s *Store) TTL() time.Duration { return s.opts.TTL }
 
-// PutReport attaches a verification report to an existing entry. The file
-// is written atomically next to the snapshot (reports/<hash>.json) with its
-// CRC recorded in the entry, so ReadReport returns exactly these bytes —
-// including across restarts — or nothing.
-func (s *Store) PutReport(hash string, report []byte) error {
+// putAttachment writes an attachment file atomically (temp + rename) for an
+// existing entry and records its size and CRC through the provided
+// accessors — the shared machinery behind PutReport, PutTelemetry, and
+// PutProfile.
+func (s *Store) putAttachment(hash, kind, path string, data []byte, set func(m *Meta, size int64, crc uint64)) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	m, ok := s.entries[hash]
 	if !ok {
-		return fmt.Errorf("store: PutReport for unknown entry %s", hash)
+		return fmt.Errorf("store: Put%s for unknown entry %s", kind, hash)
 	}
-	if err := os.MkdirAll(s.reportsDir(), 0o755); err != nil {
-		return fmt.Errorf("store: creating %s: %w", s.reportsDir(), err)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("store: creating %s: %w", filepath.Dir(path), err)
 	}
-	path := s.reportPath(hash)
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, report, 0o644); err != nil {
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
 		return fmt.Errorf("store: writing %s: %w", tmp, err)
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		_ = os.Remove(tmp)
 		return err
 	}
-	m.ReportSize = int64(len(report))
-	m.ReportCRC = crc64.Checksum(report, crcTable)
+	set(m, int64(len(data)), crc64.Checksum(data, crcTable))
 	return s.saveIndexLocked()
 }
 
-// ReadReport returns the entry's verification report bytes, verified
-// against the recorded CRC. A missing or corrupt report is dropped and
-// reported as absent — never served wrong.
-func (s *Store) ReadReport(hash string) ([]byte, bool) {
+// readAttachment returns attachment bytes verified against the recorded
+// size and CRC (fetched via get). A missing or corrupt file is dropped (its
+// Meta fields zeroed via clear) and reported as absent — never served wrong.
+func (s *Store) readAttachment(hash, path string, get func(m *Meta) (int64, uint64), clear func(m *Meta)) ([]byte, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	m, ok := s.entries[hash]
-	if !ok || m.ReportSize == 0 {
+	if !ok {
 		return nil, false
 	}
-	b, err := os.ReadFile(s.reportPath(hash))
-	if err != nil || int64(len(b)) != m.ReportSize || crc64.Checksum(b, crcTable) != m.ReportCRC {
-		_ = os.Remove(s.reportPath(hash))
-		m.ReportSize, m.ReportCRC = 0, 0
+	size, crc := get(m)
+	if size == 0 {
+		return nil, false
+	}
+	b, err := os.ReadFile(path)
+	if err != nil || int64(len(b)) != size || crc64.Checksum(b, crcTable) != crc {
+		_ = os.Remove(path)
+		clear(m)
 		_ = s.saveIndexLocked()
 		return nil, false
 	}
 	return b, true
+}
+
+// PutReport attaches a verification report to an existing entry. The file
+// is written atomically next to the snapshot (reports/<hash>.json) with its
+// CRC recorded in the entry, so ReadReport returns exactly these bytes —
+// including across restarts — or nothing.
+func (s *Store) PutReport(hash string, report []byte) error {
+	return s.putAttachment(hash, "Report", s.reportPath(hash), report,
+		func(m *Meta, size int64, crc uint64) { m.ReportSize, m.ReportCRC = size, crc })
+}
+
+// ReadReport returns the entry's verification report bytes, verified
+// against the recorded CRC.
+func (s *Store) ReadReport(hash string) ([]byte, bool) {
+	return s.readAttachment(hash, s.reportPath(hash),
+		func(m *Meta) (int64, uint64) { return m.ReportSize, m.ReportCRC },
+		func(m *Meta) { m.ReportSize, m.ReportCRC = 0, 0 })
+}
+
+// PutTelemetry attaches a step-telemetry track to an existing entry —
+// same atomic-write, CRC-verified, byte-identical contract as PutReport.
+func (s *Store) PutTelemetry(hash string, track []byte) error {
+	return s.putAttachment(hash, "Telemetry", s.telemetryPath(hash), track,
+		func(m *Meta, size int64, crc uint64) { m.TelemetrySize, m.TelemetryCRC = size, crc })
+}
+
+// ReadTelemetry returns the entry's telemetry track bytes, verified against
+// the recorded CRC.
+func (s *Store) ReadTelemetry(hash string) ([]byte, bool) {
+	return s.readAttachment(hash, s.telemetryPath(hash),
+		func(m *Meta) (int64, uint64) { return m.TelemetrySize, m.TelemetryCRC },
+		func(m *Meta) { m.TelemetrySize, m.TelemetryCRC = 0, 0 })
+}
+
+// PutProfile attaches a CPU profile to an existing entry; a later capture
+// replaces the previous one (the profile is point-in-time evidence, not an
+// accumulating log).
+func (s *Store) PutProfile(hash string, profile []byte) error {
+	return s.putAttachment(hash, "Profile", s.profilePath(hash), profile,
+		func(m *Meta, size int64, crc uint64) { m.ProfileSize, m.ProfileCRC = size, crc })
+}
+
+// ReadProfile returns the entry's most recent CPU profile bytes, verified
+// against the recorded CRC.
+func (s *Store) ReadProfile(hash string) ([]byte, bool) {
+	return s.readAttachment(hash, s.profilePath(hash),
+		func(m *Meta) (int64, uint64) { return m.ProfileSize, m.ProfileCRC },
+		func(m *Meta) { m.ProfileSize, m.ProfileCRC = 0, 0 })
 }
 
 // Stats is the /storez metrics snapshot.
@@ -555,8 +638,11 @@ type Stats struct {
 	// Entries and Bytes describe the live snapshot objects.
 	Entries int   `json:"entries"`
 	Bytes   int64 `json:"bytes"`
-	// Reports counts entries with an attached verification report.
-	Reports int `json:"reports"`
+	// Reports counts entries with an attached verification report;
+	// Telemetry and Profiles count the other attachment kinds.
+	Reports   int `json:"reports"`
+	Telemetry int `json:"telemetry"`
+	Profiles  int `json:"profiles"`
 	// Hits and Misses count result lookups since this instance opened;
 	// HitRate is their ratio (0 with no traffic).
 	Hits    uint64  `json:"hits"`
@@ -587,6 +673,12 @@ func (s *Store) Stats() Stats {
 	for _, m := range s.entries {
 		if m.ReportSize > 0 {
 			st.Reports++
+		}
+		if m.TelemetrySize > 0 {
+			st.Telemetry++
+		}
+		if m.ProfileSize > 0 {
+			st.Profiles++
 		}
 	}
 	if total := s.hits + s.misses; total > 0 {

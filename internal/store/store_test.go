@@ -544,3 +544,73 @@ func TestStatsCounters(t *testing.T) {
 		t.Errorf("stats %+v, want no quarantined objects", st)
 	}
 }
+
+// TestTelemetryAndProfileAttachments: the new attachment kinds share the
+// report contract — byte-identical across restarts, evicted with the entry,
+// corrupt files dropped rather than served.
+func TestTelemetryAndProfileAttachments(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	put(t, s, "aaaa", 64)
+
+	track := []byte(`{"status":"ok","samples":[{"step":1}]}`)
+	profile := []byte{0x1f, 0x8b, 0x08, 0x00, 0x01, 0x02, 0x03}
+	if err := s.PutTelemetry("aaaa", track); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutProfile("aaaa", profile); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutTelemetry("missing", track); err == nil {
+		t.Fatal("PutTelemetry for unknown entry succeeded")
+	}
+
+	if got, ok := s.ReadTelemetry("aaaa"); !ok || !bytes.Equal(got, track) {
+		t.Fatalf("telemetry round trip: ok=%v", ok)
+	}
+	if got, ok := s.ReadProfile("aaaa"); !ok || !bytes.Equal(got, profile) {
+		t.Fatalf("profile round trip: ok=%v", ok)
+	}
+	st := s.Stats()
+	if st.Telemetry != 1 || st.Profiles != 1 {
+		t.Fatalf("stats counted telemetry=%d profiles=%d", st.Telemetry, st.Profiles)
+	}
+
+	// Byte identity across a restart.
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s2.ReadTelemetry("aaaa"); !ok || !bytes.Equal(got, track) {
+		t.Fatal("telemetry not byte-identical across reopen")
+	}
+	if got, ok := s2.ReadProfile("aaaa"); !ok || !bytes.Equal(got, profile) {
+		t.Fatal("profile not byte-identical across reopen")
+	}
+
+	// A corrupt telemetry file is dropped, not served.
+	tp := filepath.Join(dir, "telemetry", "aaaa.json")
+	if err := os.WriteFile(tp, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.ReadTelemetry("aaaa"); ok {
+		t.Fatal("corrupt telemetry track served")
+	}
+	if _, err := os.Stat(tp); !os.IsNotExist(err) {
+		t.Fatal("corrupt telemetry track left on disk")
+	}
+
+	// Stale attachment files (no entry) are swept on open.
+	if err := os.WriteFile(filepath.Join(dir, "telemetry", "zzzz.json"), track, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "telemetry", "zzzz.json")); !os.IsNotExist(err) {
+		t.Fatal("stale telemetry file survived reopen")
+	}
+}

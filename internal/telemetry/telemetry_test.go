@@ -1,0 +1,273 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// mkSample builds a benign sample for step s with a slowly-drifting energy.
+func mkSample(s int) Sample {
+	return Sample{
+		Step: s, Time: float64(s) * 0.001, DT: 0.001,
+		EnergyDrift: 1e-9 * float64(s),
+		HMin:        0.1, HMax: 0.2,
+		NbrMin: 50, NbrMax: 70, NbrMean: 60,
+	}
+}
+
+func feed(r *Recorder, from, to int) {
+	for s := from; s <= to; s++ {
+		r.Add(mkSample(s))
+	}
+}
+
+func TestDownsamplingBoundedAndEndpointsPreserved(t *testing.T) {
+	for _, n := range []int{1, 5, 64, 100, 257, 1000, 4096, 5000} {
+		r := NewRecorder(Config{MaxSamples: 64})
+		feed(r, 1, n)
+		tr := r.TrackSnapshot()
+		if len(tr.Samples) > 64+1 {
+			t.Fatalf("n=%d: %d samples exceeds bound", n, len(tr.Samples))
+		}
+		if tr.Samples[0].Step != 1 {
+			t.Fatalf("n=%d: first retained step %d, want 1", n, tr.Samples[0].Step)
+		}
+		if last := tr.Samples[len(tr.Samples)-1].Step; last != n {
+			t.Fatalf("n=%d: last step %d, want %d", n, last, n)
+		}
+		for i := 1; i < len(tr.Samples); i++ {
+			if tr.Samples[i].Step <= tr.Samples[i-1].Step {
+				t.Fatalf("n=%d: steps not strictly ascending at %d", n, i)
+			}
+		}
+	}
+}
+
+func TestDownsamplingDeterministicAcrossChunkBoundaries(t *testing.T) {
+	const n = 777
+	whole := NewRecorder(Config{MaxSamples: 32})
+	feed(whole, 1, n)
+
+	chunked := NewRecorder(Config{MaxSamples: 32})
+	for _, cut := range []int{1, 2, 3, 50, 51, 400, 401, 640, n} {
+		start := 1
+		if len(chunked.samples) > 0 {
+			if last, ok := chunked.Latest(); ok {
+				start = last.Step + 1
+			}
+		}
+		feed(chunked, start, cut)
+	}
+
+	a, b := whole.TrackSnapshot(), chunked.TrackSnapshot()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("chunked feed diverged:\nwhole:   %+v\nchunked: %+v", a, b)
+	}
+}
+
+func TestTruncateAfterMatchesUninterruptedRun(t *testing.T) {
+	const n = 1500
+	for _, kill := range []int{1, 17, 300, 1024, 1499} {
+		fresh := NewRecorder(Config{MaxSamples: 48})
+		feed(fresh, 1, n)
+
+		// Run past the kill point, then "restore from checkpoint" at an
+		// earlier step and replay — the checkpoint-resume path.
+		resumed := NewRecorder(Config{MaxSamples: 48})
+		feed(resumed, 1, kill+37)
+		restoreStep := kill / 2
+		resumed.TruncateAfter(restoreStep)
+		feed(resumed, restoreStep+1, n)
+
+		a, b := fresh.TrackSnapshot(), resumed.TrackSnapshot()
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("kill=%d: resumed track diverged from fresh run", kill)
+		}
+		aj, _ := json.Marshal(a)
+		bj, _ := json.Marshal(b)
+		if string(aj) != string(bj) {
+			t.Fatalf("kill=%d: JSON renderings differ", kill)
+		}
+	}
+}
+
+func TestTruncateAfterZeroResetsSeries(t *testing.T) {
+	r := NewRecorder(Config{MaxSamples: 16})
+	feed(r, 1, 100)
+	r.TruncateAfter(0)
+	if _, ok := r.Latest(); ok {
+		t.Fatal("latest sample survived full truncation")
+	}
+	tr := r.TrackSnapshot()
+	if len(tr.Samples) != 0 {
+		t.Fatalf("%d samples survived full truncation", len(tr.Samples))
+	}
+	feed(r, 1, 100)
+	if got := r.TrackSnapshot(); len(got.Samples) == 0 || got.Samples[0].Step != 1 {
+		t.Fatalf("recorder unusable after full truncation: %+v", got)
+	}
+}
+
+func TestNaNWatchdogTripsOnceAndLatches(t *testing.T) {
+	var fired []string
+	r := NewRecorder(Config{MaxSamples: 16, OnTrip: func(k string) { fired = append(fired, k) }})
+	feed(r, 1, 10)
+	bad := mkSample(11)
+	bad.EnergyDrift = math.NaN()
+	r.Add(bad)
+	bad2 := mkSample(12)
+	bad2.MassDrift = math.Inf(1)
+	r.Add(bad2)
+
+	if want := []string{KindNaN}; !reflect.DeepEqual(fired, want) {
+		t.Fatalf("OnTrip fired %v, want %v", fired, want)
+	}
+	status, trips := r.Status()
+	if status != StatusTripped || !reflect.DeepEqual(trips, []string{KindNaN}) {
+		t.Fatalf("status %q trips %v", status, trips)
+	}
+	if tr := r.TrackSnapshot(); tr.Status != StatusTripped {
+		t.Fatalf("track status %q", tr.Status)
+	}
+}
+
+func TestDriftSlopeWatchdogIgnoresSingleSpike(t *testing.T) {
+	// A lone corrupted drift value must be trimmed away, not fitted.
+	r := NewRecorder(Config{MaxSamples: 64})
+	for s := 1; s <= 40; s++ {
+		smp := mkSample(s)
+		if s == 20 {
+			smp.EnergyDrift = 5.0 // gross outlier, but finite
+		}
+		r.Add(smp)
+	}
+	if status, trips := r.Status(); status != StatusOK {
+		t.Fatalf("spike tripped the trimmed slope watchdog: %v", trips)
+	}
+
+	// A genuine sustained slope must trip it.
+	r2 := NewRecorder(Config{MaxSamples: 64})
+	for s := 1; s <= 40; s++ {
+		smp := mkSample(s)
+		smp.EnergyDrift = 0.05 * float64(s)
+		r2.Add(smp)
+	}
+	if status, trips := r2.Status(); status != StatusTripped || trips[0] != KindDriftSlope {
+		t.Fatalf("sustained drift not caught: status %q trips %v", status, trips)
+	}
+}
+
+func TestDTCollapseWatchdog(t *testing.T) {
+	r := NewRecorder(Config{MaxSamples: 64})
+	feed(r, 1, 20)
+	bad := mkSample(21)
+	bad.DT = 1e-9
+	r.Add(bad)
+	status, trips := r.Status()
+	if status != StatusTripped {
+		t.Fatal("dt collapse not detected")
+	}
+	found := false
+	for _, k := range trips {
+		if k == KindDTCollapse {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("trips %v missing %q", trips, KindDTCollapse)
+	}
+}
+
+func TestImbalanceWatchdog(t *testing.T) {
+	r := NewRecorder(Config{MaxSamples: 64, Watchdogs: WatchdogConfig{MaxImbalance: 2}})
+	s := mkSample(1)
+	s.Imbalance = 3.5
+	r.Add(s)
+	if status, trips := r.Status(); status != StatusTripped || trips[0] != KindImbalance {
+		t.Fatalf("imbalance not caught: %q %v", status, trips)
+	}
+	// Serial runs report 0 and must never trip.
+	r2 := NewRecorder(Config{MaxSamples: 64, Watchdogs: WatchdogConfig{MaxImbalance: 2}})
+	feed(r2, 1, 50)
+	if status, _ := r2.Status(); status != StatusOK {
+		t.Fatal("zero imbalance tripped the watchdog")
+	}
+}
+
+func TestWatchdogsDisabledByNegativeThresholds(t *testing.T) {
+	r := NewRecorder(Config{MaxSamples: 64, Watchdogs: WatchdogConfig{
+		MaxDriftSlope: -1, DTCollapse: -1, MaxImbalance: -1,
+	}})
+	for s := 1; s <= 30; s++ {
+		smp := mkSample(s)
+		smp.EnergyDrift = float64(s) // wild drift
+		smp.DT = 1e-12
+		smp.Imbalance = 100
+		r.Add(smp)
+	}
+	if status, trips := r.Status(); status != StatusOK {
+		t.Fatalf("disabled watchdogs tripped: %v", trips)
+	}
+}
+
+func TestTrackJSONDeterministic(t *testing.T) {
+	mk := func() []byte {
+		r := NewRecorder(Config{MaxSamples: 24})
+		for s := 1; s <= 333; s++ {
+			smp := mkSample(s)
+			smp.Phases = map[string]float64{"compute": 0.9, "halo": 0.05, "collective": 0.05}
+			r.Add(smp)
+		}
+		b, err := json.Marshal(r.TrackSnapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := mk(), mk()
+	if string(a) != string(b) {
+		t.Fatal("identical feeds produced different JSON tracks")
+	}
+}
+
+func TestLatestReflectsMostRecentAdd(t *testing.T) {
+	r := NewRecorder(Config{MaxSamples: 8})
+	if _, ok := r.Latest(); ok {
+		t.Fatal("empty recorder claims a latest sample")
+	}
+	feed(r, 1, 100)
+	last, ok := r.Latest()
+	if !ok || last.Step != 100 {
+		t.Fatalf("latest = %+v ok=%v, want step 100", last, ok)
+	}
+}
+
+// TestNonFiniteSamplesStillEncode: a NaN/Inf-bearing sample trips the
+// watchdog but the stored track must still be valid JSON — the raw values
+// are scrubbed to 0 after the watchdogs ran.
+func TestNonFiniteSamplesStillEncode(t *testing.T) {
+	r := NewRecorder(Config{})
+	s := mkSample(1)
+	s.EnergyDrift = math.NaN()
+	s.HMax = math.Inf(1)
+	r.Add(s)
+	b, err := json.Marshal(r.TrackSnapshot())
+	if err != nil {
+		t.Fatalf("track with non-finite inputs failed to encode: %v", err)
+	}
+	var track Track
+	if err := json.Unmarshal(b, &track); err != nil {
+		t.Fatal(err)
+	}
+	if track.Status != StatusTripped {
+		t.Fatalf("status %q, want tripped", track.Status)
+	}
+	if got := track.Samples[0].EnergyDrift; got != 0 {
+		t.Fatalf("scrubbed drift = %v, want 0", got)
+	}
+	if last, ok := r.Latest(); !ok || math.IsInf(last.HMax, 0) {
+		t.Fatalf("Latest not scrubbed: %+v", last)
+	}
+}

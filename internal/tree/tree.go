@@ -16,6 +16,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/par"
 	"repro/internal/sfc"
 	"repro/internal/vec"
 )
@@ -203,12 +204,14 @@ func bounds(pos []vec.V3) (lo, hi vec.V3) {
 }
 
 // parallelFor runs fn over [0, n) split into worker chunks and waits.
+// Worker panics are rethrown on the calling goroutine.
 func parallelFor(n, workers int, fn func(lo, hi int)) {
 	if workers <= 1 || n < 2048 {
 		fn(0, n)
 		return
 	}
 	var wg sync.WaitGroup
+	var c par.Catcher
 	chunk := (n + workers - 1) / workers
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
@@ -222,10 +225,12 @@ func parallelFor(n, workers int, fn func(lo, hi int)) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			defer c.Catch()
 			fn(lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()
+	c.Rethrow()
 }
 
 // Hit is one neighbor-search result: the particle index, the squared

@@ -1,8 +1,9 @@
 // Package client is the reusable Go client of the sphexa-serve /v1 API:
 // typed job submission (scenario.JobSpec), batch submission, polling
-// helpers, snapshot and verification-report retrieval, convergence
-// experiments (experiments.Sweep), cursor pagination, and structured
-// decoding of the API's error envelope into *APIError. The CLIs
+// helpers, snapshot and verification-report retrieval, step-telemetry
+// tracks with live SSE streaming, on-demand CPU profile capture,
+// convergence experiments (experiments.Sweep), cursor pagination, and
+// structured decoding of the API's error envelope into *APIError. The CLIs
 // (cmd/sphexa -server, cmd/sphexa-smoke) and the server's own httptest
 // suites all talk to the API through it.
 //
@@ -14,6 +15,7 @@
 package client
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -31,6 +33,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/scenario"
 	"repro/internal/store"
+	"repro/internal/telemetry"
 	"repro/internal/verify"
 )
 
@@ -189,6 +192,9 @@ type Job struct {
 	CacheHit bool             `json:"cacheHit"`
 	Restarts int              `json:"restarts"`
 	Verify   *VerifySummary   `json:"verify,omitempty"`
+	// Telemetry is the physics-watchdog rollup ("ok"/"tripped"; empty
+	// before execution starts or for pre-telemetry store entries).
+	Telemetry string `json:"telemetry,omitempty"`
 }
 
 // Terminal reports whether the job has reached a final state.
@@ -631,19 +637,93 @@ func (c *Client) StoreStats(ctx context.Context) (*store.Stats, error) {
 	return &out, nil
 }
 
-// Deprecation probes a legacy unversioned path and reports the Deprecation
-// and successor-version Link headers it carries (the contract smoke checks
-// these never regress).
-func (c *Client) Deprecation(ctx context.Context, path string) (deprecation, link string, err error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
-	if err != nil {
-		return "", "", err
+// Telemetry fetches a job's flight-recorder track: the downsampled
+// conservation-drift / dt / smoothing-length / neighbor / imbalance series
+// with the watchdog rollup. Completed jobs serve the persisted track
+// (byte-identical across cache hits); live jobs serve a snapshot.
+func (c *Client) Telemetry(ctx context.Context, id string) (*telemetry.Track, error) {
+	var out telemetry.Track
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/telemetry", nil, &out); err != nil {
+		return nil, err
 	}
+	return &out, nil
+}
+
+// RawTelemetry fetches the telemetry track bytes exactly as persisted.
+func (c *Client) RawTelemetry(ctx context.Context, id string) ([]byte, error) {
+	var raw []byte
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/telemetry", nil, &raw)
+	return raw, err
+}
+
+// TelemetryEvent is one frame of the live telemetry stream: the job's
+// lifecycle context plus its most recent flight-recorder sample (nil until
+// the first step completes).
+type TelemetryEvent struct {
+	Job       string            `json:"job"`
+	State     string            `json:"state"`
+	Telemetry string            `json:"telemetry,omitempty"`
+	Sample    *telemetry.Sample `json:"sample,omitempty"`
+}
+
+// StreamTelemetry follows GET /v1/jobs/{id}/telemetry/events, invoking fn
+// for every server-sent frame until the stream ends (the job turned
+// terminal), fn returns false, or ctx is cancelled. A kill-requeue does not
+// end the stream — the job resumes and frames keep flowing.
+func (c *Client) StreamTelemetry(ctx context.Context, id string, fn func(TelemetryEvent) bool) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/telemetry/events", nil)
+	if err != nil {
+		return err
+	}
+	reqID := ""
+	if c.requestID != nil {
+		reqID = c.requestID()
+	}
+	if reqID == "" {
+		reqID = obs.NewRequestID()
+	}
+	req.Header.Set(RequestIDHeader, reqID)
 	resp, err := c.http.Do(req)
 	if err != nil {
-		return "", "", err
+		return err
 	}
 	defer resp.Body.Close()
-	_, _ = io.Copy(io.Discard, resp.Body)
-	return resp.Header.Get("Deprecation"), resp.Header.Get("Link"), nil
+	if resp.StatusCode >= 300 {
+		return decodeError(resp, reqID)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev TelemetryEvent
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			return fmt.Errorf("client: decoding telemetry frame: %w", err)
+		}
+		if !fn(ev) {
+			return nil
+		}
+	}
+	// A context cancellation surfaces as a read error on the body; report
+	// the cause rather than the wrapped transport error.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return sc.Err()
+}
+
+// Profile captures a CPU profile of the serving process for the given
+// number of seconds (1..30), attributed to the job, and returns the pprof
+// bytes. The server serializes captures; a concurrent one fails with the
+// conflict code (HTTP 409).
+func (c *Client) Profile(ctx context.Context, id string, seconds int) ([]byte, error) {
+	path := "/v1/jobs/" + id + "/profile"
+	if seconds > 0 {
+		path += "?seconds=" + strconv.Itoa(seconds)
+	}
+	var raw []byte
+	err := c.do(ctx, http.MethodPost, path, nil, &raw)
+	return raw, err
 }

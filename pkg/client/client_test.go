@@ -190,26 +190,102 @@ func TestClientExperimentAndPagination(t *testing.T) {
 	}
 }
 
-// TestClientDeprecationProbe: the legacy-route probe reports the headers
-// the smoke test guards.
-func TestClientDeprecationProbe(t *testing.T) {
+// TestClientTelemetryAndProfile: the telemetry track, live stream, and CPU
+// profile capture round-trip through the typed client.
+func TestClientTelemetryAndProfile(t *testing.T) {
 	_, c := newServer(t)
-	ctx := context.Background()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
 
-	dep, link, err := c.Deprecation(ctx, "/scenarios")
+	job, err := c.Submit(ctx, sedovSpec(3, 216))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if dep != "true" || !strings.Contains(link, "successor-version") {
-		t.Fatalf("legacy /scenarios: Deprecation=%q Link=%q", dep, link)
+	// The live stream follows the job to completion, delivering samples.
+	var frames []client.TelemetryEvent
+	if err := c.StreamTelemetry(ctx, job.ID, func(ev client.TelemetryEvent) bool {
+		frames = append(frames, ev)
+		return true
+	}); err != nil {
+		t.Fatal(err)
 	}
-	dep, _, err = c.Deprecation(ctx, "/v1/scenarios")
+	if len(frames) == 0 {
+		t.Fatal("stream delivered no frames")
+	}
+	final := frames[len(frames)-1]
+	if !client.TerminalState(final.State) {
+		t.Fatalf("stream ended on non-terminal state %q", final.State)
+	}
+	if final.Sample == nil || final.Sample.Step != 3 {
+		t.Fatalf("terminal frame sample %+v, want step 3", final.Sample)
+	}
+
+	// The persisted track spans the whole run with a clean rollup.
+	track, err := c.Telemetry(ctx, job.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if dep != "" {
-		t.Fatalf("/v1 route reports Deprecation=%q", dep)
+	if track.Status != "ok" || len(track.Samples) != 3 {
+		t.Fatalf("track status=%q samples=%d, want ok/3", track.Status, len(track.Samples))
 	}
+	if track.Samples[0].Step != 1 || track.Samples[2].Step != 3 {
+		t.Fatalf("track endpoints %d..%d", track.Samples[0].Step, track.Samples[2].Step)
+	}
+	raw, err := c.RawTelemetry(ctx, job.ID)
+	if err != nil || len(raw) == 0 {
+		t.Fatalf("raw telemetry: %v (%d bytes)", err, len(raw))
+	}
+	if done, err := c.Job(ctx, job.ID); err != nil || done.Telemetry != "ok" {
+		t.Fatalf("job view telemetry rollup %q (%v), want ok", done.Telemetry, err)
+	}
+
+	// CPU profile capture returns gzipped pprof bytes.
+	profile, err := c.Profile(ctx, job.ID, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profile) < 2 || profile[0] != 0x1f || profile[1] != 0x8b {
+		t.Fatalf("profile is not gzipped pprof data (%d bytes)", len(profile))
+	}
+
+	// Unknown jobs surface the stable error code.
+	var apiErr *client.APIError
+	if _, err := c.Telemetry(ctx, "nope"); !errors.As(err, &apiErr) || apiErr.Code != "unknown_job" {
+		t.Fatalf("telemetry of unknown job: %v", err)
+	}
+	if err := c.StreamTelemetry(ctx, "nope", func(client.TelemetryEvent) bool { return true }); !errors.As(err, &apiErr) || apiErr.Code != "unknown_job" {
+		t.Fatalf("stream of unknown job: %v", err)
+	}
+	if _, err := c.Profile(ctx, "nope", 1); !errors.As(err, &apiErr) || apiErr.Code != "unknown_job" {
+		t.Fatalf("profile of unknown job: %v", err)
+	}
+}
+
+// TestClientStreamTelemetryEarlyStop: returning false from the frame
+// callback ends the stream without error while the job keeps running.
+func TestClientStreamTelemetryEarlyStop(t *testing.T) {
+	s, c := newServer(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	job, err := c.Submit(ctx, sedovSpec(2000, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	if err := c.StreamTelemetry(ctx, job.ID, func(ev client.TelemetryEvent) bool {
+		n++
+		return n < 3
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("callback ran %d times, want 3", n)
+	}
+	if _, err := c.Cancel(ctx, job.ID); err != nil {
+		t.Fatal(err)
+	}
+	_ = s
 }
 
 // queueFullServer rejects the first `failures` submissions with the
