@@ -42,6 +42,7 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"math"
 	"net/http"
 	_ "net/http/pprof" // registered on DefaultServeMux; exposed only via -pprof-addr
 	"os"
@@ -49,6 +50,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/part"
 	"repro/internal/perfmodel"
 	"repro/internal/scenario"
 	"repro/internal/server"
@@ -72,10 +74,18 @@ func main() {
 		pprofAddr = flag.String("pprof-addr", "",
 			"serve net/http/pprof on this address (empty disables; keep it off the public listener)")
 		logLevel = flag.String("log-level", "info", "minimum structured log level: debug, info, warn, error")
+
+		injectNanN = flag.Int("inject-nan-n", 0,
+			"TESTING ONLY: poison serial-backend runs whose realized particle count matches this requested N with a NaN internal energy (0 disables)")
+		injectNanStep = flag.Int("inject-nan-step", 1,
+			"step after which -inject-nan-n poisons the run")
+		injectNanScenario = flag.String("inject-nan-scenario", "sedov",
+			"scenario used to resolve -inject-nan-n to a realized particle count")
 	)
 	flag.Parse()
 	if err := run(*addr, *workers, *queue, *dataDir, *ckptEvery, *machine,
-		*storeDir, *storeTTL, *storeMax, *sweep, *pprofAddr, *logLevel); err != nil {
+		*storeDir, *storeTTL, *storeMax, *sweep, *pprofAddr, *logLevel,
+		*injectNanN, *injectNanStep, *injectNanScenario); err != nil {
 		fmt.Fprintln(os.Stderr, "sphexa-serve:", err)
 		os.Exit(1)
 	}
@@ -83,7 +93,7 @@ func main() {
 
 func run(addr string, workers, queue int, dataDir string, ckptEvery int, machine,
 	storeDir string, storeTTL time.Duration, storeMax int64, sweep time.Duration,
-	pprofAddr, logLevel string) error {
+	pprofAddr, logLevel string, injectNanN, injectNanStep int, injectNanScenario string) error {
 	m, err := perfmodel.ByName(machine)
 	if err != nil {
 		return err
@@ -129,6 +139,30 @@ func run(addr string, workers, queue int, dataDir string, ckptEvery int, machine
 				}
 			}()
 		}
+	}
+	if injectNanN > 0 {
+		// Fault injection for analytics smoke tests: a NaN poisoned into
+		// one designated run gives the fleet-clustering endpoint a known
+		// anomaly to find. The requested N is resolved through the scenario
+		// generator once at startup (generators round to lattice sides), so
+		// the hook can match executing runs by realized particle count.
+		sc, err := scenario.Get(injectNanScenario)
+		if err != nil {
+			return fmt.Errorf("-inject-nan-scenario: %w", err)
+		}
+		ps, _, err := sc.Generate(scenario.Params{N: injectNanN})
+		if err != nil {
+			return fmt.Errorf("resolving -inject-nan-n: %w", err)
+		}
+		target := ps.NLocal
+		opts.FaultInjection = func(step int, ps *part.Set) {
+			if step == injectNanStep && ps.NLocal == target {
+				ps.U[0] = math.NaN()
+			}
+		}
+		logger.Warn("fault injection armed: NaN internal energy",
+			"scenario", injectNanScenario, "requestedN", injectNanN,
+			"realizedN", target, "step", injectNanStep)
 	}
 	srv := server.New(opts)
 	defer srv.Close()

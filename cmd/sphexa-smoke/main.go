@@ -22,7 +22,14 @@
 //     X-Request-Id and carry Server-Timing, /statusz shows the route
 //     latency digest and job phase totals for the traffic the earlier legs
 //     generated, and /metricsz serves the Prometheus exposition with the
-//     request and lifecycle families populated.
+//     request and lifecycle families populated;
+//  7. with -analytics-nan-n set (and the server started with the matching
+//     -inject-nan-n/-inject-nan-step fault injection), fleet analytics work
+//     end to end: a seeded sedov fleet with one NaN-poisoned member is
+//     clustered by POST /v1/analytics/cluster and the improper noise
+//     component flags exactly the poisoned run — on the result, the job
+//     view, /statusz, and /metricsz — with the identical resubmission
+//     served as a cache hit.
 //
 // Any regression exits non-zero, which is what CI keys on.
 //
@@ -41,6 +48,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/scenario"
 	"repro/pkg/client"
@@ -62,6 +70,13 @@ func main() {
 		sclN      = flag.Int("scaling-n", 4000, "particle count of the scaling sweep members")
 		sclSteps  = flag.Int("scaling-steps", 5, "steps per scaling sweep member")
 		maxSerial = flag.Float64("max-serial", 0.6, "upper bound on the fitted Amdahl serial fraction")
+
+		anaNanN = flag.Int("analytics-nan-n", 0,
+			"particle count of the poisoned analytics fleet member; must match the server's -inject-nan-n (0 skips the analytics leg)")
+		anaFleet = flag.Int("analytics-fleet", 10, "healthy members in the seeded analytics fleet")
+		anaN     = flag.Int("analytics-n", 216, "particle count of the healthy analytics fleet members")
+		anaSteps = flag.Int("analytics-steps", 3,
+			"steps per analytics fleet member; the server's -inject-nan-step should equal this so the poison lands after the final step")
 	)
 	flag.Parse()
 	if err := run(*addr, *scen, *nsCSV, *steps, *nbrs, *cores, *timeout, *minOrder, *maxOrder); err != nil {
@@ -75,6 +90,12 @@ func main() {
 	if err := runObservability(*addr, *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, "sphexa-smoke: FAIL:", err)
 		os.Exit(1)
+	}
+	if *anaNanN > 0 {
+		if err := runAnalytics(*addr, *timeout, *anaNanN, *anaFleet, *anaN, *anaSteps); err != nil {
+			fmt.Fprintln(os.Stderr, "sphexa-smoke: FAIL:", err)
+			os.Exit(1)
+		}
 	}
 	fmt.Println("sphexa-smoke: PASS")
 }
@@ -332,6 +353,151 @@ func runScaling(addr, scen, coresCSV string, n, steps, nbrs int,
 		return fmt.Errorf("identical scaling sweeps hashed differently: %s vs %s", scl.Hash, again.Hash)
 	}
 	fmt.Println("identical scaling resubmission: cache hit")
+	return nil
+}
+
+// runAnalytics drives the /v1/analytics/cluster contract: a seeded sedov
+// fleet with one server-side NaN-poisoned member is clustered over physics
+// features, and the improper noise component must flag exactly the poisoned
+// run — on the analysis result, on the flagged job's view, and on the
+// /statusz + /metricsz rollups — with the identical resubmission served as
+// a cache hit. Requires sphexa-serve started with -inject-nan-n nanN and
+// -inject-nan-step equal to the fleet's step count.
+func runAnalytics(addr string, timeout time.Duration, nanN, fleet, healthyN, steps int) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	c := client.New(addr, client.WithRetry(client.RetryPolicy{MaxAttempts: 5}))
+
+	// Seed the verification fleet: healthy members across a gentle blast
+	// energy ramp (distinct specs, smoothly varying physics) plus the one
+	// member whose particle count the server's injection hook poisons.
+	member := func(n int, energy float64) scenario.JobSpec {
+		return scenario.JobSpec{
+			Spec: scenario.Spec{
+				Scenario: "sedov",
+				Params: scenario.Params{
+					N: n, NNeighbors: 20,
+					Extra: map[string]float64{"energy": energy},
+				},
+				Steps: steps,
+			},
+			Exec: scenario.Exec{Backend: scenario.BackendSerial},
+		}
+	}
+	var ids []string
+	for i := 0; i < fleet; i++ {
+		j, err := c.Submit(ctx, member(healthyN, 1+0.005*float64(i)))
+		if err != nil {
+			return fmt.Errorf("seeding analytics fleet: %w", err)
+		}
+		ids = append(ids, j.ID)
+	}
+	nanJob, err := c.Submit(ctx, member(nanN, 1))
+	if err != nil {
+		return fmt.Errorf("seeding poisoned member: %w", err)
+	}
+	ids = append(ids, nanJob.ID)
+	for _, id := range ids {
+		j, err := c.WaitJob(ctx, id)
+		if err != nil {
+			return fmt.Errorf("waiting for fleet member %s: %w", id, err)
+		}
+		if j.State != client.StateCompleted {
+			return fmt.Errorf("fleet member %s ended %s: %s", id, j.State, j.Error)
+		}
+	}
+	fmt.Printf("analytics fleet: %d healthy + 1 poisoned (N=%d) completed\n", fleet, nanN)
+
+	// Cluster on physics features only — phase time shares are wall-clock
+	// scheduling noise on a shared CI worker pool.
+	spec := cluster.Spec{
+		Scenario: "sedov",
+		Features: []string{
+			cluster.GroupNorms, cluster.GroupPlateau,
+			cluster.GroupConservation, cluster.GroupWatchdogs,
+		},
+		KLadder:       []int{1, 2},
+		MinProportion: 0.2,
+	}
+	cls, err := c.SubmitCluster(ctx, spec)
+	if err != nil {
+		return fmt.Errorf("submitting cluster analysis: %w", err)
+	}
+	if cls, err = c.WaitCluster(ctx, cls.ID); err != nil {
+		return fmt.Errorf("waiting for cluster analysis: %w", err)
+	}
+	if cls.State != string(client.StateCompleted) || cls.Result == nil {
+		return fmt.Errorf("cluster analysis ended %s: %s", cls.State, cls.Error)
+	}
+	res := cls.Result
+	fmt.Printf("analysis %s: %d jobs, k=%d, CPCC %.3f\n", cls.ID, cls.Jobs, res.K, res.CPCC)
+	var flagged []string
+	for _, m := range res.Members {
+		if m.Anomaly {
+			flagged = append(flagged, m.Hash)
+		}
+	}
+	if len(flagged) != 1 || flagged[0] != nanJob.Hash {
+		return fmt.Errorf("improper component flagged %v, want exactly the poisoned run %s",
+			flagged, nanJob.Hash)
+	}
+	fmt.Printf("improper noise component: flagged exactly the poisoned run %.12s\n", nanJob.Hash)
+
+	// The flagged job's view carries the anomaly rollup.
+	j, err := c.Job(ctx, nanJob.ID)
+	if err != nil {
+		return fmt.Errorf("fetching poisoned job view: %w", err)
+	}
+	if j.Anomaly == nil || j.Anomaly.Analysis != cls.ID {
+		return fmt.Errorf("poisoned job view lacks the anomaly mark: %+v", j.Anomaly)
+	}
+
+	// Identical resubmission is a cache hit on the persisted analysis.
+	again, err := c.SubmitCluster(ctx, spec)
+	if err != nil {
+		return fmt.Errorf("resubmitting cluster analysis: %w", err)
+	}
+	if !again.CacheHit || again.State != string(client.StateCompleted) {
+		return fmt.Errorf("identical analysis resubmission was not a cache hit: state=%s cacheHit=%v",
+			again.State, again.CacheHit)
+	}
+	if again.Hash != cls.Hash {
+		return fmt.Errorf("identical analyses hashed differently: %s vs %s", cls.Hash, again.Hash)
+	}
+	fmt.Println("identical analysis resubmission: cache hit")
+
+	// The anomaly shows on the operator surfaces.
+	fetch := func(path string) (string, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+path, nil)
+		if err != nil {
+			return "", err
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return "", fmt.Errorf("GET %s: %w", path, err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return "", fmt.Errorf("GET %s: reading body: %w", path, err)
+		}
+		return string(b), nil
+	}
+	statusz, err := fetch("/statusz")
+	if err != nil {
+		return err
+	}
+	if !strings.Contains(statusz, "anomalies") {
+		return fmt.Errorf("/statusz missing the anomaly table:\n%s", statusz)
+	}
+	metricsz, err := fetch("/metricsz")
+	if err != nil {
+		return err
+	}
+	if !strings.Contains(metricsz, `analytics_anomalies_total{scenario="sedov"} 1`) {
+		return fmt.Errorf("/metricsz missing analytics_anomalies_total for the flagged run")
+	}
+	fmt.Println("analytics: anomaly visible on /statusz and /metricsz")
 	return nil
 }
 

@@ -1,0 +1,328 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Defaults and hard limits for an analysis. Spec.Canonical materializes
+// every default so that the empty spec and the fully spelled-out default
+// spec hash identically.
+const (
+	// MaxJobs bounds one analysis: the O(n²) dendrogram and the n×(k+1)
+	// EM responsibilities stay cheap. Exceeding it is an explicit error,
+	// never a silent truncation of the fleet.
+	MaxJobs = 2048
+	// MinJobs is the smallest fleet worth fitting a mixture over.
+	MinJobs = 5
+	// MaxK caps the BIC ladder.
+	MaxK = 8
+
+	// DefaultNoiseRadius is deliberately conservative: feature columns
+	// co-move (a job's trimmed L1/L2/L∞ rise and fall together), so the
+	// independence-based χ² scaling inside the fit underestimates the
+	// healthy fleet's squared-radius spread. The improper component exists
+	// to catch gross anomalies — NaN blowups, order-of-magnitude
+	// regressions — not 3σ stragglers.
+	DefaultNoiseRadius   = 5.0
+	DefaultEigRatio      = 100.0
+	DefaultMinProportion = 0.05
+
+	maxIter = 200
+	emTol   = 1e-8
+)
+
+// defaultKLadder is the k grid BIC searches when the spec leaves it empty.
+func defaultKLadder() []int { return []int{1, 2, 3} }
+
+// Spec is the client-facing analysis request: which slice of the persisted
+// verification corpus to cluster and how. The zero value means "cluster
+// everything with the defaults".
+type Spec struct {
+	// Scenario restricts the fleet to jobs of one scenario; empty means all.
+	Scenario string `json:"scenario,omitempty"`
+	// Features selects feature groups (see FeatureGroups); empty means all.
+	Features []string `json:"features,omitempty"`
+	// KLadder is the set of proper-component counts BIC chooses between.
+	KLadder []int `json:"kLadder,omitempty"`
+	// NoiseRadius r sets the improper component's constant density to the
+	// unit-Gaussian density at Mahalanobis radius r.
+	NoiseRadius float64 `json:"noiseRadius,omitempty"`
+	// EigRatio γ bounds the covariance eigenvalue spread (band γ²).
+	EigRatio float64 `json:"eigRatio,omitempty"`
+	// MinProportion invalidates fits whose smallest proper component holds
+	// less than this share of the fleet.
+	MinProportion float64 `json:"minProportion,omitempty"`
+}
+
+// Canonical validates the spec and materializes every default: features
+// deduplicated into canonical group order, the k ladder sorted and
+// deduplicated, numeric knobs filled in. Two specs asking for the same
+// analysis canonicalize — and therefore hash — identically.
+func (sp Spec) Canonical() (Spec, error) {
+	out := sp
+	if len(sp.Features) == 0 {
+		out.Features = append([]string(nil), FeatureGroups...)
+	} else {
+		seen := map[string]bool{}
+		valid := map[string]bool{}
+		for _, g := range FeatureGroups {
+			valid[g] = true
+		}
+		for _, g := range sp.Features {
+			if !valid[g] {
+				return Spec{}, fmt.Errorf("unknown feature group %q (have %v)", g, FeatureGroups)
+			}
+			seen[g] = true
+		}
+		out.Features = nil
+		for _, g := range FeatureGroups {
+			if seen[g] {
+				out.Features = append(out.Features, g)
+			}
+		}
+	}
+	if len(sp.KLadder) == 0 {
+		out.KLadder = defaultKLadder()
+	} else {
+		seen := map[int]bool{}
+		out.KLadder = nil
+		for _, k := range sp.KLadder {
+			if k < 1 || k > MaxK {
+				return Spec{}, fmt.Errorf("k ladder entry %d outside [1, %d]", k, MaxK)
+			}
+			if !seen[k] {
+				seen[k] = true
+				out.KLadder = append(out.KLadder, k)
+			}
+		}
+		sort.Ints(out.KLadder)
+	}
+	switch {
+	case sp.NoiseRadius == 0:
+		out.NoiseRadius = DefaultNoiseRadius
+	case sp.NoiseRadius < 1 || sp.NoiseRadius > 100 || math.IsNaN(sp.NoiseRadius):
+		return Spec{}, fmt.Errorf("noise radius %v outside [1, 100]", sp.NoiseRadius)
+	}
+	switch {
+	case sp.EigRatio == 0:
+		out.EigRatio = DefaultEigRatio
+	case sp.EigRatio < 1 || math.IsNaN(sp.EigRatio) || math.IsInf(sp.EigRatio, 0):
+		return Spec{}, fmt.Errorf("eigenratio %v must be >= 1", sp.EigRatio)
+	}
+	switch {
+	case sp.MinProportion == 0:
+		out.MinProportion = DefaultMinProportion
+	case sp.MinProportion < 0 || sp.MinProportion >= 0.5 || math.IsNaN(sp.MinProportion):
+		return Spec{}, fmt.Errorf("minimum proportion %v outside (0, 0.5)", sp.MinProportion)
+	}
+	return out, nil
+}
+
+// Hash is the canonical content hash of the spec alone (domain-separated,
+// like every other hashed payload in this codebase).
+func (sp Spec) Hash() (string, error) {
+	c, err := sp.Canonical()
+	if err != nil {
+		return "", err
+	}
+	payload, err := json.Marshal(struct {
+		Kind string `json:"kind"`
+		Spec Spec   `json:"spec"`
+	}{Kind: "analytics/cluster-spec", Spec: c})
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(payload)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// AnalysisHash identifies one analysis run: the canonical spec plus the
+// sorted set of member report hashes it ran over. New data in the store
+// changes the hash — so resubmitting after more jobs complete recomputes,
+// while resubmitting over an unchanged corpus (including across a server
+// restart) is a byte-identical cache hit.
+func AnalysisHash(sp Spec, reportHashes []string) (string, error) {
+	c, err := sp.Canonical()
+	if err != nil {
+		return "", err
+	}
+	sorted := append([]string(nil), reportHashes...)
+	sort.Strings(sorted)
+	payload, err := json.Marshal(struct {
+		Kind    string   `json:"kind"`
+		Spec    Spec     `json:"spec"`
+		Reports []string `json:"reports"`
+	}{Kind: "analytics/cluster", Spec: c, Reports: sorted})
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(payload)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// JobResult is one clustered job: its store hash, the component the fit
+// assigned it to (0 is the improper noise component), and the posterior
+// probability of that noise membership. Anomaly == (Component == 0).
+type JobResult struct {
+	Hash      string  `json:"hash"`
+	Scenario  string  `json:"scenario,omitempty"`
+	Component int     `json:"component"`
+	Anomaly   bool    `json:"anomaly"`
+	NoiseProb float64 `json:"noiseProb"`
+}
+
+// ComponentSummary aggregates one mixture component over the fleet.
+type ComponentSummary struct {
+	Component  int     `json:"component"` // 0 = improper/noise
+	Proportion float64 `json:"proportion"`
+	Size       int     `json:"size"`
+}
+
+// BICPoint records one rung of the k ladder. Invalid fits carry a reason
+// instead of a score (an infinite BIC is not representable in JSON).
+type BICPoint struct {
+	K      int     `json:"k"`
+	Valid  bool    `json:"valid"`
+	BIC    float64 `json:"bic,omitempty"`
+	LogLik float64 `json:"logLik,omitempty"`
+	Reason string  `json:"reason,omitempty"`
+}
+
+// Skipped records a job that was enumerated but not clustered, and why.
+type Skipped struct {
+	Hash   string `json:"hash"`
+	Reason string `json:"reason"`
+}
+
+// Result is the persisted product of one analysis. It contains only slices
+// and scalars — no maps — so its JSON marshaling is deterministic and the
+// store's byte-identical cache-hit contract holds.
+type Result struct {
+	Spec            Spec               `json:"spec"`
+	SpecHash        string             `json:"specHash"`
+	Jobs            int                `json:"jobs"`
+	Features        []string           `json:"features"`
+	DroppedFeatures []string           `json:"droppedFeatures,omitempty"`
+	K               int                `json:"k"`
+	BIC             []BICPoint         `json:"bic"`
+	Components      []ComponentSummary `json:"components"`
+	Members         []JobResult        `json:"members"`
+	Anomalies       int                `json:"anomalies"`
+	CPCC            float64            `json:"cpcc"`
+	Dendrogram      []Merge            `json:"dendrogram,omitempty"`
+	SkippedJobs     []Skipped          `json:"skippedJobs,omitempty"`
+}
+
+// Analyze runs the full pipeline over the given jobs: extract, robust-
+// standardize, fit RIMLE at every rung of the k ladder, keep the best
+// valid fit by BIC, and agglomerate the standardized fleet into a
+// dendrogram scored by CPCC.
+func Analyze(spec Spec, jobs []JobData) (*Result, error) {
+	cspec, err := spec.Canonical()
+	if err != nil {
+		return nil, err
+	}
+	if len(jobs) > MaxJobs {
+		return nil, fmt.Errorf("analysis over %d jobs exceeds the %d-job cap; narrow the scenario filter", len(jobs), MaxJobs)
+	}
+	// Canonical member order: by store hash, so identical inputs always
+	// produce byte-identical results regardless of enumeration order.
+	ordered := append([]JobData(nil), jobs...)
+	sort.Slice(ordered, func(a, b int) bool { return ordered[a].Hash < ordered[b].Hash })
+
+	m := extract(cspec, ordered)
+	n := len(m.rows)
+	if n < MinJobs {
+		return nil, fmt.Errorf("only %d clusterable jobs (need at least %d); seed more completed runs", n, MinJobs)
+	}
+	z, used, dropped := standardize(m)
+	if len(used) == 0 {
+		return nil, fmt.Errorf("every feature column is constant across the fleet; nothing to cluster")
+	}
+
+	specHash, err := cspec.Hash()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Spec:            cspec,
+		SpecHash:        specHash,
+		Jobs:            n,
+		Features:        used,
+		DroppedFeatures: dropped,
+		SkippedJobs:     m.skipped,
+	}
+
+	var best *rimleFit
+	for _, k := range cspec.KLadder {
+		if k >= n {
+			res.BIC = append(res.BIC, BICPoint{K: k, Reason: "more components than jobs"})
+			continue
+		}
+		fit := fitRIMLE(z, rimleConfig{
+			K:             k,
+			NoiseRadius:   cspec.NoiseRadius,
+			EigRatio:      cspec.EigRatio,
+			MinProportion: cspec.MinProportion,
+			MaxIter:       maxIter,
+			Tol:           emTol,
+		})
+		pt := BICPoint{K: k, Valid: fit.Valid}
+		if fit.Valid {
+			pt.BIC, pt.LogLik = fit.BIC, fit.LogLik
+		} else {
+			pt.Reason = fit.Reason
+		}
+		res.BIC = append(res.BIC, pt)
+		if fit.Valid && (best == nil || fit.BIC < best.BIC) {
+			best = fit
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("no valid mixture fit on the k ladder %v (every rung degenerate)", cspec.KLadder)
+	}
+
+	res.K = best.K
+	counts := make([]int, best.K+1)
+	for i := 0; i < n; i++ {
+		comp := best.Assign[i]
+		counts[comp]++
+		member := JobResult{
+			Hash:      m.hashes[i],
+			Scenario:  m.scenarios[i],
+			Component: comp,
+			Anomaly:   comp == 0,
+			NoiseProb: roundTiny(best.NoiseProb[i]),
+		}
+		if member.Anomaly {
+			res.Anomalies++
+		}
+		res.Members = append(res.Members, member)
+	}
+	for c := 0; c <= best.K; c++ {
+		res.Components = append(res.Components, ComponentSummary{
+			Component:  c,
+			Proportion: roundTiny(best.Props[c]),
+			Size:       counts[c],
+		})
+	}
+
+	dg := buildDendrogram(z)
+	res.CPCC = roundTiny(dg.CPCC)
+	res.Dendrogram = dg.Merges
+	return res, nil
+}
+
+// roundTiny snaps denormal-scale float noise to zero so persisted results
+// don't encode 1e-300-scale EM residue that differs across architectures.
+func roundTiny(v float64) float64 {
+	if math.Abs(v) < 1e-12 {
+		return 0
+	}
+	return v
+}

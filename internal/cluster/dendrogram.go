@@ -1,0 +1,204 @@
+package cluster
+
+import (
+	"math"
+	"sort"
+)
+
+// Agglomerative average-linkage clustering via the nearest-neighbor chain
+// algorithm (O(n²) with the Lance–Williams update; average linkage is
+// reducible, so the chain algorithm produces the exact hierarchy), plus the
+// cophenetic correlation coefficient (CPCC) — the Pearson correlation
+// between the original pairwise distances and the dendrogram heights at
+// which each pair first merges. CPCC is the classical fit-quality score for
+// a hierarchy: near 1 means the tree faithfully encodes the fleet's
+// distance structure, low values mean the hierarchy is an artifact.
+
+// Merge is one agglomeration step in scipy linkage convention: A and B are
+// cluster indices (below n: leaf rows; n+i: the cluster formed by merge i),
+// Height is the average-linkage distance at which they join, and Size is
+// the leaf count of the merged cluster.
+type Merge struct {
+	A      int     `json:"a"`
+	B      int     `json:"b"`
+	Height float64 `json:"height"`
+	Size   int     `json:"size"`
+}
+
+// Dendrogram is the full agglomeration of one analysis, merges ordered by
+// non-decreasing height, with its cophenetic correlation score.
+type Dendrogram struct {
+	Merges []Merge `json:"merges"`
+	CPCC   float64 `json:"cpcc"`
+}
+
+// buildDendrogram agglomerates the rows of x under average linkage and
+// scores the result with the CPCC. Callers guarantee len(x) >= 2.
+func buildDendrogram(x [][]float64) *Dendrogram {
+	n := len(x)
+	dist := make([][]float64, n)
+	orig := make([][]float64, n) // immutable copy for the CPCC
+	for i := range dist {
+		dist[i] = make([]float64, n)
+		orig[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := math.Sqrt(sqDist(x[i], x[j]))
+			dist[i][j], dist[j][i] = d, d
+			orig[i][j], orig[j][i] = d, d
+		}
+	}
+
+	// Active clusters are tracked in the same n slots the leaves start in;
+	// a merge collapses into slot min(a,b) and retires the other slot.
+	active := make([]bool, n)
+	size := make([]int, n)
+	clusterID := make([]int, n) // scipy id currently held by each slot
+	for i := 0; i < n; i++ {
+		active[i], size[i], clusterID[i] = true, 1, i
+	}
+
+	type rawMerge struct {
+		a, b   int // scipy ids at merge time
+		height float64
+		size   int
+	}
+	var raw []rawMerge
+	var chain []int
+	remaining := n
+	for remaining > 1 {
+		if len(chain) == 0 {
+			for i := 0; i < n; i++ {
+				if active[i] {
+					chain = append(chain, i)
+					break
+				}
+			}
+		}
+		for {
+			a := chain[len(chain)-1]
+			// Nearest active neighbor of a, ties to the smallest slot —
+			// except that the chain predecessor wins ties outright, which
+			// guarantees termination when several inter-cluster distances
+			// are exactly equal (the chain cannot cycle).
+			b, best := -1, math.Inf(1)
+			for j := 0; j < n; j++ {
+				if j == a || !active[j] {
+					continue
+				}
+				if dist[a][j] < best {
+					b, best = j, dist[a][j]
+				}
+			}
+			if len(chain) >= 2 {
+				if prev := chain[len(chain)-2]; dist[a][prev] <= best {
+					b = prev
+				}
+			}
+			if len(chain) >= 2 && b == chain[len(chain)-2] {
+				// Reciprocal nearest neighbors: merge a and b.
+				chain = chain[:len(chain)-2]
+				lo, hi := a, b
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				raw = append(raw, rawMerge{
+					a: clusterID[lo], b: clusterID[hi],
+					height: dist[lo][hi], size: size[lo] + size[hi],
+				})
+				// Lance–Williams average-linkage update into slot lo.
+				for j := 0; j < n; j++ {
+					if j == lo || j == hi || !active[j] {
+						continue
+					}
+					d := (float64(size[lo])*dist[lo][j] + float64(size[hi])*dist[hi][j]) /
+						float64(size[lo]+size[hi])
+					dist[lo][j], dist[j][lo] = d, d
+				}
+				size[lo] += size[hi]
+				clusterID[lo] = n + len(raw) - 1
+				active[hi] = false
+				remaining--
+				break
+			}
+			chain = append(chain, b)
+		}
+	}
+
+	// The chain algorithm discovers merges out of height order; average
+	// linkage is monotone, so a stable sort by height yields a valid
+	// hierarchy with children always preceding parents. Relabel the scipy
+	// ids to match the sorted order.
+	order := make([]int, len(raw))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return raw[order[a]].height < raw[order[b]].height })
+	relabel := make(map[int]int, len(raw))
+	merges := make([]Merge, len(raw))
+	for newIdx, oldIdx := range order {
+		relabel[n+oldIdx] = n + newIdx
+	}
+	mapID := func(id int) int {
+		if id < n {
+			return id
+		}
+		return relabel[id]
+	}
+	for newIdx, oldIdx := range order {
+		r := raw[oldIdx]
+		a, b := mapID(r.a), mapID(r.b)
+		if a > b {
+			a, b = b, a
+		}
+		merges[newIdx] = Merge{A: a, B: b, Height: r.height, Size: r.size}
+	}
+
+	return &Dendrogram{Merges: merges, CPCC: cpcc(orig, merges)}
+}
+
+// cpcc computes the cophenetic correlation: the cophenetic distance of a
+// pair is the height of the first merge that places them in one cluster;
+// processing merges in height order and crossing member lists touches each
+// pair exactly once (Σ|A|·|B| = n(n-1)/2 work total).
+func cpcc(orig [][]float64, merges []Merge) float64 {
+	n := len(orig)
+	coph := make([][]float64, n)
+	for i := range coph {
+		coph[i] = make([]float64, n)
+	}
+	members := make([][]int, n+len(merges))
+	for i := 0; i < n; i++ {
+		members[i] = []int{i}
+	}
+	for mi, m := range merges {
+		for _, a := range members[m.A] {
+			for _, b := range members[m.B] {
+				coph[a][b], coph[b][a] = m.Height, m.Height
+			}
+		}
+		merged := append(append([]int(nil), members[m.A]...), members[m.B]...)
+		members[n+mi] = merged
+	}
+
+	// Pearson correlation over the strict lower triangle.
+	var sx, sy, sxx, syy, sxy float64
+	cnt := float64(n*(n-1)) / 2
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			x, y := orig[i][j], coph[i][j]
+			sx += x
+			sy += y
+			sxx += x * x
+			syy += y * y
+			sxy += x * y
+		}
+	}
+	num := sxy - sx*sy/cnt
+	den := math.Sqrt((sxx - sx*sx/cnt) * (syy - sy*sy/cnt))
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}

@@ -1,0 +1,381 @@
+package cluster
+
+import (
+	"math"
+	"sort"
+)
+
+// RIMLE — robust improper maximum likelihood estimation (Coretto & Hennig,
+// arXiv:1406.0808) — fits a pseudo-mixture of k proper Gaussian components
+// and one improper "noise" component of constant density δ over all of
+// space. The improper component has no normalizable distribution, which is
+// exactly the point: any observation far from every proper component is
+// cheaper to explain at density δ than under a stretched Gaussian, so gross
+// outliers are absorbed without breaking the proper components' parameter
+// estimates (the breakdown-robustness result of arXiv:1309.6895).
+//
+// Engineering simplifications, each documented where it bites:
+//   - covariances are diagonal (per-dimension variances) — the features are
+//     already robust-standardized, and a fleet of a few hundred jobs cannot
+//     support O(d²) covariance estimation per component;
+//   - the eigenratio constraint is enforced by truncating all per-dimension
+//     variances into [m/γ, m·γ] with m the median raw variance, bounding
+//     the eigenvalue ratio by γ² (the "truncation at a fixed level" scheme
+//     of tclust-style ERC enforcement);
+//   - δ is fixed from the noise radius r as the unit-covariance Gaussian
+//     density at squared Mahalanobis radius q_r(d) = d + r·√(2d) + r² — a
+//     normal-approximation tail point of χ²_d sitting r deviations beyond
+//     its mean. The dimension term matters: a typical d-dimensional
+//     standardized point already has squared radius ≈ d, so a fixed r²
+//     cutoff would drown whole healthy fleets in the noise component as d
+//     grows.
+
+// rimleConfig parameterizes one EM fit at a fixed k. Values are materialized
+// by Spec.Canonical; zero values here are not defaulted again.
+type rimleConfig struct {
+	K             int
+	NoiseRadius   float64 // δ = Gaussian density at this unit-covariance radius
+	EigRatio      float64 // γ: variance truncation band [m/γ, m·γ]
+	MinProportion float64 // proper components below this invalidate the fit
+	MaxIter       int
+	Tol           float64
+}
+
+// rimleFit is the result of one EM run at a fixed k.
+type rimleFit struct {
+	K         int
+	LogLik    float64 // pseudo-log-likelihood at convergence
+	BIC       float64 // -2·LL + p·ln n, p = k + 2kd; +Inf when invalid
+	Valid     bool
+	Reason    string      // why the fit is invalid, when it is
+	Props     []float64   // len K+1; index 0 is the improper component
+	Means     [][]float64 // K × d
+	Variances [][]float64 // K × d
+	Assign    []int       // per point: 0 = improper/noise, 1..K proper
+	NoiseProb []float64   // per-point posterior of the improper component
+	Iters     int
+}
+
+const (
+	varFloor = 1e-12 // absolute variance floor against exact collapse
+	// minEffWeight guards M-step divisions: a component whose effective
+	// sample size falls below it keeps its previous parameters and will be
+	// invalidated by the MinProportion check.
+	minEffWeight = 1e-9
+)
+
+// logNormalDiag is the log-density of a diagonal Gaussian.
+func logNormalDiag(x, mean, variance []float64) float64 {
+	ll := -0.5 * float64(len(x)) * math.Log(2*math.Pi)
+	for j := range x {
+		d := x[j] - mean[j]
+		ll -= 0.5 * (math.Log(variance[j]) + d*d/variance[j])
+	}
+	return ll
+}
+
+// sqDist is the squared Euclidean distance between rows.
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for j := range a {
+		d := a[j] - b[j]
+		s += d * d
+	}
+	return s
+}
+
+// logSumExp of a short slice.
+func logSumExp(xs []float64) float64 {
+	max := math.Inf(-1)
+	for _, v := range xs {
+		if v > max {
+			max = v
+		}
+	}
+	if math.IsInf(max, -1) {
+		return max
+	}
+	var s float64
+	for _, v := range xs {
+		s += math.Exp(v - max)
+	}
+	return max + math.Log(s)
+}
+
+// initCenters seeds the k component means deterministically and robustly:
+// points are ranked by isolation (distance to their 3rd-nearest neighbor),
+// the most isolated decile is excluded from seeding so gross outliers can
+// never become centers, the first center is the medoid of the remaining
+// core, and the rest follow by farthest-first traversal within the core.
+// Ties break by row index, so the same data always seeds the same centers.
+func initCenters(x [][]float64, k int) [][]float64 {
+	n := len(x)
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := math.Sqrt(sqDist(x[i], x[j]))
+			dist[i][j], dist[j][i] = d, d
+		}
+	}
+	// Isolation: distance to the min(3, n-1)-th nearest other point.
+	kth := 3
+	if kth > n-1 {
+		kth = n - 1
+	}
+	iso := make([]float64, n)
+	scratch := make([]float64, 0, n-1)
+	for i := 0; i < n; i++ {
+		scratch = scratch[:0]
+		for j := 0; j < n; j++ {
+			if j != i {
+				scratch = append(scratch, dist[i][j])
+			}
+		}
+		sort.Float64s(scratch)
+		iso[i] = scratch[kth-1]
+	}
+	// Core = all but the most isolated ~10%, never fewer than k points.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if iso[order[a]] != iso[order[b]] {
+			return iso[order[a]] < iso[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	coreN := n - n/10
+	if coreN < k {
+		coreN = k
+	}
+	if coreN > n {
+		coreN = n
+	}
+	core := append([]int(nil), order[:coreN]...)
+	sort.Ints(core)
+
+	// First center: medoid of the core.
+	best, bestSum := core[0], math.Inf(1)
+	for _, i := range core {
+		var s float64
+		for _, j := range core {
+			s += dist[i][j]
+		}
+		if s < bestSum {
+			best, bestSum = i, s
+		}
+	}
+	chosen := []int{best}
+	for len(chosen) < k {
+		next, nextD := -1, -1.0
+		for _, i := range core {
+			dmin := math.Inf(1)
+			for _, c := range chosen {
+				if dist[i][c] < dmin {
+					dmin = dist[i][c]
+				}
+			}
+			if dmin > nextD {
+				next, nextD = i, dmin
+			}
+		}
+		chosen = append(chosen, next)
+	}
+	centers := make([][]float64, k)
+	for i, c := range chosen {
+		centers[i] = append([]float64(nil), x[c]...)
+	}
+	return centers
+}
+
+// truncateVariances applies the eigenratio constraint: every per-dimension
+// variance is clamped into [m/γ, m·γ] around the median raw variance m.
+func truncateVariances(variances [][]float64, gamma float64) {
+	var all []float64
+	for _, vs := range variances {
+		all = append(all, vs...)
+	}
+	m := selectMedian(all)
+	if m < varFloor {
+		m = varFloor
+	}
+	lo, hi := m/gamma, m*gamma
+	if lo < varFloor {
+		lo = varFloor
+	}
+	for _, vs := range variances {
+		for j := range vs {
+			if vs[j] < lo {
+				vs[j] = lo
+			}
+			if vs[j] > hi {
+				vs[j] = hi
+			}
+		}
+	}
+}
+
+// fitRIMLE runs one deterministic EM fit at cfg.K components.
+func fitRIMLE(x [][]float64, cfg rimleConfig) *rimleFit {
+	n := len(x)
+	k := cfg.K
+	d := len(x[0])
+	fit := &rimleFit{K: k, BIC: math.Inf(1)}
+
+	r := cfg.NoiseRadius
+	q := float64(d) + r*math.Sqrt(2*float64(d)) + r*r
+	logDelta := -0.5*float64(d)*math.Log(2*math.Pi) - 0.5*q
+
+	means := initCenters(x, k)
+	variances := make([][]float64, k)
+	// Initial variances: a robust (MAD-based) per-dimension scale. A plain
+	// sample variance would be inflated by the very outliers the improper
+	// component exists to absorb — a sentinel-scale blowup would widen the
+	// seed Gaussians until the constant-density component out-scores them
+	// everywhere and the whole fleet degenerates into noise.
+	initVar := make([]float64, d)
+	col := make([]float64, n)
+	for j := 0; j < d; j++ {
+		for i, row := range x {
+			col[i] = row[j]
+		}
+		med := median(col)
+		for i, v := range col {
+			col[i] = math.Abs(v - med)
+		}
+		s := madConsistency * selectMedian(col)
+		v := s * s
+		if v == 0 {
+			// Degenerate MAD (e.g. a rarely-set binary column): fall back
+			// to the trimmed spread of the central half of the sample.
+			sorted := make([]float64, n)
+			for i, row := range x {
+				sorted[i] = row[j]
+			}
+			sort.Float64s(sorted)
+			iqr := sorted[(3*n)/4] - sorted[n/4]
+			v = iqr * iqr
+		}
+		if v < 1e-4 {
+			v = 1e-4
+		}
+		initVar[j] = v
+	}
+	for i := range variances {
+		variances[i] = append([]float64(nil), initVar...)
+	}
+	truncateVariances(variances, cfg.EigRatio)
+
+	props := make([]float64, k+1)
+	props[0] = 0.1 // improper component's initial share
+	for i := 1; i <= k; i++ {
+		props[i] = 0.9 / float64(k)
+	}
+
+	resp := make([][]float64, n) // responsibilities, column 0 = improper
+	for i := range resp {
+		resp[i] = make([]float64, k+1)
+	}
+	logp := make([]float64, k+1)
+
+	prevLL := math.Inf(-1)
+	var ll float64
+	iters := 0
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		iters = iter + 1
+		// E-step.
+		ll = 0
+		for i, row := range x {
+			logp[0] = math.Log(props[0]) + logDelta
+			if props[0] == 0 {
+				logp[0] = math.Inf(-1)
+			}
+			for c := 1; c <= k; c++ {
+				if props[c] == 0 {
+					logp[c] = math.Inf(-1)
+					continue
+				}
+				logp[c] = math.Log(props[c]) + logNormalDiag(row, means[c-1], variances[c-1])
+			}
+			lse := logSumExp(logp)
+			ll += lse
+			for c := 0; c <= k; c++ {
+				resp[i][c] = math.Exp(logp[c] - lse)
+			}
+		}
+		// M-step.
+		for c := 0; c <= k; c++ {
+			var nc float64
+			for i := 0; i < n; i++ {
+				nc += resp[i][c]
+			}
+			props[c] = nc / float64(n)
+			if c == 0 {
+				continue // the improper component has no location/scale
+			}
+			if nc < minEffWeight {
+				continue // dying component: parameters frozen, proportion → 0
+			}
+			mu := means[c-1]
+			for j := 0; j < d; j++ {
+				var s float64
+				for i := 0; i < n; i++ {
+					s += resp[i][c] * x[i][j]
+				}
+				mu[j] = s / nc
+			}
+			vs := variances[c-1]
+			for j := 0; j < d; j++ {
+				var s float64
+				for i := 0; i < n; i++ {
+					dv := x[i][j] - mu[j]
+					s += resp[i][c] * dv * dv
+				}
+				vs[j] = s / nc
+			}
+		}
+		truncateVariances(variances, cfg.EigRatio)
+		if math.Abs(ll-prevLL) < cfg.Tol*(1+math.Abs(ll)) {
+			break
+		}
+		prevLL = ll
+	}
+
+	fit.LogLik = ll
+	fit.Iters = iters
+	fit.Props = props
+	fit.Means = means
+	fit.Variances = variances
+	fit.Assign = make([]int, n)
+	fit.NoiseProb = make([]float64, n)
+	for i := 0; i < n; i++ {
+		argmax, best := 0, resp[i][0]
+		for c := 1; c <= k; c++ {
+			if resp[i][c] > best {
+				argmax, best = c, resp[i][c]
+			}
+		}
+		fit.Assign[i] = argmax
+		fit.NoiseProb[i] = resp[i][0]
+	}
+
+	// Validity: every proper component must hold a non-trivial share of the
+	// fleet. This is what keeps a lone outlier from being promoted to its
+	// own "cluster" instead of landing in the improper component.
+	for c := 1; c <= k; c++ {
+		if props[c] < cfg.MinProportion {
+			fit.Reason = "degenerate proper component below minimum proportion"
+			return fit
+		}
+	}
+	fit.Valid = true
+	// Free parameters: k mixing proportions (k+1 summing to one) plus a
+	// mean and a variance per dimension per proper component.
+	p := float64(k + 2*k*d)
+	fit.BIC = -2*ll + p*math.Log(float64(n))
+	return fit
+}

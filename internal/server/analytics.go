@@ -1,0 +1,356 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/store"
+)
+
+// ErrNoStore rejects analytics submissions on a server without a persistent
+// result store: the analysis clusters the *persisted* verification corpus,
+// so there is nothing to cluster without one.
+var ErrNoStore = errors.New("server: no result store attached; analytics requires persisted verification reports")
+
+// ClusterAnalysis is one fleet-clustering resource (POST
+// /v1/analytics/cluster): the persisted verification corpus — optionally
+// narrowed to one scenario — extracted into robust feature vectors and fit
+// with the RIMLE mixture (internal/cluster), whose improper noise component
+// flags anomalous runs. Mutable fields are guarded by the owning Server's
+// mutex.
+type ClusterAnalysis struct {
+	ID   string
+	Spec cluster.Spec // canonical
+	// Hash identifies spec + sorted member report hashes: new completed
+	// runs in the store change it, an unchanged corpus (including across a
+	// restart) is a byte-identical cache hit.
+	Hash  string
+	State JobState
+	// CacheHit marks an analysis whose persisted result was served without
+	// refitting.
+	CacheHit bool
+	Err      string
+	// Jobs is the enumerated dataset size (reports fed to the fit, before
+	// per-job skips).
+	Jobs int
+	// Result is the persisted cluster.Result JSON, served byte-identically
+	// across restarts.
+	Result json.RawMessage
+
+	done   chan struct{}
+	doneAt time.Time
+}
+
+func (a *ClusterAnalysis) lifecycle() (JobState, time.Time) { return a.State, a.doneAt }
+func (a *ClusterAnalysis) cacheHash() string                { return a.Hash }
+
+// AnalysisView is an immutable snapshot of a cluster analysis for JSON
+// responses.
+type AnalysisView struct {
+	ID       string          `json:"id"`
+	Spec     cluster.Spec    `json:"spec"`
+	Hash     string          `json:"hash"`
+	State    JobState        `json:"state"`
+	CacheHit bool            `json:"cacheHit"`
+	Jobs     int             `json:"jobs"`
+	Result   json.RawMessage `json:"result,omitempty"`
+	Error    string          `json:"error,omitempty"`
+}
+
+// AnomalyMark is the rollup a flagged job carries on its views: which
+// analysis assigned it to the improper noise component and with what
+// posterior probability. The newest analysis covering the job wins; an
+// analysis that re-clusters the job into a proper component clears the mark.
+type AnomalyMark struct {
+	Analysis  string  `json:"analysis"`
+	Scenario  string  `json:"scenario,omitempty"`
+	NoiseProb float64 `json:"noiseProb"`
+}
+
+// SubmitAnalysis canonicalizes a cluster spec, enumerates the persisted
+// verification corpus it covers, and resolves the analysis like a job: an
+// active identical analysis coalesces onto the running one, a persisted
+// result (memory layer or store) completes instantly as a byte-identical
+// cache hit, and otherwise the RIMLE fit runs on a collector goroutine.
+// The analysis hash covers the spec AND the sorted member report hashes, so
+// resubmitting after more jobs complete recomputes while an unchanged
+// corpus never does.
+func (s *Server) SubmitAnalysis(sp cluster.Spec) (*AnalysisView, error) {
+	st := s.opts.Store
+	if st == nil {
+		return nil, ErrNoStore
+	}
+	csp, err := sp.Canonical()
+	if err != nil {
+		return nil, err
+	}
+
+	// Enumerate the dataset with the server lock released (the store reads
+	// disk). The scenario filter applies here, before hashing: the analysis
+	// identity is the corpus it actually fits, so unrelated scenarios
+	// completing cannot invalidate a filtered analysis.
+	jobs := s.analysisDataset(csp)
+	if len(jobs) < cluster.MinJobs {
+		return nil, fmt.Errorf("server: only %d persisted verification reports match the spec (need at least %d); seed more completed runs", len(jobs), cluster.MinJobs)
+	}
+	if len(jobs) > cluster.MaxJobs {
+		return nil, fmt.Errorf("server: %d persisted reports match the spec, over the %d-job cap; narrow the scenario filter", len(jobs), cluster.MaxJobs)
+	}
+	hashes := make([]string, len(jobs))
+	for i, jd := range jobs {
+		hashes[i] = jd.Hash
+	}
+	hash, err := cluster.AnalysisHash(csp, hashes)
+	if err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	s.pruneLocked()
+	if active, ok := s.clsByHash[hash]; ok {
+		v := s.clsViewLocked(active)
+		s.mu.Unlock()
+		return &v, nil
+	}
+	s.mu.Unlock()
+
+	// Resolve a completed result with the lock released (the store touches
+	// disk).
+	if raw, hit := s.resolveRawResult(s.clsCache, hash); hit {
+		var res cluster.Result
+		decodable := json.Unmarshal(raw, &res) == nil
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if active, ok := s.clsByHash[hash]; ok {
+			v := s.clsViewLocked(active)
+			return &v, nil
+		}
+		cls := s.newAnalysisLocked(csp, hash, len(jobs))
+		cls.State = StateCompleted
+		cls.CacheHit = true
+		cls.Result = raw
+		cls.doneAt = s.now()
+		close(cls.done)
+		if decodable {
+			// A restart emptied the anomaly rollups; a cache hit re-applies
+			// them so job views and /statusz recover without a refit.
+			s.applyAnomaliesLocked(cls.ID, &res)
+		}
+		s.met.analytics.Inc()
+		s.met.analyticsHits.Inc()
+		s.met.analyticsDone.With(string(StateCompleted)).Inc()
+		v := s.clsViewLocked(cls)
+		return &v, nil
+	}
+
+	s.mu.Lock()
+	if active, ok := s.clsByHash[hash]; ok {
+		// An identical analysis raced in while the lock was released.
+		v := s.clsViewLocked(active)
+		s.mu.Unlock()
+		return &v, nil
+	}
+	cls := s.newAnalysisLocked(csp, hash, len(jobs))
+	cls.State = StateRunning
+	s.clsByHash[hash] = cls
+	v := s.clsViewLocked(cls)
+	s.mu.Unlock()
+	s.met.analytics.Inc()
+
+	go s.collectAnalysis(cls, jobs)
+	return &v, nil
+}
+
+// analysisDataset enumerates every store entry with a persisted verification
+// report, reading the report (and telemetry track, when present) bytes. A
+// scenario-filtered spec keeps only reports whose header names that
+// scenario; reports that fail to decode are excluded from a filtered
+// dataset (their scenario is unknowable) but included in an unfiltered one,
+// where the fit records them as skipped.
+func (s *Server) analysisDataset(csp cluster.Spec) []cluster.JobData {
+	st := s.opts.Store
+	var jobs []cluster.JobData
+	for _, h := range st.ReportHashes() {
+		rep, ok := st.ReadReport(h)
+		if !ok {
+			continue
+		}
+		if csp.Scenario != "" {
+			var hdr struct {
+				Scenario string `json:"scenario"`
+			}
+			if err := json.Unmarshal(rep, &hdr); err != nil || hdr.Scenario != csp.Scenario {
+				continue
+			}
+		}
+		jd := cluster.JobData{Hash: h, Report: rep}
+		if tel, ok := st.ReadTelemetry(h); ok {
+			jd.Telemetry = tel
+		}
+		jobs = append(jobs, jd)
+	}
+	return jobs
+}
+
+// newAnalysisLocked allocates and registers a cluster-analysis record.
+func (s *Server) newAnalysisLocked(csp cluster.Spec, hash string, jobs int) *ClusterAnalysis {
+	s.nextClsID++
+	cls := &ClusterAnalysis{
+		ID:   fmt.Sprintf("cls-%06d", s.nextClsID),
+		Spec: csp,
+		Hash: hash,
+		Jobs: jobs,
+		done: make(chan struct{}),
+	}
+	s.clss[cls.ID] = cls
+	s.clsOrder = append(s.clsOrder, cls.ID)
+	return cls
+}
+
+// collectAnalysis runs the clustering pipeline off the request path,
+// persists the result content-addressed by the analysis hash, and applies
+// the anomaly rollups to the job table.
+func (s *Server) collectAnalysis(cls *ClusterAnalysis, jobs []cluster.JobData) {
+	res, err := cluster.Analyze(cls.Spec, jobs)
+	if err != nil {
+		s.failAnalysis(cls, err.Error())
+		return
+	}
+	raw, err := json.Marshal(res)
+	if err != nil {
+		s.failAnalysis(cls, fmt.Sprintf("encoding result: %v", err))
+		return
+	}
+	if st := s.opts.Store; st != nil {
+		// Persisted like any result: content-addressed by the analysis
+		// hash, CRC-verified on read, subject to the same TTL/LRU policy.
+		_ = st.Put(store.Meta{Hash: cls.Hash}, raw)
+	}
+
+	s.mu.Lock()
+	s.clsCache[cls.Hash] = raw
+	cls.State = StateCompleted
+	cls.Result = raw
+	cls.doneAt = s.now()
+	delete(s.clsByHash, cls.Hash)
+	s.applyAnomaliesLocked(cls.ID, res)
+	close(cls.done)
+	s.mu.Unlock()
+	s.met.analyticsDone.With(string(StateCompleted)).Inc()
+	s.log.Info("cluster analysis completed", "analysis", cls.ID, "hash", cls.Hash,
+		"jobs", res.Jobs, "k", res.K, "anomalies", res.Anomalies)
+}
+
+// failAnalysis terminates a cluster analysis with an error message.
+func (s *Server) failAnalysis(cls *ClusterAnalysis, msg string) {
+	s.mu.Lock()
+	cls.State = StateFailed
+	cls.Err = msg
+	cls.doneAt = s.now()
+	delete(s.clsByHash, cls.Hash)
+	close(cls.done)
+	s.mu.Unlock()
+	s.met.analyticsDone.With(string(StateFailed)).Inc()
+	s.log.Error("cluster analysis failed", "analysis", cls.ID, "hash", cls.Hash, "error", msg)
+}
+
+// applyAnomaliesLocked folds one analysis result into the anomaly rollup
+// table keyed by job spec hash: members the improper component claimed gain
+// (or refresh) a mark, members it released lose theirs. The
+// analytics_anomalies_total counter ticks only on newly flagged jobs, so
+// re-running an identical analysis cannot inflate it.
+func (s *Server) applyAnomaliesLocked(analysisID string, res *cluster.Result) {
+	for _, m := range res.Members {
+		if !m.Anomaly {
+			delete(s.anomalies, m.Hash)
+			continue
+		}
+		if _, already := s.anomalies[m.Hash]; !already {
+			scenario := m.Scenario
+			if scenario == "" {
+				scenario = "unknown"
+			}
+			s.met.anomaliesFlagged.With(scenario).Inc()
+		}
+		s.anomalies[m.Hash] = &AnomalyMark{
+			Analysis:  analysisID,
+			Scenario:  m.Scenario,
+			NoiseProb: m.NoiseProb,
+		}
+	}
+}
+
+// jobViewLocked snapshots a job, decorating it with its anomaly mark when a
+// cluster analysis has flagged its result.
+func (s *Server) jobViewLocked(j *Job) JobView {
+	v := j.view()
+	if mark, ok := s.anomalies[j.Hash]; ok {
+		v.Anomaly = mark
+	}
+	return v
+}
+
+// GetAnalysis returns a snapshot of the cluster analysis, or false.
+func (s *Server) GetAnalysis(id string) (AnalysisView, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cls, ok := s.clss[id]
+	if !ok {
+		return AnalysisView{}, false
+	}
+	return s.clsViewLocked(cls), true
+}
+
+// AnalysisDone returns a channel closed when the analysis reaches a terminal
+// state.
+func (s *Server) AnalysisDone(id string) (<-chan struct{}, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cls, ok := s.clss[id]
+	if !ok {
+		return nil, false
+	}
+	return cls.done, true
+}
+
+// ListAnalyses returns one page of cluster analyses in submission order,
+// with the same cursor semantics as ListPage.
+func (s *Server) ListAnalyses(cursor string, limit int) ([]AnalysisView, string) {
+	limit = clampLimit(limit)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pruneLocked()
+	out := make([]AnalysisView, 0, limit)
+	next := ""
+	for _, id := range s.clsOrder {
+		if cursor != "" && !cursorAfter(id, cursor) {
+			continue
+		}
+		if len(out) == limit {
+			next = out[len(out)-1].ID
+			break
+		}
+		out = append(out, s.clsViewLocked(s.clss[id]))
+	}
+	return out, next
+}
+
+// DeleteAnalysis removes a terminal analysis record; its persisted result
+// stays addressable by analysis hash, and any anomaly marks it applied
+// survive until a newer analysis clears them.
+func (s *Server) DeleteAnalysis(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return deleteTerminal(id, "cluster analysis", s.clss, &s.clsOrder, s.clsCache)
+}
+
+// clsViewLocked snapshots a cluster analysis.
+func (s *Server) clsViewLocked(cls *ClusterAnalysis) AnalysisView {
+	return AnalysisView{
+		ID: cls.ID, Spec: cls.Spec, Hash: cls.Hash, State: cls.State,
+		CacheHit: cls.CacheHit, Jobs: cls.Jobs, Result: cls.Result, Error: cls.Err,
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/scenario"
 	"repro/internal/telemetry"
@@ -46,6 +47,13 @@ import (
 //	                               trimmed Amdahl fit, paired comparisons
 //	GET  /v1/scaling/{id}/events   server-sent progress events until terminal
 //	DELETE /v1/scaling/{id}        forget a terminal scaling record
+//	POST /v1/analytics/cluster     cluster the persisted verification corpus
+//	                               (cluster.Spec JSON body); the mixture's
+//	                               improper noise component flags anomalies
+//	GET  /v1/analytics/cluster     list analyses; ?limit=/?cursor= paginate
+//	GET  /v1/analytics/cluster/{id}        analysis status + clustering result
+//	GET  /v1/analytics/cluster/{id}/events server-sent progress until terminal
+//	DELETE /v1/analytics/cluster/{id}      forget a terminal analysis record
 //	GET  /v1/store                 result-store metrics (entries, bytes,
 //	                               hit rate, quarantine count)
 //	GET  /statusz                  human-readable operational snapshot
@@ -92,6 +100,11 @@ func (s *Server) Handler() http.Handler {
 		{method: "GET", path: "/v1/scaling/{id}", h: s.handleScaling},
 		{method: "GET", path: "/v1/scaling/{id}/events", h: s.handleScalingEvents},
 		{method: "DELETE", path: "/v1/scaling/{id}", h: s.handleDelete(CodeUnknownScaling, s.DeleteScaling)},
+		{method: "POST", path: "/v1/analytics/cluster", h: s.handleSubmitAnalysis},
+		{method: "GET", path: "/v1/analytics/cluster", h: s.handleListAnalyses},
+		{method: "GET", path: "/v1/analytics/cluster/{id}", h: s.handleAnalysis},
+		{method: "GET", path: "/v1/analytics/cluster/{id}/events", h: s.handleAnalysisEvents},
+		{method: "DELETE", path: "/v1/analytics/cluster/{id}", h: s.handleDelete(CodeUnknownAnalysis, s.DeleteAnalysis)},
 		{method: "GET", path: "/v1/store", h: s.handleStore},
 		{method: "GET", path: "/statusz", h: s.handleStatusz},
 		{method: "GET", path: "/metricsz", h: s.handleMetricsz},
@@ -109,6 +122,7 @@ const (
 	CodeUnknownJob        = "unknown_job"
 	CodeUnknownExperiment = "unknown_experiment"
 	CodeUnknownScaling    = "unknown_scaling"
+	CodeUnknownAnalysis   = "unknown_analysis"
 	CodeQueueFull         = "queue_full"
 	CodeConflict          = "conflict"
 	CodeGone              = "gone"
@@ -633,6 +647,76 @@ func (s *Server) handleScaling(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, view)
+}
+
+// handleSubmitAnalysis serves POST /v1/analytics/cluster: a robust
+// clustering of the persisted verification corpus, deduplicated and
+// persisted by the canonical (spec, report-set) analysis hash.
+func (s *Server) handleSubmitAnalysis(w http.ResponseWriter, r *http.Request) {
+	var sp cluster.Spec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sp); err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument,
+			fmt.Sprintf("decoding cluster spec: %v", err), nil)
+		return
+	}
+	view, err := s.SubmitAnalysis(sp)
+	if err != nil {
+		if errors.Is(err, ErrNoStore) {
+			writeError(w, http.StatusNotFound, CodeNoStore, err.Error(), nil)
+			return
+		}
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument, err.Error(), nil)
+		return
+	}
+	w.Header().Set(HashHeader, view.Hash)
+	status := http.StatusAccepted
+	if view.State == StateCompleted {
+		status = http.StatusOK // cache hit: nothing to wait for
+	}
+	writeJSON(w, status, view)
+}
+
+// AnalyticsPage is the paginated cluster-analysis listing envelope.
+type AnalyticsPage struct {
+	Analyses   []AnalysisView `json:"analyses"`
+	NextCursor string         `json:"nextCursor,omitempty"`
+}
+
+func (s *Server) handleListAnalyses(w http.ResponseWriter, r *http.Request) {
+	limit, cursor, err := pageParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument, err.Error(), nil)
+		return
+	}
+	clss, next := s.ListAnalyses(cursor, limit)
+	writeJSON(w, http.StatusOK, AnalyticsPage{Analyses: clss, NextCursor: next})
+}
+
+func (s *Server) handleAnalysis(w http.ResponseWriter, r *http.Request) {
+	view, ok := s.GetAnalysis(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeUnknownAnalysis,
+			fmt.Sprintf("no cluster analysis %q", r.PathValue("id")), nil)
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+// handleAnalysisEvents streams cluster-analysis progress as server-sent
+// events.
+func (s *Server) handleAnalysisEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	done, ok := s.AnalysisDone(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeUnknownAnalysis, fmt.Sprintf("no cluster analysis %q", id), nil)
+		return
+	}
+	s.streamEvents(w, r, done, func() (any, JobState, bool) {
+		view, ok := s.GetAnalysis(id)
+		return view, view.State, ok
+	})
 }
 
 // handleStore serves the result-store metrics; without a persistent store

@@ -43,16 +43,23 @@ type metrics struct {
 	jobPhase      *obs.HistogramVec // job_phase_seconds{phase}
 
 	// Sweep fan-out attribution (convergence + scaling experiments).
-	sweeps           *obs.CounterVec // sweeps_total{kind}
-	sweepCacheHits   *obs.CounterVec // sweep_cache_hits_total{kind}
-	sweepMembers     *obs.CounterVec // sweep_members_total{kind}
-	sweepMemberHits  *obs.CounterVec // sweep_member_cache_hits_total{kind}
-	sweepsDone       *obs.CounterVec // sweeps_terminal_total{kind,state}
-	memberQueueDepth *obs.Gauge      // job_queue_depth (collected at scrape)
-	queueCapacity    *obs.Gauge      // job_queue_capacity
-	workersBusy      *obs.Gauge      // workers_busy
-	workersTotal     *obs.Gauge      // workers_total
-	uptime           *obs.Gauge      // uptime_seconds
+	sweeps          *obs.CounterVec // sweeps_total{kind}
+	sweepCacheHits  *obs.CounterVec // sweep_cache_hits_total{kind}
+	sweepMembers    *obs.CounterVec // sweep_members_total{kind}
+	sweepMemberHits *obs.CounterVec // sweep_member_cache_hits_total{kind}
+	sweepsDone      *obs.CounterVec // sweeps_terminal_total{kind,state}
+
+	// Fleet analytics (POST /v1/analytics/cluster).
+	analytics        *obs.Counter    // analytics_total
+	analyticsHits    *obs.Counter    // analytics_cache_hits_total
+	analyticsDone    *obs.CounterVec // analytics_terminal_total{state}
+	anomaliesFlagged *obs.CounterVec // analytics_anomalies_total{scenario}
+
+	memberQueueDepth *obs.Gauge // job_queue_depth (collected at scrape)
+	queueCapacity    *obs.Gauge // job_queue_capacity
+	workersBusy      *obs.Gauge // workers_busy
+	workersTotal     *obs.Gauge // workers_total
+	uptime           *obs.Gauge // uptime_seconds
 
 	// Store mirror gauges, collected at scrape time from store.Stats.
 	storeEntries   *obs.Gauge // store_entries
@@ -111,6 +118,16 @@ func newMetrics(reg *obs.Registry) *metrics {
 			"sweep member jobs that were instant cache hits, by kind", "kind"),
 		sweepsDone: reg.Counter("sweeps_terminal_total",
 			"experiment sweeps reaching a terminal state, by kind and state", "kind", "state"),
+
+		analytics: reg.Counter("analytics_total",
+			"cluster analyses accepted (including cache hits and coalesced duplicates)").With(),
+		analyticsHits: reg.Counter("analytics_cache_hits_total",
+			"cluster analyses served instantly from a persisted result").With(),
+		analyticsDone: reg.Counter("analytics_terminal_total",
+			"cluster analyses reaching a terminal state, by state", "state"),
+		anomaliesFlagged: reg.Counter("analytics_anomalies_total",
+			"jobs newly assigned to the improper noise component by a cluster "+
+				"analysis, by scenario", "scenario"),
 
 		memberQueueDepth: reg.Gauge("job_queue_depth",
 			"jobs waiting in the submission queue").With(),

@@ -133,6 +133,9 @@ type JobView struct {
 	// Telemetry is the physics-watchdog rollup ("ok"/"tripped"; empty
 	// before execution starts or for pre-telemetry store entries).
 	Telemetry string `json:"telemetry,omitempty"`
+	// Anomaly is set when the most recent cluster analysis covering this
+	// job's result assigned it to the improper noise component.
+	Anomaly *AnomalyMark `json:"anomaly,omitempty"`
 }
 
 // cachedResult is the in-memory layer of the result cache: metadata always,
@@ -222,6 +225,17 @@ type Server struct {
 	sclCache  map[string][]byte
 	nextSclID int
 
+	// Cluster-analysis state (POST /v1/analytics/cluster), same shape again.
+	clss      map[string]*ClusterAnalysis
+	clsOrder  []string
+	clsByHash map[string]*ClusterAnalysis
+	clsCache  map[string][]byte
+	nextClsID int
+	// anomalies marks jobs — keyed by spec hash, so marks survive job-table
+	// pruning and apply to cache-hit resubmissions — that the most recent
+	// covering analysis assigned to the improper noise component.
+	anomalies map[string]*AnomalyMark
+
 	queue   chan *Job
 	ctx     context.Context
 	stop    context.CancelFunc
@@ -287,6 +301,10 @@ func New(opts Options) *Server {
 		scls:      map[string]*ScalingExp{},
 		sclByHash: map[string]*ScalingExp{},
 		sclCache:  map[string][]byte{},
+		clss:      map[string]*ClusterAnalysis{},
+		clsByHash: map[string]*ClusterAnalysis{},
+		clsCache:  map[string][]byte{},
+		anomalies: map[string]*AnomalyMark{},
 		queue:     make(chan *Job, opts.QueueDepth),
 		ctx:       ctx,
 		stop:      stop,
@@ -336,7 +354,7 @@ func (s *Server) Submit(spec scenario.JobSpec) (*JobView, error) {
 	s.mu.Lock()
 	s.pruneLocked()
 	if active, ok := s.byHash[hash]; ok {
-		v := active.view()
+		v := s.jobViewLocked(active)
 		s.mu.Unlock()
 		return &v, nil
 	}
@@ -353,7 +371,7 @@ func (s *Server) Submit(spec scenario.JobSpec) (*JobView, error) {
 	// Re-check active jobs: an identical Submit may have raced in while
 	// the lock was released.
 	if active, ok := s.byHash[hash]; ok {
-		v := active.view()
+		v := s.jobViewLocked(active)
 		return &v, nil
 	}
 
@@ -379,7 +397,7 @@ func (s *Server) Submit(spec scenario.JobSpec) (*JobView, error) {
 		s.met.jobsSubmitted.Inc()
 		s.met.jobCacheHits.Inc()
 		s.met.jobsDone.With(string(StateCompleted)).Inc()
-		v := job.view()
+		v := s.jobViewLocked(job)
 		return &v, nil
 	}
 
@@ -394,7 +412,7 @@ func (s *Server) Submit(spec scenario.JobSpec) (*JobView, error) {
 	s.order = append(s.order, job.ID)
 	s.byHash[hash] = job
 	s.met.jobsSubmitted.Inc()
-	v := job.view()
+	v := s.jobViewLocked(job)
 	return &v, nil
 }
 
@@ -498,8 +516,9 @@ func parseTrackStatus(track []byte) string {
 	return t.Status
 }
 
-// resourceRecord is the lifecycle surface shared by the three resource
-// tables (jobs, convergence experiments, scaling experiments); the generic
+// resourceRecord is the lifecycle surface shared by the resource tables
+// (jobs, convergence experiments, scaling experiments, cluster analyses);
+// the generic
 // prune and delete helpers run over it so TTL and deletion semantics cannot
 // drift apart between resources.
 type resourceRecord interface {
@@ -544,10 +563,10 @@ func pruneTable[R resourceRecord, C any](order []string, recs map[string]R,
 	return kept
 }
 
-// pruneLocked drops terminal jobs, experiments, and scaling experiments
-// older than JobTTL from their tables, so none can grow without bound
-// under sustained traffic. Their results stay addressable through the
-// store by spec/sweep hash.
+// pruneLocked drops terminal jobs, experiments, scaling experiments, and
+// cluster analyses older than JobTTL from their tables, so none can grow
+// without bound under sustained traffic. Their results stay addressable
+// through the store by spec/sweep/analysis hash.
 func (s *Server) pruneLocked() {
 	ttl := s.opts.JobTTL
 	if ttl <= 0 {
@@ -557,6 +576,7 @@ func (s *Server) pruneLocked() {
 	s.order = pruneTable(s.order, s.jobs, s.cache, cutoff)
 	s.expOrder = pruneTable(s.expOrder, s.exps, s.expCache, cutoff)
 	s.sclOrder = pruneTable(s.sclOrder, s.scls, s.sclCache, cutoff)
+	s.clsOrder = pruneTable(s.clsOrder, s.clss, s.clsCache, cutoff)
 }
 
 // Get returns a snapshot of the job, or false.
@@ -567,7 +587,7 @@ func (s *Server) Get(id string) (JobView, bool) {
 	if !ok {
 		return JobView{}, false
 	}
-	return job.view(), true
+	return s.jobViewLocked(job), true
 }
 
 // List returns snapshots of all jobs in submission order; a non-empty state
@@ -582,7 +602,7 @@ func (s *Server) List(state JobState) []JobView {
 		if state != "" && job.State != state {
 			continue
 		}
-		out = append(out, job.view())
+		out = append(out, s.jobViewLocked(job))
 	}
 	return out
 }
@@ -642,7 +662,7 @@ func (s *Server) ListPage(state JobState, cursor string, limit int) ([]JobView, 
 			next = out[len(out)-1].ID
 			break
 		}
-		out = append(out, job.view())
+		out = append(out, s.jobViewLocked(job))
 	}
 	return out, next
 }

@@ -28,7 +28,17 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	for _, job := range s.jobs {
 		states[job.State]++
 	}
-	njobs, nexps, nscls := len(s.jobs), len(s.exps), len(s.scls)
+	njobs, nexps, nscls, nclss := len(s.jobs), len(s.exps), len(s.scls), len(s.clss)
+	// Current anomaly rollup: flagged jobs by scenario (the cumulative
+	// counter lives in analytics_anomalies_total; this is the live set).
+	anomalies := map[string]int{}
+	for _, mark := range s.anomalies {
+		sc := mark.Scenario
+		if sc == "" {
+			sc = "unknown"
+		}
+		anomalies[sc]++
+	}
 	s.mu.Unlock()
 
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -51,6 +61,7 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 		njobs, states[StateQueued], states[StateRunning], states[StateCompleted],
 		states[StateFailed], states[StateCancelled])
 	fmt.Fprintf(tw, "experiments\t%d convergence, %d scaling\n", nexps, nscls)
+	fmt.Fprintf(tw, "analyses\t%d cluster\n", nclss)
 
 	if st := s.opts.Store; st != nil {
 		stats := st.Stats()
@@ -87,6 +98,20 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 				fmt.Fprintf(tw, "%s\t%d\t%.3fs\t%.1fms\n",
 					phase, series.Hist.Count, series.Hist.Sum, series.Hist.Mean*1e3)
 			}
+		}
+	}
+
+	// Jobs the newest covering cluster analysis assigned to the improper
+	// noise component, by scenario (see POST /v1/analytics/cluster).
+	if len(anomalies) > 0 {
+		scenarios := make([]string, 0, len(anomalies))
+		for sc := range anomalies {
+			scenarios = append(scenarios, sc)
+		}
+		sort.Strings(scenarios)
+		fmt.Fprintf(tw, "\nanomalies\tflagged jobs\n")
+		for _, sc := range scenarios {
+			fmt.Fprintf(tw, "%s\t%d\n", sc, anomalies[sc])
 		}
 	}
 

@@ -62,8 +62,8 @@ type Meta struct {
 	LastUsed  int64 `json:"lastUsed"`
 	// ReportSize and ReportCRC track the entry's verification report file
 	// (reports/<hash>.json), attached by PutReport; zero means none. The
-	// report is served byte-for-byte and evicted with its entry; its size
-	// does not count against MaxBytes (reports are metadata-scale).
+	// report is served byte-for-byte and evicted with its entry, and its
+	// size counts against MaxBytes like every other byte the store owns.
 	ReportSize int64  `json:"reportSize,omitempty"`
 	ReportCRC  uint64 `json:"reportCRC,omitempty"`
 	// TelemetrySize and TelemetryCRC track the entry's step-telemetry track
@@ -82,8 +82,9 @@ type Options struct {
 	// TTL evicts entries idle (not Put or read) for longer than this;
 	// 0 disables expiry.
 	TTL time.Duration
-	// MaxBytes caps the total object bytes on disk; least-recently-used
-	// entries are evicted to stay under it. 0 disables the cap.
+	// MaxBytes caps the total bytes on disk — objects plus report,
+	// telemetry, and profile attachments; least-recently-used entries are
+	// evicted to stay under it. 0 disables the cap.
 	MaxBytes int64
 	// Now overrides the clock (tests); nil means time.Now.
 	Now func() time.Time
@@ -97,7 +98,7 @@ type Store struct {
 
 	mu      sync.Mutex
 	entries map[string]*Meta
-	total   int64 // sum of entry sizes
+	total   int64 // sum of entry bytes: objects plus attachments
 	// quarantined counts objects moved aside by the last Open or by a
 	// failed read since.
 	quarantined int
@@ -169,8 +170,24 @@ func Open(dir string, opts Options) (*Store, error) {
 			continue
 		}
 		m.Hash = hash
+		// Attachments stay CRC-verified lazily on read; here just reconcile
+		// the recorded sizes against the files on disk so the byte
+		// accounting backing the MaxBytes cap starts truthful.
+		reconcile := func(apath string, asize *int64, acrc *uint64) {
+			if *asize == 0 {
+				return
+			}
+			fi, err := os.Stat(apath)
+			if err != nil || fi.Size() != *asize {
+				_ = os.Remove(apath)
+				*asize, *acrc = 0, 0
+			}
+		}
+		reconcile(s.reportPath(hash), &m.ReportSize, &m.ReportCRC)
+		reconcile(s.telemetryPath(hash), &m.TelemetrySize, &m.TelemetryCRC)
+		reconcile(s.profilePath(hash), &m.ProfileSize, &m.ProfileCRC)
 		s.entries[hash] = m
-		s.total += m.Size
+		s.total += entryBytes(m)
 	}
 
 	// Objects on disk that the index does not vouch for are quarantined.
@@ -311,10 +328,17 @@ func (s *Store) quarantineFileLocked(path, hash string) {
 	s.quarantined++
 }
 
+// entryBytes is everything the entry holds on disk: the snapshot object
+// plus its report, telemetry, and profile attachments. This is the unit the
+// MaxBytes cap and the total accounting work in.
+func entryBytes(m *Meta) int64 {
+	return m.Size + m.ReportSize + m.TelemetrySize + m.ProfileSize
+}
+
 // removeLocked evicts an entry and deletes its object and attachment files.
 func (s *Store) removeLocked(hash string) {
 	if m, ok := s.entries[hash]; ok {
-		s.total -= m.Size
+		s.total -= entryBytes(m)
 		delete(s.entries, hash)
 	}
 	_ = os.Remove(s.objectPath(hash))
@@ -389,8 +413,25 @@ func (s *Store) Put(meta Meta, snapshot []byte) error {
 
 	now := s.opts.Now().Unix()
 	if old, ok := s.entries[meta.Hash]; ok {
-		s.total -= old.Size
+		// An overwrite replaces the Meta wholesale: the old attachments no
+		// longer describe the new snapshot, so their files must go too —
+		// leaving them on disk would leak bytes invisible to the accounting.
+		s.total -= entryBytes(old)
+		if old.ReportSize > 0 {
+			_ = os.Remove(s.reportPath(meta.Hash))
+		}
+		if old.TelemetrySize > 0 {
+			_ = os.Remove(s.telemetryPath(meta.Hash))
+		}
+		if old.ProfileSize > 0 {
+			_ = os.Remove(s.profilePath(meta.Hash))
+		}
 	}
+	// Attachment bookkeeping is owned by the store: a fresh Put starts with
+	// none regardless of what the caller's Meta claims.
+	meta.ReportSize, meta.ReportCRC = 0, 0
+	meta.TelemetrySize, meta.TelemetryCRC = 0, 0
+	meta.ProfileSize, meta.ProfileCRC = 0, 0
 	meta.Size = int64(len(snapshot))
 	meta.CRC = crc64.Checksum(snapshot, crcTable)
 	meta.CreatedAt = now
@@ -472,7 +513,7 @@ func (s *Store) OpenObject(hash string) (*os.File, Meta, error) {
 	if err != nil || h.Sum64() != m.CRC || n != m.Size {
 		f.Close()
 		s.misses++
-		s.total -= m.Size
+		s.total -= entryBytes(m)
 		delete(s.entries, hash)
 		s.quarantineLocked(hash)
 		_ = s.saveIndexLocked()
@@ -516,11 +557,30 @@ func (s *Store) Len() int {
 	return len(s.entries)
 }
 
-// TotalBytes returns the tracked on-disk size of all live objects.
+// TotalBytes returns the tracked on-disk size of all live entries —
+// snapshot objects plus their report, telemetry, and profile attachments.
 func (s *Store) TotalBytes() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.total
+}
+
+// ReportHashes enumerates the hashes of every live entry that has an
+// attached verification report, in sorted order. This is the analytics
+// query path: it neither counts toward hit/miss metrics nor refreshes LRU
+// positions — enumerating the corpus must not perturb the eviction order
+// the serving traffic established.
+func (s *Store) ReportHashes() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for hash, m := range s.entries {
+		if m.ReportSize > 0 {
+			out = append(out, hash)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Quarantined reports how many objects this store instance has moved to
@@ -538,8 +598,10 @@ func (s *Store) TTL() time.Duration { return s.opts.TTL }
 // putAttachment writes an attachment file atomically (temp + rename) for an
 // existing entry and records its size and CRC through the provided
 // accessors — the shared machinery behind PutReport, PutTelemetry, and
-// PutProfile.
-func (s *Store) putAttachment(hash, kind, path string, data []byte, set func(m *Meta, size int64, crc uint64)) error {
+// PutProfile. set returns the size the slot held before, so the byte
+// accounting tracks replacement as well as first attachment; the eviction
+// policy runs afterwards because attachment bytes count against MaxBytes.
+func (s *Store) putAttachment(hash, kind, path string, data []byte, set func(m *Meta, size int64, crc uint64) (old int64)) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	m, ok := s.entries[hash]
@@ -557,7 +619,9 @@ func (s *Store) putAttachment(hash, kind, path string, data []byte, set func(m *
 		_ = os.Remove(tmp)
 		return err
 	}
-	set(m, int64(len(data)), crc64.Checksum(data, crcTable))
+	old := set(m, int64(len(data)), crc64.Checksum(data, crcTable))
+	s.total += int64(len(data)) - old
+	s.evictLocked(s.opts.Now())
 	return s.saveIndexLocked()
 }
 
@@ -579,6 +643,7 @@ func (s *Store) readAttachment(hash, path string, get func(m *Meta) (int64, uint
 	if err != nil || int64(len(b)) != size || crc64.Checksum(b, crcTable) != crc {
 		_ = os.Remove(path)
 		clear(m)
+		s.total -= size
 		_ = s.saveIndexLocked()
 		return nil, false
 	}
@@ -591,7 +656,10 @@ func (s *Store) readAttachment(hash, path string, get func(m *Meta) (int64, uint
 // including across restarts — or nothing.
 func (s *Store) PutReport(hash string, report []byte) error {
 	return s.putAttachment(hash, "Report", s.reportPath(hash), report,
-		func(m *Meta, size int64, crc uint64) { m.ReportSize, m.ReportCRC = size, crc })
+		func(m *Meta, size int64, crc uint64) (old int64) {
+			old, m.ReportSize, m.ReportCRC = m.ReportSize, size, crc
+			return old
+		})
 }
 
 // ReadReport returns the entry's verification report bytes, verified
@@ -606,7 +674,10 @@ func (s *Store) ReadReport(hash string) ([]byte, bool) {
 // same atomic-write, CRC-verified, byte-identical contract as PutReport.
 func (s *Store) PutTelemetry(hash string, track []byte) error {
 	return s.putAttachment(hash, "Telemetry", s.telemetryPath(hash), track,
-		func(m *Meta, size int64, crc uint64) { m.TelemetrySize, m.TelemetryCRC = size, crc })
+		func(m *Meta, size int64, crc uint64) (old int64) {
+			old, m.TelemetrySize, m.TelemetryCRC = m.TelemetrySize, size, crc
+			return old
+		})
 }
 
 // ReadTelemetry returns the entry's telemetry track bytes, verified against
@@ -622,7 +693,10 @@ func (s *Store) ReadTelemetry(hash string) ([]byte, bool) {
 // accumulating log).
 func (s *Store) PutProfile(hash string, profile []byte) error {
 	return s.putAttachment(hash, "Profile", s.profilePath(hash), profile,
-		func(m *Meta, size int64, crc uint64) { m.ProfileSize, m.ProfileCRC = size, crc })
+		func(m *Meta, size int64, crc uint64) (old int64) {
+			old, m.ProfileSize, m.ProfileCRC = m.ProfileSize, size, crc
+			return old
+		})
 }
 
 // ReadProfile returns the entry's most recent CPU profile bytes, verified
@@ -635,9 +709,16 @@ func (s *Store) ReadProfile(hash string) ([]byte, bool) {
 
 // Stats is the /storez metrics snapshot.
 type Stats struct {
-	// Entries and Bytes describe the live snapshot objects.
+	// Entries counts live entries; Bytes is their total on-disk footprint
+	// (objects plus attachments — the number the MaxBytes cap governs).
 	Entries int   `json:"entries"`
 	Bytes   int64 `json:"bytes"`
+	// ObjectBytes, ReportBytes, TelemetryBytes, and ProfileBytes break
+	// Bytes down by what the disk actually holds.
+	ObjectBytes    int64 `json:"objectBytes"`
+	ReportBytes    int64 `json:"reportBytes"`
+	TelemetryBytes int64 `json:"telemetryBytes"`
+	ProfileBytes   int64 `json:"profileBytes"`
 	// Reports counts entries with an attached verification report;
 	// Telemetry and Profiles count the other attachment kinds.
 	Reports   int `json:"reports"`
@@ -671,14 +752,18 @@ func (s *Store) Stats() Stats {
 		Evictions:   s.evictions,
 	}
 	for _, m := range s.entries {
+		st.ObjectBytes += m.Size
 		if m.ReportSize > 0 {
 			st.Reports++
+			st.ReportBytes += m.ReportSize
 		}
 		if m.TelemetrySize > 0 {
 			st.Telemetry++
+			st.TelemetryBytes += m.TelemetrySize
 		}
 		if m.ProfileSize > 0 {
 			st.Profiles++
+			st.ProfileBytes += m.ProfileSize
 		}
 	}
 	if total := s.hits + s.misses; total > 0 {

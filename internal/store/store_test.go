@@ -534,8 +534,13 @@ func TestStatsCounters(t *testing.T) {
 		t.Error("Has misreports entry liveness")
 	}
 	st := s.Stats()
-	if st.Entries != 1 || st.Bytes != 100 || st.Reports != 1 {
-		t.Errorf("stats %+v, want 1 entry / 100 bytes / 1 report", st)
+	// Bytes is the full on-disk footprint: the 100-byte object plus the
+	// 2-byte report attachment.
+	if st.Entries != 1 || st.Bytes != 102 || st.Reports != 1 {
+		t.Errorf("stats %+v, want 1 entry / 102 bytes / 1 report", st)
+	}
+	if st.ObjectBytes != 100 || st.ReportBytes != 2 || st.TelemetryBytes != 0 || st.ProfileBytes != 0 {
+		t.Errorf("stats %+v, want byte breakdown 100/2/0/0", st)
 	}
 	if st.Hits != 2 || st.Misses != 2 || st.HitRate != 0.5 {
 		t.Errorf("stats %+v, want hits=2 misses=2 hitRate=0.5", st)
@@ -612,5 +617,169 @@ func TestTelemetryAndProfileAttachments(t *testing.T) {
 	}
 	if _, err := os.Stat(filepath.Join(dir, "telemetry", "zzzz.json")); !os.IsNotExist(err) {
 		t.Fatal("stale telemetry file survived reopen")
+	}
+}
+
+// diskBytesAll sums every byte the store holds on disk: objects plus
+// report, telemetry, and profile attachments (quarantine excluded — those
+// are outside the live budget by design).
+func diskBytesAll(t *testing.T, dir string) int64 {
+	t.Helper()
+	total := diskBytes(t, dir)
+	for _, glob := range []string{
+		filepath.Join(dir, "reports", "*.json"),
+		filepath.Join(dir, "telemetry", "*.json"),
+		filepath.Join(dir, "profiles", "*.pprof"),
+	} {
+		names, err := filepath.Glob(glob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range names {
+			fi, err := os.Stat(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += fi.Size()
+		}
+	}
+	return total
+}
+
+// TestCapIncludesAttachmentBytes: the MaxBytes cap governs the full on-disk
+// footprint. Attachment bytes used to be invisible to the accounting, so a
+// store full of fat telemetry tracks could blow far past its configured
+// budget; now attaching data triggers the same eviction pass a Put does,
+// and the on-disk total (objects + attachments) never exceeds the cap.
+func TestCapIncludesAttachmentBytes(t *testing.T) {
+	dir := t.TempDir()
+	clock := newClock()
+	s, err := Open(dir, Options{MaxBytes: 300, Now: clock.now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	put(t, s, "aaaa", 100)
+	clock.advance(time.Second)
+	put(t, s, "bbbb", 100)
+	if got := diskBytesAll(t, dir); got > 300 {
+		t.Fatalf("on-disk total %d over the 300-byte cap before attachments", got)
+	}
+	// A 150-byte telemetry track on bbbb pushes the true footprint to 350;
+	// the LRU entry (aaaa) must be evicted to get back under the cap.
+	if err := s.PutTelemetry("bbbb", bytes.Repeat([]byte("t"), 150)); err != nil {
+		t.Fatal(err)
+	}
+	if got := diskBytesAll(t, dir); got > 300 {
+		t.Fatalf("on-disk total %d over the 300-byte cap after attaching telemetry", got)
+	}
+	if s.Has("aaaa") {
+		t.Error("LRU entry aaaa survived an over-budget attachment")
+	}
+	if !s.Has("bbbb") {
+		t.Error("recently-used entry bbbb evicted instead of the LRU one")
+	}
+	if got, want := s.TotalBytes(), diskBytesAll(t, dir); got != want {
+		t.Errorf("tracked total %d != on-disk total %d", got, want)
+	}
+}
+
+// TestTotalBytesTracksAttachmentsAcrossReopen: the accounting starts
+// truthful on Open — attachment bytes recorded in the index count from the
+// first moment, and a vanished attachment file is reconciled away.
+func TestTotalBytesTracksAttachmentsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	put(t, s, "aaaa", 100)
+	if err := s.PutReport("aaaa", bytes.Repeat([]byte("r"), 40)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutTelemetry("aaaa", bytes.Repeat([]byte("t"), 60)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.TotalBytes(); got != 200 {
+		t.Fatalf("TotalBytes = %d, want 200 (100 object + 40 report + 60 telemetry)", got)
+	}
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.TotalBytes(); got != 200 {
+		t.Errorf("TotalBytes after reopen = %d, want 200", got)
+	}
+
+	// Delete the telemetry file behind the store's back: the next Open must
+	// reconcile the accounting back down instead of trusting the index.
+	if err := os.Remove(filepath.Join(dir, "telemetry", "aaaa.json")); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s3.TotalBytes(); got != 140 {
+		t.Errorf("TotalBytes after losing telemetry file = %d, want 140", got)
+	}
+	if _, ok := s3.ReadTelemetry("aaaa"); ok {
+		t.Error("vanished telemetry file still served")
+	}
+}
+
+// TestPutOverwriteDropsStaleAttachments: overwriting an entry replaces its
+// Meta wholesale, so the old attachments — which describe the replaced
+// snapshot — must be deleted and un-counted, not leaked on disk.
+func TestPutOverwriteDropsStaleAttachments(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	put(t, s, "aaaa", 100)
+	if err := s.PutReport("aaaa", bytes.Repeat([]byte("r"), 30)); err != nil {
+		t.Fatal(err)
+	}
+	put(t, s, "aaaa", 50) // overwrite
+
+	if got := s.TotalBytes(); got != 50 {
+		t.Errorf("TotalBytes after overwrite = %d, want 50", got)
+	}
+	if _, ok := s.ReadReport("aaaa"); ok {
+		t.Error("stale report served after its entry was overwritten")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "reports", "aaaa.json")); !os.IsNotExist(err) {
+		t.Errorf("stale report file left on disk: %v", err)
+	}
+	if got, want := s.TotalBytes(), diskBytesAll(t, dir); got != want {
+		t.Errorf("tracked total %d != on-disk total %d", got, want)
+	}
+}
+
+// TestReportHashes: the analytics enumeration path — sorted, restricted to
+// entries that actually carry a report, and free of metric side effects.
+func TestReportHashes(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	put(t, s, "cccc", 10)
+	put(t, s, "aaaa", 10)
+	put(t, s, "bbbb", 10)
+	for _, h := range []string{"cccc", "aaaa"} {
+		if err := s.PutReport(h, []byte(`{"pass":true}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := s.Stats()
+	got := s.ReportHashes()
+	if len(got) != 2 || got[0] != "aaaa" || got[1] != "cccc" {
+		t.Errorf("ReportHashes = %v, want [aaaa cccc]", got)
+	}
+	after := s.Stats()
+	if before.Hits != after.Hits || before.Misses != after.Misses {
+		t.Error("ReportHashes perturbed the hit/miss counters")
 	}
 }

@@ -213,7 +213,60 @@ func Evaluate(in Input) *Report {
 			rep.Pass = false
 		}
 	}
+	rep.Sanitize()
 	return rep
+}
+
+// sentinel replaces non-finite float64s in a sanitized report. JSON cannot
+// encode NaN or ±Inf — one NaN anywhere in a report makes json.Marshal fail
+// and silently loses the whole report, which is exactly backwards: a
+// NaN-blown run is the report the fleet analytics most needs to see. The
+// sentinel's absurd magnitude keeps such a run an unambiguous gross outlier
+// downstream (checks have already been evaluated, and NaN fails every
+// threshold comparison, so Pass is unaffected).
+const sentinel = 1e300
+
+func sanitizeFloat(v float64) float64 {
+	switch {
+	case math.IsNaN(v), math.IsInf(v, 1):
+		return sentinel
+	case math.IsInf(v, -1):
+		return -sentinel
+	default:
+		return v
+	}
+}
+
+// Sanitize clamps every non-finite float in the report to a finite sentinel
+// (±1e300) so the report always marshals to JSON. Evaluate calls it before
+// returning; it is idempotent and exported for callers that build or mutate
+// reports themselves.
+func (r *Report) Sanitize() {
+	r.SimTime = sanitizeFloat(r.SimTime)
+	r.L1Density = sanitizeFloat(r.L1Density)
+	for i := range r.Fields {
+		n := &r.Fields[i].Norms
+		n.L1 = sanitizeFloat(n.L1)
+		n.L2 = sanitizeFloat(n.L2)
+		n.LInf = sanitizeFloat(n.LInf)
+		n.TrimmedL1 = sanitizeFloat(n.TrimmedL1)
+		n.TrimmedL2 = sanitizeFloat(n.TrimmedL2)
+		n.TrimmedLInf = sanitizeFloat(n.TrimmedLInf)
+		n.Scale = sanitizeFloat(n.Scale)
+	}
+	if r.Plateau != nil {
+		r.Plateau.Analytic = sanitizeFloat(r.Plateau.Analytic)
+		r.Plateau.Measured = sanitizeFloat(r.Plateau.Measured)
+		r.Plateau.RelError = sanitizeFloat(r.Plateau.RelError)
+	}
+	r.Conservation.Mass = sanitizeFloat(r.Conservation.Mass)
+	r.Conservation.Momentum = sanitizeFloat(r.Conservation.Momentum)
+	r.Conservation.AngMom = sanitizeFloat(r.Conservation.AngMom)
+	r.Conservation.Energy = sanitizeFloat(r.Conservation.Energy)
+	for i := range r.Checks {
+		r.Checks[i].Value = sanitizeFloat(r.Checks[i].Value)
+		r.Checks[i].Limit = sanitizeFloat(r.Checks[i].Limit)
+	}
 }
 
 // evalFields computes the density, velocity, and pressure error norms over

@@ -256,3 +256,43 @@ func TestPerFieldTrimQuantiles(t *testing.T) {
 		t.Fatalf("velocity trimmed %d of 10 at q=0.7, want 3", byField["velocity"].Trimmed)
 	}
 }
+
+// TestSanitizeMakesNaNReportsMarshalable: a NaN-blown run must still
+// produce a JSON-marshalable report (json.Marshal rejects NaN/Inf, and a
+// lost report would hide exactly the run the fleet analytics most needs),
+// with the non-finite values clamped to the ±1e300 sentinel and the failed
+// checks preserved.
+func TestSanitizeMakesNaNReportsMarshalable(t *testing.T) {
+	rep := &Report{
+		Scenario:  "sod",
+		L1Density: math.NaN(),
+		Fields: []FieldError{{Field: "density", Norms: Norms{
+			L1: math.Inf(1), TrimmedL1: math.NaN(), TrimmedLInf: math.Inf(-1),
+		}}},
+		Plateau:      &PlateauEstimate{RelError: math.NaN()},
+		Conservation: conserve.Drift{Energy: math.Inf(1)},
+		Checks:       []Check{{Name: "l1-density", Value: math.NaN(), Limit: 0.1, Pass: false}},
+	}
+	rep.Sanitize()
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("sanitized report still unmarshalable: %v", err)
+	}
+	var back Report
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.L1Density != 1e300 || back.Fields[0].Norms.TrimmedLInf != -1e300 {
+		t.Errorf("sentinels not applied: l1=%v trimmedLInf=%v", back.L1Density, back.Fields[0].Norms.TrimmedLInf)
+	}
+	if back.Checks[0].Pass {
+		t.Error("failed check flipped to pass by sanitization")
+	}
+	// Idempotent: a second pass changes nothing.
+	before := string(raw)
+	rep.Sanitize()
+	raw2, _ := json.Marshal(rep)
+	if string(raw2) != before {
+		t.Error("Sanitize is not idempotent")
+	}
+}

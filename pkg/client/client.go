@@ -2,7 +2,8 @@
 // typed job submission (scenario.JobSpec), batch submission, polling
 // helpers, snapshot and verification-report retrieval, step-telemetry
 // tracks with live SSE streaming, on-demand CPU profile capture,
-// convergence experiments (experiments.Sweep), cursor pagination, and
+// convergence experiments (experiments.Sweep), fleet-clustering analytics
+// (cluster.Spec), cursor pagination, and
 // structured decoding of the API's error envelope into *APIError. The CLIs
 // (cmd/sphexa -server, cmd/sphexa-smoke) and the server's own httptest
 // suites all talk to the API through it.
@@ -29,6 +30,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/obs"
 	"repro/internal/scenario"
@@ -195,6 +197,17 @@ type Job struct {
 	// Telemetry is the physics-watchdog rollup ("ok"/"tripped"; empty
 	// before execution starts or for pre-telemetry store entries).
 	Telemetry string `json:"telemetry,omitempty"`
+	// Anomaly is set when the most recent cluster analysis covering this
+	// job's result assigned it to the improper noise component.
+	Anomaly *AnomalyMark `json:"anomaly,omitempty"`
+}
+
+// AnomalyMark is the anomaly rollup a flagged job carries: which analysis
+// flagged it and the posterior probability of noise membership.
+type AnomalyMark struct {
+	Analysis  string  `json:"analysis"`
+	Scenario  string  `json:"scenario,omitempty"`
+	NoiseProb float64 `json:"noiseProb"`
 }
 
 // Terminal reports whether the job has reached a final state.
@@ -610,6 +623,81 @@ func (c *Client) WaitScaling(ctx context.Context, id string) (*Scaling, error) {
 		case <-time.After(c.poll):
 		}
 	}
+}
+
+// ClusterAnalysis is the wire shape of a fleet-clustering analysis view
+// (POST /v1/analytics/cluster). Result is decoded from the persisted
+// clustering when the analysis is completed.
+type ClusterAnalysis struct {
+	ID       string          `json:"id"`
+	Spec     cluster.Spec    `json:"spec"`
+	Hash     string          `json:"hash"`
+	State    string          `json:"state"`
+	CacheHit bool            `json:"cacheHit"`
+	Jobs     int             `json:"jobs"`
+	Result   *cluster.Result `json:"result,omitempty"`
+	Error    string          `json:"error,omitempty"`
+}
+
+// Terminal reports whether the analysis has reached a final state.
+func (a *ClusterAnalysis) Terminal() bool { return TerminalState(a.State) }
+
+// AnalyticsPage is one page of the cluster-analysis listing.
+type AnalyticsPage struct {
+	Analyses   []ClusterAnalysis `json:"analyses"`
+	NextCursor string            `json:"nextCursor,omitempty"`
+}
+
+// SubmitCluster posts a cluster spec over the server's persisted
+// verification corpus; a completed response is either a byte-identical
+// cache hit (unchanged corpus) or awaits the fit via WaitCluster.
+func (c *Client) SubmitCluster(ctx context.Context, sp cluster.Spec) (*ClusterAnalysis, error) {
+	var out ClusterAnalysis
+	if err := c.submit(ctx, "/v1/analytics/cluster", sp, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ClusterAnalysis fetches one cluster-analysis view.
+func (c *Client) ClusterAnalysis(ctx context.Context, id string) (*ClusterAnalysis, error) {
+	var out ClusterAnalysis
+	if err := c.do(ctx, http.MethodGet, "/v1/analytics/cluster/"+id, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ClusterAnalyses fetches one page of the cluster-analysis listing.
+func (c *Client) ClusterAnalyses(ctx context.Context, opts ListOptions) (*AnalyticsPage, error) {
+	var out AnalyticsPage
+	if err := c.do(ctx, http.MethodGet, "/v1/analytics/cluster"+opts.query(), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// WaitCluster polls until the cluster analysis reaches a terminal state.
+func (c *Client) WaitCluster(ctx context.Context, id string) (*ClusterAnalysis, error) {
+	for {
+		cls, err := c.ClusterAnalysis(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if cls.Terminal() {
+			return cls, nil
+		}
+		select {
+		case <-ctx.Done():
+			return cls, ctx.Err()
+		case <-time.After(c.poll):
+		}
+	}
+}
+
+// DeleteCluster forgets a terminal cluster-analysis record.
+func (c *Client) DeleteCluster(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/analytics/cluster/"+id, nil, nil)
 }
 
 // DeleteJob forgets a terminal job record (404 for unknown ids, 409 while
