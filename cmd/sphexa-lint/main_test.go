@@ -1,0 +1,32 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/lintkit"
+)
+
+// TestReportSchema pins the -json output schema byte-for-byte: the field
+// names and order are API for CI consumers, so drift must be deliberate.
+func TestReportSchema(t *testing.T) {
+	out := report{
+		Version:   1,
+		Tool:      "sphexa-lint test",
+		Analyzers: []string{"gocatcher"},
+		Findings: []lintkit.Finding{
+			{Analyzer: "gocatcher", File: "f.go", Line: 3, Col: 7, Message: "m"},
+		},
+		Suppressed: 2,
+	}
+	b, err := json.Marshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"version":1,"tool":"sphexa-lint test","analyzers":["gocatcher"],` +
+		`"findings":[{"analyzer":"gocatcher","file":"f.go","line":3,"col":7,"message":"m"}],` +
+		`"suppressed":2}`
+	if string(b) != want {
+		t.Fatalf("-json report schema drifted:\n got %s\nwant %s", b, want)
+	}
+}

@@ -50,9 +50,27 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/experiments"
+	"repro/internal/lintkit"
 	"repro/internal/scenario"
 	"repro/pkg/client"
 )
+
+// printLintSuite prints the static-analysis suite the build carries and
+// fails if the analyzer registry ever shrinks below the contract: a
+// silently-empty sphexa-lint would pass every tree.
+func printLintSuite() error {
+	all := lintkit.All()
+	names := make([]string, 0, len(all))
+	for _, a := range all {
+		names = append(names, a.Name)
+	}
+	fmt.Printf("lint: sphexa-lint %s, %d analyzers: %s\n",
+		lintkit.Version, len(all), strings.Join(names, ", "))
+	if len(all) < 5 {
+		return fmt.Errorf("lint suite has %d analyzers, contract requires at least 5", len(all))
+	}
+	return nil
+}
 
 func main() {
 	var (
@@ -79,6 +97,10 @@ func main() {
 			"steps per analytics fleet member; the server's -inject-nan-step should equal this so the poison lands after the final step")
 	)
 	flag.Parse()
+	if err := printLintSuite(); err != nil {
+		fmt.Fprintln(os.Stderr, "sphexa-smoke: FAIL:", err)
+		os.Exit(1)
+	}
 	if err := run(*addr, *scen, *nsCSV, *steps, *nbrs, *cores, *timeout, *minOrder, *maxOrder); err != nil {
 		fmt.Fprintln(os.Stderr, "sphexa-smoke: FAIL:", err)
 		os.Exit(1)

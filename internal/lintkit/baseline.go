@@ -1,0 +1,82 @@
+package lintkit
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// BaselineEntry suppresses one reviewed finding. Every entry must carry a
+// justification — the baseline is a record of deliberate exceptions, not a
+// dumping ground. Line numbers are deliberately absent: entries match on
+// analyzer + file + message so unrelated edits don't invalidate them.
+type BaselineEntry struct {
+	Analyzer      string `json:"analyzer"`
+	File          string `json:"file"`
+	Message       string `json:"message"`
+	Justification string `json:"justification"`
+}
+
+// Baseline is the reviewed-suppression file (LINT_BASELINE.json).
+type Baseline struct {
+	Version int             `json:"version"`
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// LoadBaseline reads and validates a baseline file. A missing file is an
+// empty baseline, not an error.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{Version: 1}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lintkit: baseline %s: %w", path, err)
+	}
+	if b.Version != 1 {
+		return nil, fmt.Errorf("lintkit: baseline %s: unsupported version %d", path, b.Version)
+	}
+	for i, e := range b.Entries {
+		if e.Analyzer == "" || e.File == "" || e.Message == "" {
+			return nil, fmt.Errorf("lintkit: baseline %s: entry %d is missing analyzer/file/message", path, i)
+		}
+		if e.Justification == "" {
+			return nil, fmt.Errorf("lintkit: baseline %s: entry %d (%s %s) has no justification — every suppression must say why",
+				path, i, e.Analyzer, e.File)
+		}
+	}
+	return &b, nil
+}
+
+func (e BaselineEntry) key() string { return e.Analyzer + "\x00" + e.File + "\x00" + e.Message }
+
+// Apply splits findings into unbaselined (kept) and suppressed, and returns
+// the baseline entries that matched nothing — stale suppressions worth
+// deleting.
+func (b *Baseline) Apply(findings []Finding) (kept []Finding, suppressed []Finding, unused []BaselineEntry) {
+	matched := make([]bool, len(b.Entries))
+	index := map[string][]int{}
+	for i, e := range b.Entries {
+		index[e.key()] = append(index[e.key()], i)
+	}
+	for _, f := range findings {
+		if idxs, ok := index[f.Key()]; ok {
+			for _, i := range idxs {
+				matched[i] = true
+			}
+			suppressed = append(suppressed, f)
+			continue
+		}
+		kept = append(kept, f)
+	}
+	for i, e := range b.Entries {
+		if !matched[i] {
+			unused = append(unused, e)
+		}
+	}
+	return kept, suppressed, unused
+}

@@ -1,0 +1,242 @@
+package lintkit
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetMarshal enforces deterministic marshaling on output paths.
+//
+// The result store's cache hits are byte-identity checks over canonical
+// JSON, Prometheus exposition is diffed by scrapers, and hashes are built
+// from marshaled bytes. Go map iteration order is randomized, so a `range`
+// over a map that feeds json.Marshal, a hash, or writer output without an
+// intervening sort silently produces different bytes on every run —
+// breaking cache byte-identity exactly the way an unhashed spec field does.
+//
+// Two shapes are flagged: (1) a map-range loop whose body itself writes
+// output (json.Marshal/Encode, fmt.Fprint*, Write/WriteString, crypto
+// Sums); (2) a map-range loop that appends to a slice which later reaches
+// such a sink in the same function without ever being passed to a
+// sort/slices call. The collect-keys-then-sort idiom used across this
+// codebase passes both checks.
+var DetMarshal = &Analyzer{
+	Name: "detmarshal",
+	Doc:  "range over a map must not feed marshal/hash/writer output without an intervening sort (cache byte-identity)",
+	Run:  runDetMarshal,
+}
+
+func runDetMarshal(p *Pass) error {
+	for _, f := range p.Files {
+		// Track the innermost enclosing function body so the slice-flow
+		// check has a scope to search.
+		var bodies []*ast.BlockStmt
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body == nil {
+					return false
+				}
+				bodies = append(bodies, n.Body)
+				ast.Inspect(n.Body, walk)
+				bodies = bodies[:len(bodies)-1]
+				return false
+			case *ast.FuncLit:
+				bodies = append(bodies, n.Body)
+				ast.Inspect(n.Body, walk)
+				bodies = bodies[:len(bodies)-1]
+				return false
+			case *ast.RangeStmt:
+				if len(bodies) > 0 {
+					checkMapRange(p, n, bodies[len(bodies)-1])
+				}
+			}
+			return true
+		}
+		ast.Inspect(f, walk)
+	}
+	return nil
+}
+
+func checkMapRange(p *Pass, rng *ast.RangeStmt, scope *ast.BlockStmt) {
+	t := p.Info.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	// Shape 1: the loop body writes output directly, in map order.
+	if sink := findSink(p, rng.Body); sink != "" {
+		p.Reportf(rng.Pos(),
+			"range over map %s writes to %s inside the loop body: output depends on randomized map iteration order; collect the keys, sort, then iterate",
+			types.ExprString(rng.X), sink)
+		return
+	}
+	// Shape 2: the loop collects into slices that later reach a sink
+	// without being sorted.
+	appended := appendTargets(p, rng.Body)
+	if len(appended) == 0 {
+		return
+	}
+	for _, obj := range appended {
+		if sortedInScope(p, scope, obj) {
+			continue
+		}
+		if sink := sinkUseInScope(p, scope, rng, obj); sink != "" {
+			p.Reportf(rng.Pos(),
+				"range over map %s collects %s which reaches %s without a sort: output depends on randomized map iteration order",
+				types.ExprString(rng.X), obj.Name(), sink)
+		}
+	}
+}
+
+// findSink returns a description of the first order-sensitive output call
+// in the node, or "".
+func findSink(p *Pass, n ast.Node) string {
+	sink := ""
+	ast.Inspect(n, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sink = sinkName(p, call)
+		return sink == ""
+	})
+	return sink
+}
+
+// sinkName classifies a call as an order-sensitive output sink.
+func sinkName(p *Pass, call *ast.CallExpr) string {
+	fn := funcObjOf(p.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	name, path := fn.Name(), fn.Pkg().Path()
+	switch {
+	case path == "encoding/json" && (name == "Marshal" || name == "MarshalIndent"):
+		return "json." + name
+	case path == "encoding/json" && name == "Encode":
+		return "json.Encoder.Encode"
+	case path == "fmt" && (name == "Fprintf" || name == "Fprint" || name == "Fprintln"):
+		return "fmt." + name
+	case isCryptoSum(fn):
+		return path + "." + name
+	}
+	// Writer-shaped methods on anything (io.Writer, hash.Hash,
+	// bytes.Buffer, strings.Builder): the bytes land in output order.
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		switch name {
+		case "Write", "WriteString", "WriteByte", "WriteRune":
+			if named := recvNamed(fn); named != nil {
+				return "(" + named.Obj().Name() + ")." + name
+			}
+			return name
+		}
+	}
+	return ""
+}
+
+func isCryptoSum(fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	return (len(path) > 7 && path[:7] == "crypto/") && len(fn.Name()) >= 3 && fn.Name()[:3] == "Sum"
+}
+
+// appendTargets returns the objects of slice variables appended to inside
+// the loop body (`s = append(s, ...)`).
+func appendTargets(p *Pass, body *ast.BlockStmt) []types.Object {
+	var objs []types.Object
+	seen := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || !isBuiltin(p.Info, call, "append") || i >= len(as.Lhs) {
+				continue
+			}
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := p.Info.Uses[id]
+			if obj == nil {
+				obj = p.Info.Defs[id]
+			}
+			if obj != nil && !seen[obj] {
+				seen[obj] = true
+				objs = append(objs, obj)
+			}
+		}
+		return true
+	})
+	return objs
+}
+
+// sortedInScope reports whether obj is ever passed into a sort or slices
+// call within the function body.
+func sortedInScope(p *Pass, scope *ast.BlockStmt, obj types.Object) bool {
+	sorted := false
+	ast.Inspect(scope, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := funcObjOf(p.Info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if path := fn.Pkg().Path(); path != "sort" && path != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if containsIdentObj(p.Info, arg, obj) {
+				sorted = true
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+// sinkUseInScope reports the sink that consumes obj after the map-range
+// loop: either directly as a sink-call argument, or by being ranged over
+// with a sink in that loop's body.
+func sinkUseInScope(p *Pass, scope *ast.BlockStmt, skip *ast.RangeStmt, obj types.Object) string {
+	found := ""
+	ast.Inspect(scope, func(n ast.Node) bool {
+		if found != "" || n == skip {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if s := sinkName(p, n); s != "" {
+				for _, arg := range n.Args {
+					if containsIdentObj(p.Info, arg, obj) {
+						found = s
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			if id, ok := ast.Unparen(n.X).(*ast.Ident); ok && p.Info.Uses[id] == obj {
+				if s := findSink(p, n.Body); s != "" {
+					found = s
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,171 @@
+package lintkit
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrCodes enforces the closed /v1 error-code registry.
+//
+// The structured error envelope (`{"error":{code,...}}`) promises stable,
+// documented codes: clients switch on them, the README tables them, and
+// pkg/client surfaces them in *APIError. A handler inventing a code inline
+// ("writeError(w, 400, \"weird_edge\", ...)") ships an undocumented API
+// contract. This analyzer requires every code argument reaching the error
+// writer to be one of the package-level `Code*` string constants — the
+// declared registry — and chases helper functions (a parameter forwarded
+// into the code slot makes that parameter a checked slot at every call
+// site, transitively).
+var ErrCodes = &Analyzer{
+	Name: "errcodes",
+	Doc:  "error-envelope codes must come from the declared Code* constant registry (stable /v1 error codes)",
+	Run:  runErrCodes,
+}
+
+func runErrCodes(p *Pass) error {
+	// Scoped to the serving package: that is where the envelope is written.
+	if p.Pkg.Name() != "server" {
+		return nil
+	}
+	decls := declOfFuncs(p)
+
+	// codeSlots maps a function to the set of parameter indices that flow
+	// into an error-code position. Seeded by functions with a string
+	// parameter literally named "code" (the writeError convention), then
+	// extended to fixpoint through forwarding helpers.
+	codeSlots := map[*types.Func]map[int]bool{}
+	paramIndex := func(fn *types.Func, obj types.Object) int {
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok {
+			return -1
+		}
+		for i := 0; i < sig.Params().Len(); i++ {
+			if sig.Params().At(i) == obj {
+				return i
+			}
+		}
+		return -1
+	}
+	for fn := range decls {
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok {
+			continue
+		}
+		for i := 0; i < sig.Params().Len(); i++ {
+			prm := sig.Params().At(i)
+			if prm.Name() == "code" && types.Identical(prm.Type(), types.Typ[types.String]) {
+				if codeSlots[fn] == nil {
+					codeSlots[fn] = map[int]bool{}
+				}
+				codeSlots[fn][i] = true
+			}
+		}
+	}
+	if len(codeSlots) == 0 {
+		return nil
+	}
+
+	// Fixpoint: a parameter passed into a code slot becomes a code slot of
+	// its own function.
+	for changed := true; changed; {
+		changed = false
+		forEachCall(p, func(enclosing *types.Func, call *ast.CallExpr) {
+			callee := funcObjOf(p.Info, call)
+			slots, ok := codeSlots[callee]
+			if !ok || enclosing == nil {
+				return
+			}
+			for i := range slots {
+				if i >= len(call.Args) {
+					continue
+				}
+				id, ok := ast.Unparen(call.Args[i]).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := p.Info.Uses[id]
+				if obj == nil {
+					continue
+				}
+				if j := paramIndex(enclosing, obj); j >= 0 && !codeSlots[enclosing][j] {
+					if codeSlots[enclosing] == nil {
+						codeSlots[enclosing] = map[int]bool{}
+					}
+					codeSlots[enclosing][j] = true
+					changed = true
+				}
+			}
+		})
+	}
+
+	// Final pass: every argument in a code slot must be a Code* constant
+	// or a forwarded parameter that is itself a checked slot.
+	forEachCall(p, func(enclosing *types.Func, call *ast.CallExpr) {
+		callee := funcObjOf(p.Info, call)
+		slots, ok := codeSlots[callee]
+		if !ok {
+			return
+		}
+		for i := range slots {
+			if i >= len(call.Args) {
+				continue
+			}
+			arg := ast.Unparen(call.Args[i])
+			if isCodeConst(p, arg) {
+				continue
+			}
+			if id, ok := arg.(*ast.Ident); ok && enclosing != nil {
+				if obj := p.Info.Uses[id]; obj != nil {
+					if j := paramIndex(enclosing, obj); j >= 0 && codeSlots[enclosing][j] {
+						continue // forwarded: checked at this function's call sites
+					}
+				}
+			}
+			p.Reportf(arg.Pos(),
+				"error code argument %s is not a declared Code* constant: /v1 error codes are a closed, documented registry — add a constant (and document it) instead of inventing a code inline",
+				types.ExprString(arg))
+		}
+	})
+	return nil
+}
+
+// isCodeConst reports whether e resolves to a package-level string
+// constant named Code*.
+func isCodeConst(p *Pass, e ast.Expr) bool {
+	var obj types.Object
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj = p.Info.Uses[e]
+	case *ast.SelectorExpr:
+		obj = p.Info.Uses[e.Sel]
+	default:
+		return false
+	}
+	c, ok := obj.(*types.Const)
+	if !ok || !strings.HasPrefix(c.Name(), "Code") {
+		return false
+	}
+	// Package-level: its parent scope is the package scope.
+	return c.Pkg() != nil && c.Parent() == c.Pkg().Scope()
+}
+
+// forEachCall visits every call expression in the pass, with the enclosing
+// package-level function (nil inside package-level variable initializers).
+func forEachCall(p *Pass, visit func(enclosing *types.Func, call *ast.CallExpr)) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			enclosing, _ := p.Info.Defs[fd.Name].(*types.Func)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					visit(enclosing, call)
+				}
+				return true
+			})
+		}
+	}
+}

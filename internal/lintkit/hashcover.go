@@ -1,0 +1,177 @@
+package lintkit
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+	"strings"
+)
+
+// HashCover enforces canonical-hash coverage of spec structs.
+//
+// Every content-addressed identity in this codebase (scenario.Spec,
+// scenario.JobSpec, experiments.Sweep, experiments.ScalingSweep, the
+// cluster analysis spec) is hashed by JSON-marshaling its canonical form
+// and SHA-256-ing the bytes. A field that encoding/json does not emit —
+// unexported, tagged `json:"-"`, or added without an explicit name tag —
+// silently never reaches the hash: two different jobs collide in the
+// content-addressed result cache and one serves the other's bytes.
+//
+// The analyzer finds "hash roots": named struct types with a method whose
+// name contains "Hash" and whose body calls both json.Marshal and a
+// crypto Sum function. It then walks the JSON-encoding closure of each
+// root (embedded structs, named struct fields, slice/map/pointer elements,
+// stopping at custom marshalers and at types outside this module) and
+// requires every field to be exported and carry an explicit json name tag.
+var HashCover = &Analyzer{
+	Name: "hashcover",
+	Doc:  "every field of a canonical-hashed struct must be covered by the canonical JSON encoding (exported, explicit json tag, not \"-\")",
+	Run:  runHashCover,
+}
+
+func runHashCover(p *Pass) error {
+	seen := map[*types.Named]bool{}
+	for _, root := range hashRoots(p) {
+		checkHashedType(p, root, root, seen)
+	}
+	return nil
+}
+
+// hashRoots returns the receiver types of hash methods declared in this
+// package: a method named *Hash* whose body calls both json.Marshal and a
+// crypto/* Sum function.
+func hashRoots(p *Pass) []*types.Named {
+	var roots []*types.Named
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || !strings.Contains(fd.Name.Name, "Hash") {
+				continue
+			}
+			var marshals, sums bool
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := funcObjOf(p.Info, call)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				if fn.Pkg().Path() == "encoding/json" && strings.HasPrefix(fn.Name(), "Marshal") {
+					marshals = true
+				}
+				if strings.HasPrefix(fn.Pkg().Path(), "crypto/") && strings.HasPrefix(fn.Name(), "Sum") {
+					sums = true
+				}
+				return true
+			})
+			if !marshals || !sums {
+				continue
+			}
+			if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+				if named := recvNamed(fn); named != nil {
+					roots = append(roots, named)
+				}
+			}
+		}
+	}
+	return roots
+}
+
+// checkHashedType walks the JSON-encoding closure of named and reports any
+// field invisible to the canonical encoding.
+func checkHashedType(p *Pass, root, named *types.Named, seen map[*types.Named]bool) {
+	if named == nil || seen[named] {
+		return
+	}
+	seen[named] = true
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return
+	}
+	// Only check structs this module owns; stdlib and external types are
+	// not ours to fix (and typically custom-marshal anyway).
+	path := obj.Pkg().Path()
+	if path != p.Module && !strings.HasPrefix(path, p.Module+"/") && path != p.Pkg.Path() {
+		return
+	}
+	if hasCustomMarshaler(named) {
+		return
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		field := st.Field(i)
+		tag := reflect.StructTag(st.Tag(i))
+		jsonTag, hasTag := tag.Lookup("json")
+		name, _, _ := strings.Cut(jsonTag, ",")
+		switch {
+		case !field.Exported():
+			p.Reportf(field.Pos(),
+				"unexported field %s of canonical-hashed struct %s is invisible to encoding/json: it never reaches the hash, so specs differing in it collide in the content-addressed cache",
+				field.Name(), named.Obj().Name())
+			continue
+		case name == "-":
+			p.Reportf(field.Pos(),
+				"field %s of canonical-hashed struct %s is excluded from the canonical encoding (json:\"-\"): it never reaches the hash",
+				field.Name(), named.Obj().Name())
+			continue
+		case field.Embedded() && !hasTag:
+			// Inlined embedding (JobSpec embedding Spec) is the one sanctioned
+			// untagged form; its fields are checked through the recursion below.
+		case !hasTag || name == "":
+			p.Reportf(field.Pos(),
+				"field %s of canonical-hashed struct %s has no explicit json name tag: the canonical encoding must pin wire names, or renames silently re-key every stored result",
+				field.Name(), named.Obj().Name())
+		}
+		for _, elem := range elementStructs(field.Type()) {
+			checkHashedType(p, root, elem, seen)
+		}
+	}
+}
+
+// hasCustomMarshaler reports whether T or *T declares its own JSON or text
+// marshaling (the encoder then never reflects over the fields).
+func hasCustomMarshaler(named *types.Named) bool {
+	for _, t := range []types.Type{named, types.NewPointer(named)} {
+		ms := types.NewMethodSet(t)
+		for i := 0; i < ms.Len(); i++ {
+			switch ms.At(i).Obj().Name() {
+			case "MarshalJSON", "MarshalText":
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// elementStructs unwraps pointers, slices, arrays, and map values down to
+// the named struct types the JSON encoder would descend into.
+func elementStructs(t types.Type) []*types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+			continue
+		case *types.Slice:
+			t = u.Elem()
+			continue
+		case *types.Array:
+			t = u.Elem()
+			continue
+		case *types.Map:
+			t = u.Elem()
+			continue
+		}
+		break
+	}
+	if named, ok := t.(*types.Named); ok {
+		if _, isStruct := named.Underlying().(*types.Struct); isStruct {
+			return []*types.Named{named}
+		}
+	}
+	return nil
+}

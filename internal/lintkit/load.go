@@ -1,0 +1,266 @@
+package lintkit
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// FindModuleRoot walks up from dir to the nearest go.mod and returns the
+// root directory and the declared module path.
+func FindModuleRoot(dir string) (root, module string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; {
+		gm := filepath.Join(d, "go.mod")
+		if data, err := os.ReadFile(gm); err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lintkit: %s has no module line", gm)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("lintkit: no go.mod found above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// Runner loads and type-checks packages of one module and runs analyzers
+// over them.
+type Runner struct {
+	// Dir is the module root. The stdlib source importer resolves module
+	// import paths by running `go list` from this directory.
+	Dir string
+	// Module is the module path declared in go.mod.
+	Module string
+	// Analyzers to run; nil means All().
+	Analyzers []*Analyzer
+}
+
+// NewRunner locates the module root at or above dir.
+func NewRunner(dir string) (*Runner, error) {
+	root, module, err := FindModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{Dir: root, Module: module}, nil
+}
+
+// LoadError is a package that failed to parse or type-check; analysis of
+// the remaining packages still proceeds.
+type LoadError struct {
+	Package string
+	Err     error
+}
+
+func (e LoadError) Error() string { return fmt.Sprintf("%s: %v", e.Package, e.Err) }
+
+// Result is one full lint run.
+type Result struct {
+	Findings   []Finding
+	LoadErrors []LoadError
+	// Packages is the number of packages analyzed.
+	Packages int
+}
+
+// Run expands patterns (`./...`, `dir/...`, or plain directories, relative
+// to the module root), type-checks each matched package, and applies every
+// analyzer.
+func (r *Runner) Run(patterns []string) (*Result, error) {
+	dirs, err := r.expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	analyzers := r.Analyzers
+	if analyzers == nil {
+		analyzers = All()
+	}
+
+	// The source importer resolves "repro/..." imports through `go list`,
+	// which must run inside the module. build.Default is the context the
+	// stdlib importer consults; pinning its Dir makes the run independent
+	// of the process working directory.
+	build.Default.Dir = r.Dir
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+
+	res := &Result{}
+	var findings []Finding
+	for _, dir := range dirs {
+		pkgPath := r.Module
+		if rel, err := filepath.Rel(r.Dir, dir); err == nil && rel != "." {
+			pkgPath = r.Module + "/" + filepath.ToSlash(rel)
+		}
+		files, err := parseDir(fset, dir)
+		if err != nil {
+			res.LoadErrors = append(res.LoadErrors, LoadError{Package: pkgPath, Err: err})
+			continue
+		}
+		if len(files) == 0 {
+			continue
+		}
+		pkg, info, err := checkPackage(fset, imp, pkgPath, files)
+		if err != nil {
+			res.LoadErrors = append(res.LoadErrors, LoadError{Package: pkgPath, Err: err})
+			continue
+		}
+		res.Packages++
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     fset,
+				Files:    files,
+				Pkg:      pkg,
+				Info:     info,
+				Dir:      r.Dir,
+				Module:   r.Module,
+				findings: &findings,
+			}
+			if err := a.Run(pass); err != nil {
+				res.LoadErrors = append(res.LoadErrors, LoadError{
+					Package: pkgPath, Err: fmt.Errorf("analyzer %s: %w", a.Name, err)})
+			}
+		}
+	}
+	res.Findings = sortFindings(findings)
+	return res, nil
+}
+
+// expand maps patterns to package directories (sorted, deduplicated).
+func (r *Runner) expand(patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+			if pat == "." || pat == "" {
+				pat = "."
+			}
+		}
+		base := filepath.Join(r.Dir, filepath.FromSlash(pat))
+		fi, err := os.Stat(base)
+		if err != nil || !fi.IsDir() {
+			return nil, fmt.Errorf("lintkit: pattern %q: not a directory under the module root", pat)
+		}
+		if !recursive {
+			if hasGoSources(base) {
+				add(base)
+			}
+			continue
+		}
+		err = filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != base && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoSources(path) {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoSources(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// parseDir parses the non-test Go sources of one directory, with comments
+// (several analyzers read them: guardedby annotations, fixture wants).
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// checkPackage type-checks one parsed package against the shared importer.
+func checkPackage(fset *token.FileSet, imp types.Importer, pkgPath string, files []*ast.File) (*types.Package, *types.Info, error) {
+	var soft []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { soft = append(soft, err) },
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	pkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		if len(soft) > 0 {
+			err = fmt.Errorf("%d type errors, first: %w", len(soft), soft[0])
+		}
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}

@@ -1,0 +1,59 @@
+// Package detmarshal is the detmarshal fixture: map ranges feeding output
+// sinks without a sort are findings; the collect-keys-then-sort idiom is
+// clean.
+package detmarshal
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// direct writes inside the loop body: shape 1.
+func direct(w io.Writer, m map[string]int) {
+	for k, v := range m { // want "writes to fmt.Fprintf inside the loop body"
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// buffered hits a writer-shaped method sink.
+func buffered(m map[string]bool) string {
+	var b bytes.Buffer
+	for k := range m { // want "writes to (Buffer).WriteString"
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+// collected appends to a slice that later reaches json.Marshal unsorted:
+// shape 2.
+func collected(m map[string]int) ([]byte, error) {
+	var keys []string
+	for k := range m { // want "reaches json.Marshal without a sort"
+		keys = append(keys, k)
+	}
+	return json.Marshal(keys)
+}
+
+// rangedOut reaches the sink by being ranged over with a sink in the body.
+func rangedOut(w io.Writer, m map[string]int) {
+	var keys []string
+	for k := range m { // want "reaches fmt.Fprintln without a sort"
+		keys = append(keys, k)
+	}
+	for _, k := range keys {
+		fmt.Fprintln(w, k)
+	}
+}
+
+// sortedIdiom is the codebase's sanctioned pattern: collect, sort, emit.
+func sortedIdiom(m map[string]int) ([]byte, error) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return json.Marshal(keys)
+}

@@ -1,0 +1,33 @@
+// Package guardedby is the guardedby fixture: fields annotated
+// `guarded by <mu>` must only be touched under that mutex, from *Locked
+// helpers, or during constructor initialization.
+package guardedby
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+// inc holds the lock: clean.
+func (c *counter) inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// read touches the field with no visible lock acquisition.
+func (c *counter) read() int {
+	return c.n // want "without acquiring mu"
+}
+
+// snapshotLocked carries the caller-holds-the-lock suffix: clean.
+func (c *counter) snapshotLocked() int { return c.n }
+
+// newCounter initializes a freshly allocated value before sharing: clean.
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 1
+	return c
+}

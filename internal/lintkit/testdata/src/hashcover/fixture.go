@@ -1,0 +1,45 @@
+// Package hashcover is the hashcover fixture: Spec is a hash root (its
+// CanonicalHash method JSON-marshals the receiver and SHA-256-sums the
+// bytes), so every field in its JSON closure must be hash-visible.
+package hashcover
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+)
+
+// Sub is reached through Spec's JSON closure, so its fields are checked too.
+type Sub struct {
+	OK  int `json:"ok"`
+	Bad int // want "has no explicit json name tag"
+}
+
+// Opaque has a custom marshaler: the encoder never reflects over its
+// fields, so the unexported field is fine.
+type Opaque struct {
+	raw string
+}
+
+func (o Opaque) MarshalJSON() ([]byte, error) { return json.Marshal(o.raw) }
+
+// Spec is the hash root.
+type Spec struct {
+	Name   string `json:"name"`
+	Steps  int    // want "has no explicit json name tag"
+	hidden int    // want "invisible to encoding/json"
+	Skip   int    `json:"-"` // want "excluded from the canonical encoding"
+	Nested Sub    `json:"nested"`
+	Elems  []Sub  `json:"elems"`
+	Opaque Opaque `json:"opaque"`
+}
+
+// CanonicalHash makes Spec a hash root: json.Marshal + sha256.Sum256.
+func (s Spec) CanonicalHash() string {
+	b, _ := json.Marshal(s)
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// use silences the unused-field vet on hidden.
+func (s Spec) use() int { return s.hidden }

@@ -286,8 +286,8 @@ type family struct {
 	buckets    []float64 // histograms only
 
 	mu       sync.Mutex
-	children map[string]any // Counter | Gauge | Histogram, keyed by joined label values
-	keys     []string       // insertion order for deterministic exposition
+	children map[string]any // Counter | Gauge | Histogram, keyed by joined label values; guarded by mu
+	keys     []string       // insertion order for deterministic exposition; guarded by mu
 }
 
 // labelKey joins label values into the child map key. Values never contain
@@ -311,8 +311,8 @@ func (f *family) child(values []string, make func() any) any {
 // with NewRegistry.
 type Registry struct {
 	mu       sync.Mutex
-	families map[string]*family
-	order    []string
+	families map[string]*family // guarded by mu
+	order    []string           // guarded by mu
 }
 
 // NewRegistry returns an empty registry.

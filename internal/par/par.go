@@ -28,7 +28,8 @@ func (p *Panic) Error() string {
 // Each goroutine defers Catch; the goroutine that spawned them calls
 // Rethrow after the group joins.
 type Catcher struct {
-	mu    sync.Mutex
+	mu sync.Mutex
+	// first is the panic kept for Rethrow; guarded by mu.
 	first *Panic
 }
 

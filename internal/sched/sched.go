@@ -11,6 +11,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/par"
 )
 
 // Policy computes successive chunk sizes for a loop of n items on p workers.
@@ -222,7 +224,8 @@ type WorkerStat struct {
 
 // Run executes fn(i) for i in [0, n) on p workers under the given policy
 // and returns per-worker statistics. fn must be safe for concurrent
-// invocation on distinct items.
+// invocation on distinct items. A panic in fn is rethrown on the caller's
+// goroutine (par.Catcher), never left to kill a detached worker.
 func Run(n, p int, policy Policy, fn func(i int)) []WorkerStat {
 	if p < 1 {
 		p = 1
@@ -231,28 +234,38 @@ func Run(n, p int, policy Policy, fn func(i int)) []WorkerStat {
 	var next int64
 	var mu sync.Mutex // guards policy state
 	var wg sync.WaitGroup
+	var catcher par.Catcher
+	// claim deals the next chunk under the scheduler lock; defer-unlocked so
+	// a panicking Policy cannot strand the lock and deadlock the pool.
+	claim := func() (lo, hi int, ok bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		done := int(atomic.LoadInt64(&next))
+		remaining := n - done
+		if remaining <= 0 {
+			return 0, 0, false
+		}
+		c := policy.Chunk(remaining, p)
+		if c > remaining {
+			c = remaining
+		}
+		lo = int(atomic.AddInt64(&next, int64(c))) - c
+		hi = lo + c
+		if hi > n {
+			hi = n
+		}
+		return lo, hi, true
+	}
 	for w := 0; w < p; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			defer catcher.Catch()
 			t0 := time.Now()
 			for {
-				mu.Lock()
-				done := int(atomic.LoadInt64(&next))
-				remaining := n - done
-				if remaining <= 0 {
-					mu.Unlock()
+				lo, hi, ok := claim()
+				if !ok {
 					break
-				}
-				c := policy.Chunk(remaining, p)
-				if c > remaining {
-					c = remaining
-				}
-				lo := int(atomic.AddInt64(&next, int64(c))) - c
-				mu.Unlock()
-				hi := lo + c
-				if hi > n {
-					hi = n
 				}
 				for i := lo; i < hi; i++ {
 					fn(i)
@@ -264,6 +277,7 @@ func Run(n, p int, policy Policy, fn func(i int)) []WorkerStat {
 		}(w)
 	}
 	wg.Wait()
+	catcher.Rethrow()
 	return stats
 }
 

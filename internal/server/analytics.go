@@ -214,6 +214,21 @@ func (s *Server) newAnalysisLocked(csp cluster.Spec, hash string, jobs int) *Clu
 // persists the result content-addressed by the analysis hash, and applies
 // the anomaly rollups to the job table.
 func (s *Server) collectAnalysis(cls *ClusterAnalysis, jobs []cluster.JobData) {
+	// Contain collector panics (PR 7 discipline): a degenerate fleet must
+	// fail this one analysis, never the process. Skip if the analysis
+	// already went terminal (fail helpers close done exactly once).
+	defer func() {
+		v := recover()
+		if v == nil {
+			return
+		}
+		select {
+		case <-cls.done:
+			s.log.Error("analysis collector panicked after terminal state", "analysis", cls.ID, "panic", v)
+		default:
+			s.failAnalysis(cls, fmt.Sprintf("collector panic: %v", v))
+		}
+	}()
 	res, err := cluster.Analyze(cls.Spec, jobs)
 	if err != nil {
 		s.failAnalysis(cls, err.Error())

@@ -185,6 +185,21 @@ func (s *Server) resolveExperimentResult(hash string) ([]byte, bool) {
 // aggregates the member verification reports into the convergence
 // regression and persists it.
 func (s *Server) collectExperiment(exp *Experiment) {
+	// Contain collector panics (PR 7 discipline): a bad member report must
+	// fail this one experiment, never the process. Skip if the experiment
+	// already went terminal (fail helpers close done exactly once).
+	defer func() {
+		v := recover()
+		if v == nil {
+			return
+		}
+		select {
+		case <-exp.done:
+			s.log.Error("experiment collector panicked after terminal state", "experiment", exp.ID, "panic", v)
+		default:
+			s.failExperiment(exp, fmt.Sprintf("collector panic: %v", v))
+		}
+	}()
 	for _, m := range exp.Members {
 		select {
 		case <-m.done:

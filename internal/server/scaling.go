@@ -192,6 +192,21 @@ func (s *Server) resolveScalingResult(hash string) ([]byte, bool) {
 // aggregates the member timing breakdowns into the scaling result and
 // persists it.
 func (s *Server) collectScaling(scl *ScalingExp) {
+	// Contain collector panics (PR 7 discipline): a bad member timing must
+	// fail this one experiment, never the process. Skip if the experiment
+	// already went terminal (fail helpers close done exactly once).
+	defer func() {
+		v := recover()
+		if v == nil {
+			return
+		}
+		select {
+		case <-scl.done:
+			s.log.Error("scaling collector panicked after terminal state", "scaling", scl.ID, "panic", v)
+		default:
+			s.failScaling(scl, fmt.Sprintf("collector panic: %v", v))
+		}
+	}()
 	for _, m := range scl.Members {
 		select {
 		case <-m.done:

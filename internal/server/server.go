@@ -203,10 +203,10 @@ type Server struct {
 	opts Options
 
 	mu     sync.Mutex
-	jobs   map[string]*Job
-	order  []string // submission order for listing
-	cache  map[string]*cachedResult
-	byHash map[string]*Job // active (queued/running) job per hash, for dedup
+	jobs   map[string]*Job          // guarded by mu
+	order  []string                 // submission order for listing; guarded by mu
+	cache  map[string]*cachedResult // guarded by mu
+	byHash map[string]*Job          // active (queued/running) job per hash, for dedup; guarded by mu
 	nextID int
 
 	// Experiment state mirrors the job state one level up: records by id,
@@ -234,6 +234,7 @@ type Server struct {
 	// anomalies marks jobs — keyed by spec hash, so marks survive job-table
 	// pruning and apply to cache-hit resubmissions — that the most recent
 	// covering analysis assigned to the improper noise component.
+	// Guarded by mu.
 	anomalies map[string]*AnomalyMark
 
 	queue   chan *Job

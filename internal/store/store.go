@@ -97,8 +97,8 @@ type Store struct {
 	opts Options
 
 	mu      sync.Mutex
-	entries map[string]*Meta
-	total   int64 // sum of entry bytes: objects plus attachments
+	entries map[string]*Meta // guarded by mu
+	total   int64            // sum of entry bytes: objects plus attachments; guarded by mu
 	// quarantined counts objects moved aside by the last Open or by a
 	// failed read since.
 	quarantined int

@@ -135,7 +135,7 @@ type Recorder struct {
 	mu       sync.Mutex
 	cfg      Config
 	stride   int
-	samples  []Sample // retained series, ascending Step
+	samples  []Sample // retained series, ascending Step; guarded by mu
 	last     Sample   // latest fed sample (may not be retained)
 	haveLast bool
 	trips    []string
@@ -276,7 +276,7 @@ func (r *Recorder) watchLocked(s Sample) []string {
 	}
 	if len(r.samples) >= wd.MinSamples {
 		if wd.DTCollapse > 0 {
-			if med := r.trimmedMedianDT(); med > 0 && s.DT >= 0 && s.DT < wd.DTCollapse*med {
+			if med := r.trimmedMedianDTLocked(); med > 0 && s.DT >= 0 && s.DT < wd.DTCollapse*med {
 				trip(KindDTCollapse)
 			}
 		}
@@ -332,10 +332,10 @@ func sanitize(s Sample) Sample {
 	return s
 }
 
-// trimmedMedianDT is the median dt of the retained series after trimming
+// trimmedMedianDTLocked is the median dt of the retained series after trimming
 // the top and bottom deciles — one transient dt spike cannot move the
 // collapse baseline.
-func (r *Recorder) trimmedMedianDT() float64 {
+func (r *Recorder) trimmedMedianDTLocked() float64 {
 	dts := make([]float64, 0, len(r.samples))
 	for _, s := range r.samples {
 		if !math.IsNaN(s.DT) && !math.IsInf(s.DT, 0) {
