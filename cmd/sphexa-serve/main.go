@@ -27,9 +27,17 @@
 // and streamed live over GET /v1/jobs/{id}/telemetry/events; physics
 // watchdogs (NaN, drift slope, dt collapse, imbalance) mark the job and
 // count trips in telemetry_watchdog_trips_total. POST
-// /v1/jobs/{id}/profile captures an on-demand CPU profile. Structured
-// request/lifecycle logs go to stderr (-log-level), and -pprof-addr
-// exposes net/http/pprof on a separate listener.
+// /v1/jobs/{id}/profile captures an on-demand CPU profile. GET
+// /v1/jobs/{id}/trace exports a completed job's measured timeline —
+// reassembled deterministically from its persisted timing record, span
+// trace, and telemetry track — as Perfetto-loadable Chrome trace-event
+// JSON or an ASCII Paraver rendering, with POP efficiency metrics computed
+// from the real intervals beside the modeled prediction. A background
+// sampler (-history-interval, -history-samples) feeds an in-process
+// metrics-history ring served by GET /v1/metrics/history and the /statusz
+// trend columns. Structured request/lifecycle logs go to stderr
+// (-log-level), and -pprof-addr exposes net/http/pprof on a separate
+// listener.
 //
 //	sphexa-serve -addr :8080 -workers 4 -data-dir /var/lib/sphexa \
 //	    -store-dir /var/lib/sphexa/results -store-ttl 168h -store-max-bytes 1073741824
@@ -73,7 +81,11 @@ func main() {
 			"interval between background TTL/LRU eviction sweeps of the result store (0 leaves eviction to submissions/reads)")
 		pprofAddr = flag.String("pprof-addr", "",
 			"serve net/http/pprof on this address (empty disables; keep it off the public listener)")
-		logLevel = flag.String("log-level", "info", "minimum structured log level: debug, info, warn, error")
+		logLevel  = flag.String("log-level", "info", "minimum structured log level: debug, info, warn, error")
+		histEvery = flag.Duration("history-interval", 0,
+			"metrics-history sampling interval for GET /v1/metrics/history and the /statusz trend columns (0 = default 5s, negative disables the sampler)")
+		histSamples = flag.Int("history-samples", 0,
+			"retained samples per metrics-history series before stride-doubling downsampling (0 = default 512)")
 
 		injectNanN = flag.Int("inject-nan-n", 0,
 			"TESTING ONLY: poison serial-backend runs whose realized particle count matches this requested N with a NaN internal energy (0 disables)")
@@ -85,6 +97,7 @@ func main() {
 	flag.Parse()
 	if err := run(*addr, *workers, *queue, *dataDir, *ckptEvery, *machine,
 		*storeDir, *storeTTL, *storeMax, *sweep, *pprofAddr, *logLevel,
+		*histEvery, *histSamples,
 		*injectNanN, *injectNanStep, *injectNanScenario); err != nil {
 		fmt.Fprintln(os.Stderr, "sphexa-serve:", err)
 		os.Exit(1)
@@ -93,7 +106,8 @@ func main() {
 
 func run(addr string, workers, queue int, dataDir string, ckptEvery int, machine,
 	storeDir string, storeTTL time.Duration, storeMax int64, sweep time.Duration,
-	pprofAddr, logLevel string, injectNanN, injectNanStep int, injectNanScenario string) error {
+	pprofAddr, logLevel string, histEvery time.Duration, histSamples int,
+	injectNanN, injectNanStep int, injectNanScenario string) error {
 	m, err := perfmodel.ByName(machine)
 	if err != nil {
 		return err
@@ -110,6 +124,8 @@ func run(addr string, workers, queue int, dataDir string, ckptEvery int, machine
 		CheckpointEvery: ckptEvery,
 		Machine:         m,
 		Logger:          logger,
+		HistoryInterval: histEvery,
+		HistorySamples:  histSamples,
 	}
 	if storeDir != "" {
 		st, err := store.Open(storeDir, store.Options{TTL: storeTTL, MaxBytes: storeMax})

@@ -23,7 +23,16 @@
 //     latency digest and job phase totals for the traffic the earlier legs
 //     generated, and /metricsz serves the Prometheus exposition with the
 //     request and lifecycle families populated;
-//  7. with -analytics-nan-n set (and the server started with the matching
+//  7. real-run trace export and metrics history work end to end: a
+//     parallel sod job's GET /v1/jobs/{id}/trace serves valid Chrome
+//     trace-event JSON (metadata + complete events only, timestamps
+//     monotone per track) whose per-rank per-phase slice durations sum to
+//     the persisted report's timing record within 1e-9, with measured POP
+//     efficiency metrics beside the modeled prediction; re-fetching the
+//     trace through an identical cache-hit resubmission returns
+//     byte-identical JSON; and GET /v1/metrics/history serves the sampled
+//     Go-runtime series with at least 256 retained slots;
+//  8. with -analytics-nan-n set (and the server started with the matching
 //     -inject-nan-n/-inject-nan-step fault injection), fleet analytics work
 //     end to end: a seeded sedov fleet with one NaN-poisoned member is
 //     clustered by POST /v1/analytics/cluster and the improper noise
@@ -37,7 +46,9 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -49,9 +60,12 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/lintkit"
+	"repro/internal/obs/history"
 	"repro/internal/scenario"
+	"repro/internal/trace"
 	"repro/pkg/client"
 )
 
@@ -89,6 +103,8 @@ func main() {
 		sclSteps  = flag.Int("scaling-steps", 5, "steps per scaling sweep member")
 		maxSerial = flag.Float64("max-serial", 0.6, "upper bound on the fitted Amdahl serial fraction")
 
+		traceN = flag.Int("trace-n", 1000, "particle count of the trace-export contract job")
+
 		anaNanN = flag.Int("analytics-nan-n", 0,
 			"particle count of the poisoned analytics fleet member; must match the server's -inject-nan-n (0 skips the analytics leg)")
 		anaFleet = flag.Int("analytics-fleet", 10, "healthy members in the seeded analytics fleet")
@@ -110,6 +126,10 @@ func main() {
 		os.Exit(1)
 	}
 	if err := runObservability(*addr, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "sphexa-smoke: FAIL:", err)
+		os.Exit(1)
+	}
+	if err := runTraceHistory(*addr, *scen, *traceN, *steps, *nbrs, *cores, *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, "sphexa-smoke: FAIL:", err)
 		os.Exit(1)
 	}
@@ -375,6 +395,175 @@ func runScaling(addr, scen, coresCSV string, n, steps, nbrs int,
 		return fmt.Errorf("identical scaling sweeps hashed differently: %s vs %s", scl.Hash, again.Hash)
 	}
 	fmt.Println("identical scaling resubmission: cache hit")
+	return nil
+}
+
+// runTraceHistory drives the trace-export and metrics-history contract: a
+// parallel job's measured trace must be valid Chrome trace-event JSON whose
+// per-rank per-phase durations reproduce the persisted timing record, must
+// carry measured-beside-modeled POP metrics, and must re-fetch
+// byte-identically through a cache-hit resubmission; the metrics-history
+// endpoint must serve the sampled Go-runtime series under its retention
+// contract.
+func runTraceHistory(addr, scen string, n, steps, nbrs, cores int, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	c := client.New(addr, client.WithRetry(client.RetryPolicy{MaxAttempts: 5}))
+
+	spec := scenario.JobSpec{Spec: scenario.Spec{
+		Scenario: scen,
+		Params:   scenario.Params{N: n, NNeighbors: nbrs},
+		Steps:    steps,
+		Cores:    cores,
+	}}
+	job, err := c.Submit(ctx, spec)
+	if err != nil {
+		return fmt.Errorf("submitting trace job: %w", err)
+	}
+	if job, err = c.WaitJob(ctx, job.ID); err != nil {
+		return fmt.Errorf("waiting for trace job: %w", err)
+	}
+	if job.State != client.StateCompleted {
+		return fmt.Errorf("trace job ended %s: %s", job.State, job.Error)
+	}
+
+	raw1, err := c.RawJobTrace(ctx, job.ID, client.TraceFormatPerfetto)
+	if err != nil {
+		return fmt.Errorf("fetching perfetto trace: %w", err)
+	}
+	var doc trace.Document
+	if err := json.Unmarshal(raw1, &doc); err != nil {
+		return fmt.Errorf("trace is not valid JSON: %w", err)
+	}
+	if doc.DisplayTimeUnit != "ms" || len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("trace document incomplete: unit=%q events=%d",
+			doc.DisplayTimeUnit, len(doc.TraceEvents))
+	}
+
+	// Event schema: metadata and complete events only, positive durations,
+	// timestamps monotone within each (pid, tid) track; engine slice
+	// durations accumulate per rank and phase for the timing confrontation.
+	last := map[[2]int]float64{}
+	sums := map[int]map[string]float64{}
+	for i, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name != "process_name" && ev.Name != "thread_name" {
+				return fmt.Errorf("event %d: unexpected metadata %q", i, ev.Name)
+			}
+		case "X":
+			if ev.Dur <= 0 {
+				return fmt.Errorf("event %d (%s): non-positive duration %g", i, ev.Name, ev.Dur)
+			}
+			key := [2]int{ev.PID, ev.TID}
+			if ev.TS < last[key]-1e-6 {
+				return fmt.Errorf("event %d (%s): timestamp %.3fus regresses on track %v", i, ev.Name, ev.TS, key)
+			}
+			last[key] = ev.TS + ev.Dur
+			if ev.PID == 1 {
+				if sums[ev.TID] == nil {
+					sums[ev.TID] = map[string]float64{}
+				}
+				sums[ev.TID][ev.Name] += ev.Dur / 1e6
+			}
+		default:
+			return fmt.Errorf("event %d: unexpected phase type %q", i, ev.Ph)
+		}
+	}
+
+	// Per-rank per-phase sums must reproduce the persisted report's timing
+	// record within 1e-9 — the trace is a reassembly of those bytes, not a
+	// second measurement.
+	rawRep, err := c.RawMetrics(ctx, job.ID)
+	if err != nil {
+		return fmt.Errorf("fetching persisted report: %w", err)
+	}
+	var rep struct {
+		Timing *core.RunTiming `json:"timing"`
+	}
+	if err := json.Unmarshal(rawRep, &rep); err != nil {
+		return fmt.Errorf("decoding persisted report: %w", err)
+	}
+	if rep.Timing == nil || len(rep.Timing.PerRank) == 0 {
+		return fmt.Errorf("persisted report carries no per-rank timing record")
+	}
+	for _, rk := range rep.Timing.PerRank {
+		for phase, want := range map[string]float64{
+			trace.PhaseCompute:    rk.Compute,
+			trace.PhaseHalo:       rk.Halo,
+			trace.PhaseCollective: rk.Collective,
+		} {
+			if got := sums[rk.Rank][phase]; math.Abs(got-want) > 1e-9 {
+				return fmt.Errorf("rank %d %s: trace sums to %.12gs, persisted timing %.12gs",
+					rk.Rank, phase, got, want)
+			}
+		}
+	}
+	fmt.Printf("trace: %d events, %d ranks, per-phase sums match persisted timing within 1e-9\n",
+		len(doc.TraceEvents), len(rep.Timing.PerRank))
+
+	if doc.POP == nil || doc.POP.Modeled == nil {
+		return fmt.Errorf("trace lacks the measured-vs-modeled POP section: %+v", doc.POP)
+	}
+	mp, md := doc.POP.Measured, doc.POP.Modeled
+	fmt.Printf("trace POP: measured LB=%.4f CommE=%.4f ParE=%.4f | modeled LB=%.4f CommE=%.4f ParE=%.4f\n",
+		mp.LoadBalance, mp.CommEfficiency, mp.ParallelEfficiency,
+		md.LoadBalance, md.CommEfficiency, md.ParallelEfficiency)
+
+	// Byte identity across a cache-hit resubmission: the trace derives from
+	// persisted artifacts, so the same spec must re-encode the same bytes.
+	again, err := c.Submit(ctx, spec)
+	if err != nil {
+		return fmt.Errorf("resubmitting trace job: %w", err)
+	}
+	if !again.CacheHit {
+		return fmt.Errorf("identical trace-job resubmission was not a cache hit")
+	}
+	raw2, err := c.RawJobTrace(ctx, again.ID, client.TraceFormatPerfetto)
+	if err != nil {
+		return fmt.Errorf("re-fetching trace after cache hit: %w", err)
+	}
+	if !bytes.Equal(raw1, raw2) {
+		return fmt.Errorf("trace bytes differ across cache-hit resubmission (%d vs %d bytes)",
+			len(raw1), len(raw2))
+	}
+	fmt.Println("trace: byte-identical across cache-hit resubmission")
+
+	// Metrics history: the background sampler runs on its own cadence, so
+	// poll briefly until the Go-runtime series carries samples.
+	var snap *history.Snapshot
+	for i := 0; i < 60; i++ {
+		snap, err = c.MetricsHistory(ctx, client.HistorySelection{
+			Series: []string{"go_goroutines", "go_heap_bytes"},
+		})
+		if err != nil {
+			return fmt.Errorf("fetching metrics history: %w", err)
+		}
+		if len(snap.Series) == 2 &&
+			len(snap.Series[0].Samples) > 0 && len(snap.Series[1].Samples) > 0 {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("metrics history never served samples: %w", ctx.Err())
+		case <-time.After(500 * time.Millisecond):
+		}
+	}
+	if snap.MaxSamples < 256 {
+		return fmt.Errorf("history retains %d samples, contract requires >= 256", snap.MaxSamples)
+	}
+	if len(snap.Series) != 2 {
+		return fmt.Errorf("history served %d series, want go_goroutines and go_heap_bytes", len(snap.Series))
+	}
+	for _, sr := range snap.Series {
+		if len(sr.Samples) == 0 || sr.Samples[len(sr.Samples)-1].Value <= 0 {
+			return fmt.Errorf("history series %s has no positive samples", sr.Name)
+		}
+	}
+	fmt.Printf("history: %d ticks, %d/%d retained slots, go_goroutines=%.0f go_heap_bytes=%.0f\n",
+		snap.Ticks, len(snap.Series[0].Samples), snap.MaxSamples,
+		snap.Series[0].Samples[len(snap.Series[0].Samples)-1].Value,
+		snap.Series[1].Samples[len(snap.Series[1].Samples)-1].Value)
 	return nil
 }
 

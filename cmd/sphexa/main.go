@@ -14,6 +14,12 @@
 // verification report (internal/verify) prints after the run; the exit
 // status is non-zero if the registered acceptance thresholds fail.
 //
+// With -trace-out, the run's measured wall-clock phase timeline (per-step
+// engine phases A-J plus the restore/run/checkpoint loop spans) is written
+// as Chrome trace-event JSON, loadable in Perfetto or chrome://tracing:
+//
+//	sphexa -scenario sod -n 4000 -steps 10 -trace-out sod.trace.json
+//
 // Per the mini-app design guidance the paper cites [35], the interface is a
 // handful of command-line flags; workloads come from the scenario registry
 // (internal/scenario), so every registered scenario is runnable by name:
@@ -37,12 +43,15 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"runtime"
+	"sort"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -56,6 +65,7 @@ import (
 	"repro/internal/runloop"
 	"repro/internal/scenario"
 	"repro/internal/sph"
+	"repro/internal/trace"
 	"repro/internal/ts"
 	"repro/internal/verify"
 	"repro/pkg/client"
@@ -91,6 +101,9 @@ func main() {
 		cores     = flag.Int("cores", 0, "modeled core count of a -server job")
 		telemetry = flag.Bool("telemetry", false,
 			"tail the live step-telemetry stream of a -server job (drift, dt, watchdogs)")
+		traceOut = flag.String("trace-out", "",
+			"write the local run's measured phase timeline as Chrome trace-event "+
+				"JSON to this file (load in Perfetto or chrome://tracing)")
 	)
 	flag.StringVar(test, "test", *test, "deprecated alias for -scenario")
 	flag.Parse()
@@ -100,7 +113,7 @@ func main() {
 			*backend, *machine, *costModel, *doVerify, *telemetry)
 	} else {
 		err = run(*test, *n, *steps, *kern, *gradients, *volumes, *stepping,
-			*neighbors, *gravOrder, *workers, *ckptDir, *ckptEvery, *restart, *sdc, *doVerify)
+			*neighbors, *gravOrder, *workers, *ckptDir, *ckptEvery, *restart, *sdc, *doVerify, *traceOut)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sphexa:", err)
@@ -199,7 +212,7 @@ func runRemote(base, test string, n, steps, neighbors, cores int,
 
 func run(test string, n, steps int, kern, gradients, volumes, stepping string,
 	neighbors int, gravOrder string, workers int, ckptDir string, ckptEvery int,
-	restart, sdc, doVerify bool) error {
+	restart, sdc, doVerify bool, traceOut string) error {
 
 	k, err := kernel.New(kern)
 	if err != nil {
@@ -290,6 +303,7 @@ func run(test string, n, steps int, kern, gradients, volumes, stepping string,
 	var sim *core.Sim
 	var ref conserve.State
 	var suite *ft.Suite
+	var traceSteps []trace.SerialStep
 	armed := false
 
 	fmt.Printf("sphexa: %s, %d particles, kernel=%s gradients=%s volumes=%s stepping=%s\n",
@@ -312,6 +326,9 @@ func run(test string, n, steps int, kern, gradients, volumes, stepping string,
 				st := sim.Conservation()
 				fmt.Printf("%6d %14.6e %14.6e %14.6e %14.6e %14.1f\n",
 					info.Step, info.DT, info.Time, st.Total(), st.Kinetic, info.MeanNeighbors)
+				if traceOut != "" {
+					traceSteps = append(traceSteps, serialTraceStep(info))
+				}
 				if !armed {
 					// Arm detectors after the first step: the gravitational
 					// potential diagnostic only exists once forces have been
@@ -405,6 +422,13 @@ func run(test string, n, steps int, kern, gradients, volumes, stepping string,
 		fmt.Printf("conservation drift over run: %s\n", drift)
 	}
 
+	if traceOut != "" && !res.Cancelled {
+		if err := writeLocalTrace(traceOut, test, steps, res, traceSteps); err != nil {
+			return fmt.Errorf("writing -trace-out: %w", err)
+		}
+		fmt.Printf("measured trace written: %s (open in Perfetto or chrome://tracing)\n", traceOut)
+	}
+
 	if doVerify && !res.Cancelled {
 		sol, err := sc.BuildReference(rp)
 		if err != nil {
@@ -426,6 +450,53 @@ func run(test string, n, steps int, kern, gradients, volumes, stepping string,
 		}
 	}
 	return nil
+}
+
+// serialTraceStep records one engine step's wall-clock phase breakdown for
+// -trace-out. Phase IDs are the paper's single letters A..J, which sort to
+// execution order.
+func serialTraceStep(info core.StepInfo) trace.SerialStep {
+	ids := make([]string, 0, len(info.PhaseSeconds))
+	for ph := range info.PhaseSeconds {
+		ids = append(ids, string(ph))
+	}
+	sort.Strings(ids)
+	st := trace.SerialStep{Step: info.Step}
+	for _, ph := range ids {
+		st.Phases = append(st.Phases, trace.PhaseSpan{
+			Phase: ph, Seconds: info.PhaseSeconds[core.PhaseID(ph)],
+		})
+	}
+	return st
+}
+
+// writeLocalTrace assembles the measured per-step phase record and the run
+// loop's wall-clock lifecycle (restore, run, checkpoint) into a
+// Perfetto-loadable Chrome trace-event document — the same reassembly a
+// completed server job exports at GET /v1/jobs/{id}/trace.
+func writeLocalTrace(path, test string, totalSteps int, res runloop.Result, steps []trace.SerialStep) error {
+	var lc []trace.LifecycleSpan
+	offset := 0.0
+	if res.Phases.Restore > 0 {
+		lc = append(lc, trace.LifecycleSpan{Name: "restore", Seconds: res.Phases.Restore})
+		offset += res.Phases.Restore
+	}
+	lc = append(lc, trace.LifecycleSpan{Name: "run", Seconds: res.Phases.Run})
+	if res.Phases.Checkpoint > 0 {
+		lc = append(lc, trace.LifecycleSpan{Name: "checkpoint", Seconds: res.Phases.Checkpoint})
+	}
+	m := trace.BuildMeasured(trace.MeasuredInput{Serial: steps, Lifecycle: lc, Offset: offset})
+	doc := m.Document(map[string]string{
+		"scenario": test,
+		"steps":    strconv.Itoa(totalSteps),
+		"backend":  "serial",
+		"source":   "local",
+	}, &trace.POPComparison{Measured: m.Metrics.Report()})
+	b, err := json.Marshal(doc)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
 }
 
 // printReport renders the verification report for terminal consumption.

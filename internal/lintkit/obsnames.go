@@ -8,7 +8,8 @@ import (
 )
 
 // ObsNames enforces the internal/obs metric naming scheme at every
-// Registry constructor call.
+// Registry constructor call, and the frozen-name rule on trace slice
+// emission.
 //
 // The telemetry surface (/metricsz Prometheus exposition, /statusz
 // digests, the smoke tests that assert on family names) treats metric
@@ -16,10 +17,17 @@ import (
 // latency/size histograms end `_seconds`/`_bytes` (base units), and
 // metric/label NAMES are compile-time constants so the family space is
 // statically known — dynamic names are unbounded-cardinality bugs.
+//
+// The trace export surface (GET /v1/jobs/{id}/trace, -trace-out) obeys the
+// same discipline: every category passed to Perfetto.Slice/SliceData must
+// be a compile-time constant, and Slice names too — slice names carried by
+// recorded data must go through SliceData, so a grep for the constants
+// enumerates the static slice vocabulary.
 var ObsNames = &Analyzer{
 	Name: "obsnames",
-	Doc:  "obs Registry metric names must be constant and follow the suffix scheme (counters _total; histograms _seconds/_bytes); label names must be constants",
-	Run:  runObsNames,
+	Doc: "obs Registry metric names must be constant and follow the suffix scheme (counters _total; histograms _seconds/_bytes); " +
+		"label names must be constants; trace Slice categories and names must be constants (SliceData for data-carried names)",
+	Run: runObsNames,
 }
 
 func runObsNames(p *Pass) error {
@@ -30,10 +38,13 @@ func runObsNames(p *Pass) error {
 				return true
 			}
 			fn := funcObjOf(p.Info, call)
-			if fn == nil || !isRegistryMethod(p, fn) {
-				return true
+			switch {
+			case fn == nil:
+			case isRegistryMethod(p, fn):
+				checkMetricCall(p, call, fn.Name())
+			case isPerfettoMethod(p, fn):
+				checkSliceCall(p, call, fn.Name())
 			}
-			checkMetricCall(p, call, fn.Name())
 			return true
 		})
 	}
@@ -100,6 +111,41 @@ func checkMetricCall(p *Pass, call *ast.CallExpr, kind string) {
 		if _, ok := constString(p, call.Args[i]); !ok {
 			p.Reportf(call.Args[i].Pos(),
 				"%s label name must be a compile-time constant string (label names are schema, not data)", kind)
+		}
+	}
+}
+
+// isPerfettoMethod reports whether fn is Slice/SliceData on the trace
+// Perfetto builder.
+func isPerfettoMethod(p *Pass, fn *types.Func) bool {
+	switch fn.Name() {
+	case "Slice", "SliceData":
+	default:
+		return false
+	}
+	named := recvNamed(fn)
+	if named == nil || named.Obj().Name() != "Perfetto" {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && (pkg.Path() == p.Module+"/internal/trace" || pkg.Name() == "trace")
+}
+
+// checkSliceCall enforces the frozen-name rule on trace slice emission:
+// Slice(cat, name, ...) takes two constants; SliceData(cat, name, ...)
+// requires only the category constant — its name is recorded data.
+func checkSliceCall(p *Pass, call *ast.CallExpr, kind string) {
+	if len(call.Args) == 0 {
+		return
+	}
+	if _, ok := constString(p, call.Args[0]); !ok {
+		p.Reportf(call.Args[0].Pos(),
+			"%s trace category must be a compile-time constant string (categories are frozen API, like metric families)", kind)
+	}
+	if kind == "Slice" && len(call.Args) > 1 {
+		if _, ok := constString(p, call.Args[1]); !ok {
+			p.Reportf(call.Args[1].Pos(),
+				"Slice name must be a compile-time constant string (use SliceData when the name comes from recorded data)")
 		}
 	}
 }

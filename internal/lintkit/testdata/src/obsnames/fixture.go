@@ -1,9 +1,13 @@
 // Package obsnames is the obsnames fixture: metric and label names on the
 // obs Registry constructors must be compile-time constants following the
-// Prometheus suffix scheme.
+// Prometheus suffix scheme, and trace slice categories/names must be
+// constants (SliceData for names carried by recorded data).
 package obsnames
 
-import "repro/internal/obs"
+import (
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
 
 var dynamicLabel = "route"
 
@@ -20,4 +24,12 @@ func register(r *obs.Registry, suffix string) {
 
 func spread(r *obs.Registry, labels []string) {
 	r.Counter("spread_total", "spread labels", labels...) // want "not spread from a slice"
+}
+
+func emit(p *trace.Perfetto, phase string) {
+	p.Slice(trace.CatPhase, "compute", 1, 0, 0, 1, nil)
+	p.Slice("cat-"+phase, "compute", 1, 0, 0, 1, nil) // want "trace category must be a compile-time constant"
+	p.Slice(trace.CatPhase, phase, 1, 0, 0, 1, nil)   // want "Slice name must be a compile-time constant"
+	p.SliceData(trace.CatLifecycle, phase, 0, 0, 0, 1, nil)
+	p.SliceData(phase, "queue-wait", 0, 0, 0, 1, nil) // want "trace category must be a compile-time constant"
 }

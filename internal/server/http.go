@@ -7,10 +7,12 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/experiments"
+	"repro/internal/obs/history"
 	"repro/internal/scenario"
 	"repro/internal/telemetry"
 )
@@ -33,6 +35,10 @@ import (
 //	GET  /v1/jobs/{id}/telemetry   step-telemetry track: downsampled drift/dt/
 //	                               h/neighbor/imbalance series + watchdog status
 //	GET  /v1/jobs/{id}/telemetry/events  live telemetry samples over SSE
+//	GET  /v1/jobs/{id}/trace       measured execution trace assembled from the
+//	                               persisted artifacts; ?format=perfetto (Chrome
+//	                               trace-event JSON, the default) or paraver
+//	                               (ASCII timeline + POP metrics, text/plain)
 //	POST /v1/jobs/{id}/profile     capture a CPU profile (?seconds=N, pprof
 //	                               format; 409 while another capture runs)
 //	DELETE /v1/jobs/{id}           forget a terminal job record (404/409)
@@ -56,6 +62,9 @@ import (
 //	DELETE /v1/analytics/cluster/{id}      forget a terminal analysis record
 //	GET  /v1/store                 result-store metrics (entries, bytes,
 //	                               hit rate, quarantine count)
+//	GET  /v1/metrics/history       downsampled registry time series; ?series=
+//	                               selects families (comma list), ?window=
+//	                               bounds the age (Go duration, grid-aligned)
 //	GET  /statusz                  human-readable operational snapshot
 //	GET  /metricsz                 Prometheus text exposition of the registry
 //
@@ -88,6 +97,7 @@ func (s *Server) Handler() http.Handler {
 		{method: "GET", path: "/v1/jobs/{id}/metrics", h: s.handleMetrics},
 		{method: "GET", path: "/v1/jobs/{id}/telemetry", h: s.handleTelemetry},
 		{method: "GET", path: "/v1/jobs/{id}/telemetry/events", h: s.handleTelemetryEvents},
+		{method: "GET", path: "/v1/jobs/{id}/trace", h: s.handleTrace},
 		{method: "POST", path: "/v1/jobs/{id}/profile", h: s.handleProfile},
 		{method: "DELETE", path: "/v1/jobs/{id}", h: s.handleDelete(CodeUnknownJob, s.DeleteJob)},
 		{method: "POST", path: "/v1/experiments", h: s.handleSubmitExperiment},
@@ -106,6 +116,7 @@ func (s *Server) Handler() http.Handler {
 		{method: "GET", path: "/v1/analytics/cluster/{id}/events", h: s.handleAnalysisEvents},
 		{method: "DELETE", path: "/v1/analytics/cluster/{id}", h: s.handleDelete(CodeUnknownAnalysis, s.DeleteAnalysis)},
 		{method: "GET", path: "/v1/store", h: s.handleStore},
+		{method: "GET", path: "/v1/metrics/history", h: s.handleMetricsHistory},
 		{method: "GET", path: "/statusz", h: s.handleStatusz},
 		{method: "GET", path: "/metricsz", h: s.handleMetricsz},
 	}
@@ -478,6 +489,74 @@ func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(track)
+}
+
+// handleTrace serves the completed job's measured execution trace,
+// assembled deterministically from the persisted report and telemetry (an
+// identical resubmission or a post-restart fetch returns byte-identical
+// bytes). ?format=perfetto (default) is Chrome trace-event JSON loadable in
+// Perfetto / chrome://tracing; ?format=paraver is the ASCII timeline.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	view, ok := s.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeUnknownJob, fmt.Sprintf("no job %q", id), nil)
+		return
+	}
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = TraceFormatPerfetto
+	}
+	if format != TraceFormatPerfetto && format != TraceFormatParaver {
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument,
+			fmt.Sprintf("unknown trace format %q (one of %s, %s)",
+				format, TraceFormatPerfetto, TraceFormatParaver),
+			map[string]any{"format": format})
+		return
+	}
+	b, completed, err := s.Trace(id, format)
+	if !completed {
+		writeError(w, http.StatusConflict, CodeConflict,
+			fmt.Sprintf("job %s is %s; trace requires completed", id, view.State),
+			map[string]any{"state": string(view.State)})
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error(), nil)
+		return
+	}
+	if b == nil {
+		writeError(w, http.StatusNotFound, CodeNoReport,
+			fmt.Sprintf("job %s has no report recorded to derive a trace from", id), nil)
+		return
+	}
+	if format == TraceFormatParaver {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	} else {
+		w.Header().Set("Content-Type", "application/json")
+	}
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(b)
+}
+
+// handleMetricsHistory serves the registry's downsampled time series:
+// ?series= selects family names (comma-separated), ?window= bounds sample
+// age (a Go duration, aligned up to the sampling grid).
+func (s *Server) handleMetricsHistory(w http.ResponseWriter, r *http.Request) {
+	var sel history.Selection
+	if raw := r.URL.Query().Get("series"); raw != "" {
+		sel.Names = strings.Split(raw, ",")
+	}
+	if raw := r.URL.Query().Get("window"); raw != "" {
+		d, err := time.ParseDuration(raw)
+		if err != nil || d <= 0 {
+			writeError(w, http.StatusBadRequest, CodeInvalidArgument,
+				fmt.Sprintf("window must be a positive duration, got %q", raw), nil)
+			return
+		}
+		sel.Window = d
+	}
+	writeJSON(w, http.StatusOK, s.hist.Query(sel))
 }
 
 // telemetryEvent is one SSE frame of the live telemetry stream: the job's

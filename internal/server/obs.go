@@ -1,7 +1,18 @@
 package server
 
 import (
+	"math"
+	rm "runtime/metrics"
+	"sync"
+
 	"repro/internal/obs"
+)
+
+// runtime/metrics sample names exported into the registry.
+const (
+	rmGoroutines = "/sched/goroutines:goroutines"
+	rmHeapBytes  = "/memory/classes/heap/objects:bytes"
+	rmGCPauses   = "/gc/pauses:seconds"
 )
 
 // Lifecycle phase names of a job's span trace, in execution order. The
@@ -67,6 +78,18 @@ type metrics struct {
 	storeHitRate   *obs.Gauge // store_hit_rate
 	storePuts      *obs.Gauge // store_puts_total
 	storeEvictions *obs.Gauge // store_evictions_total
+
+	// Go runtime health, read from runtime/metrics at scrape time.
+	goGoroutines *obs.Gauge     // go_goroutines
+	goHeapBytes  *obs.Gauge     // go_heap_bytes
+	goGCPause    *obs.Histogram // go_gc_pause_seconds
+
+	// rtMu guards the runtime/metrics read state: the sample slice is
+	// reused across scrapes and the GC pause histogram is cumulative, so
+	// concurrent scrapes must difference it serially.
+	rtMu      sync.Mutex
+	rtSamples []rm.Sample
+	gcPrev    []uint64
 }
 
 // newMetrics registers the server's metric families on reg.
@@ -150,6 +173,71 @@ func newMetrics(reg *obs.Registry) *metrics {
 			"result-store writes since open").With(),
 		storeEvictions: reg.Gauge("store_evictions_total",
 			"result-store TTL/LRU evictions since open").With(),
+
+		goGoroutines: reg.Gauge("go_goroutines",
+			"live goroutines in the serving process").With(),
+		goHeapBytes: reg.Gauge("go_heap_bytes",
+			"bytes of live heap objects (runtime/metrics heap/objects class)").With(),
+		goGCPause: reg.Histogram("go_gc_pause_seconds",
+			"garbage-collector stop-the-world pause durations, fed from the "+
+				"runtime's cumulative pause histogram at scrape time",
+			nil).With(),
+	}
+}
+
+// collectRuntime refreshes the Go runtime health families from
+// runtime/metrics: goroutine count and live heap bytes as gauges, and the
+// delta of the runtime's cumulative GC pause histogram re-observed at
+// bucket midpoints.
+func (m *metrics) collectRuntime() {
+	m.rtMu.Lock()
+	defer m.rtMu.Unlock()
+	if m.rtSamples == nil {
+		m.rtSamples = []rm.Sample{
+			{Name: rmGoroutines}, {Name: rmHeapBytes}, {Name: rmGCPauses},
+		}
+	}
+	rm.Read(m.rtSamples)
+	for i := range m.rtSamples {
+		s := &m.rtSamples[i]
+		switch s.Name {
+		case rmGoroutines:
+			if s.Value.Kind() == rm.KindUint64 {
+				m.goGoroutines.Set(float64(s.Value.Uint64()))
+			}
+		case rmHeapBytes:
+			if s.Value.Kind() == rm.KindUint64 {
+				m.goHeapBytes.Set(float64(s.Value.Uint64()))
+			}
+		case rmGCPauses:
+			if s.Value.Kind() != rm.KindFloat64Histogram {
+				continue
+			}
+			h := s.Value.Float64Histogram()
+			if len(m.gcPrev) != len(h.Counts) {
+				m.gcPrev = make([]uint64, len(h.Counts))
+			}
+			for j, c := range h.Counts {
+				d := c - m.gcPrev[j]
+				if c < m.gcPrev[j] {
+					d = 0
+				}
+				m.gcPrev[j] = c
+				if d == 0 {
+					continue
+				}
+				lo, hi := h.Buckets[j], h.Buckets[j+1]
+				mid := (lo + hi) / 2
+				if math.IsInf(lo, -1) {
+					mid = hi
+				} else if math.IsInf(hi, 1) {
+					mid = lo
+				}
+				for k := uint64(0); k < d; k++ {
+					m.goGCPause.Observe(mid)
+				}
+			}
+		}
 	}
 }
 
@@ -181,6 +269,8 @@ func (s *Server) collect() {
 		m.storePuts.Set(float64(stats.Puts))
 		m.storeEvictions.Set(float64(stats.Evictions))
 	}
+
+	m.collectRuntime()
 }
 
 // recordJobPhases feeds a completed lifecycle trace into the per-phase

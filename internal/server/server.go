@@ -33,6 +33,7 @@ import (
 	"repro/internal/domain"
 	"repro/internal/ft"
 	"repro/internal/obs"
+	"repro/internal/obs/history"
 	"repro/internal/part"
 	"repro/internal/perfmodel"
 	"repro/internal/runloop"
@@ -196,6 +197,13 @@ type Options struct {
 	// telemetry sample with the 1-based step and the live particle state —
 	// a test hook for corrupting state to exercise the physics watchdogs.
 	FaultInjection func(step int, ps *part.Set)
+	// HistoryInterval is the metrics-history sampling cadence (default
+	// history.DefaultInterval); negative disables the background sampler
+	// (tests then drive SampleHistory by hand).
+	HistoryInterval time.Duration
+	// HistorySamples bounds each history series' retained points (default
+	// history.DefaultMaxSamples).
+	HistorySamples int
 }
 
 // Server owns the job table, the result cache, and the worker pool.
@@ -246,6 +254,12 @@ type Server struct {
 	met     *metrics
 	log     *slog.Logger
 	started time.Time
+
+	// hist retains downsampled registry history for GET /v1/metrics/history
+	// and the /statusz trend columns; sampler is its background ticker
+	// goroutine (nil interval disables it).
+	hist        *history.Store
+	samplerDone chan struct{}
 }
 
 // errKilled is the cancellation cause for a simulated kill.
@@ -314,6 +328,15 @@ func New(opts Options) *Server {
 		log:       opts.Logger,
 	}
 	s.started = s.now()
+	s.hist = history.New(opts.Registry, history.Config{
+		Interval:   opts.HistoryInterval,
+		MaxSamples: opts.HistorySamples,
+		Clock:      opts.Clock,
+	})
+	if opts.HistoryInterval >= 0 {
+		s.samplerDone = make(chan struct{})
+		go s.sampleLoop()
+	}
 	for i := 0; i < opts.Workers; i++ {
 		s.workers.Add(1)
 		go s.worker()
@@ -326,7 +349,46 @@ func New(opts Options) *Server {
 func (s *Server) Close() {
 	s.stop()
 	s.workers.Wait()
+	if s.samplerDone != nil {
+		<-s.samplerDone
+	}
 }
+
+// sampleLoop ticks the metrics-history sampler: refresh the scrape-time
+// gauges, then append one registry snapshot per series. The loop's overhead
+// is a registry walk per interval — well under the 1% budget the history
+// package's tests pin.
+func (s *Server) sampleLoop() {
+	defer close(s.samplerDone)
+	// Contain sampler panics (PR 7 discipline): a bad snapshot must kill
+	// the history sampler, never the serving process.
+	defer func() {
+		if v := recover(); v != nil {
+			s.log.Error("metrics-history sampler panicked", "panic", v)
+		}
+	}()
+	t := time.NewTicker(s.hist.Interval())
+	defer t.Stop()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case <-t.C:
+			s.SampleHistory()
+		}
+	}
+}
+
+// SampleHistory takes one metrics-history sample immediately (the ticker
+// calls it each interval; tests with the sampler disabled call it by hand).
+func (s *Server) SampleHistory() {
+	s.collect()
+	s.hist.Sample()
+}
+
+// History exposes the metrics-history store (GET /v1/metrics/history and
+// the /statusz trend columns read through it).
+func (s *Server) History() *history.Store { return s.hist }
 
 func (s *Server) worker() {
 	defer s.workers.Done()
@@ -1249,9 +1311,9 @@ func (s *Server) buildChunk(job *Job, spec scenario.JobSpec, cfg core.Config,
 					NbrMean:       st.NbrMean,
 					Imbalance:     st.Imbalance,
 					Phases: map[string]float64{
-						"compute":    st.ComputeSeconds,
-						"halo":       st.HaloSeconds,
-						"collective": st.CollectiveSeconds,
+						telemetry.PhaseCompute:    st.ComputeSeconds,
+						telemetry.PhaseHalo:       st.HaloSeconds,
+						telemetry.PhaseCollective: st.CollectiveSeconds,
 					},
 				})
 			},

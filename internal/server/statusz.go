@@ -101,6 +101,27 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// Trend columns over the metrics-history store: the live value next to
+	// the retained samples from ~1 and ~10 minutes ago (dash until the
+	// history reaches back that far). Counters show their sampled
+	// per-second rate at those points.
+	if s.hist != nil {
+		trend := func(name string, age time.Duration) string {
+			if p, ok := s.hist.At(name, age); ok {
+				return fmt.Sprintf("%.1f", p.Value)
+			}
+			return "-"
+		}
+		fmt.Fprintf(tw, "\nmetric\tnow\t1m ago\t10m ago\n")
+		for _, name := range []string{
+			"go_goroutines", "go_heap_bytes", "job_queue_depth",
+			"workers_busy", "http_inflight_requests",
+		} {
+			fmt.Fprintf(tw, "%s\t%.1f\t%s\t%s\n",
+				name, gauge(name), trend(name, time.Minute), trend(name, 10*time.Minute))
+		}
+	}
+
 	// Jobs the newest covering cluster analysis assigned to the improper
 	// noise component, by scenario (see POST /v1/analytics/cluster).
 	if len(anomalies) > 0 {

@@ -59,6 +59,17 @@ type Sample struct {
 	Phases map[string]float64 `json:"phases,omitempty"`
 }
 
+// Frozen phase keys of a distributed-backend sample's Phases map — the
+// per-step class sums the parallel engine reports. The trace package
+// freezes the same spellings for its reassembled slice names; a persisted
+// track and the trace rebuilt from it must agree on them, so renaming is
+// a wire-format change, not a refactor.
+const (
+	PhaseCompute    = "compute"
+	PhaseHalo       = "halo"
+	PhaseCollective = "collective"
+)
+
 // Watchdog kinds, the label values of telemetry_watchdog_trips_total.
 const (
 	KindNaN        = "nan"

@@ -1,0 +1,189 @@
+// Measured-trace assembly: reconstructing per-rank interval timelines from
+// the artifacts a completed job persists — the per-rank phase totals of the
+// report's timing record, the per-step class sums of the telemetry track,
+// and the job-lifecycle spans stored next to the report. The inputs are
+// pure data (no engine state), so the reconstruction is a deterministic
+// function of persisted bytes: cache-hit resubmissions and post-restart
+// fetches rebuild identical traces.
+package trace
+
+// Frozen phase names of reassembled parallel-engine slices — one per
+// RankTiming class. The telemetry package freezes the same spellings for
+// its sample keys; the two namespaces (flight-recorder wire format, trace
+// slice names) are deliberately kept separate but must agree.
+const (
+	PhaseCompute    = "compute"
+	PhaseHalo       = "halo"
+	PhaseCollective = "collective"
+)
+
+// RankTotals is one rank's accumulated phase-class seconds over a whole
+// run (mirrors the report timing record's per-rank row; trace cannot
+// import core — core imports trace).
+type RankTotals struct {
+	Rank    int
+	Compute float64
+	Halo    float64
+	// Collective covers the global reductions (h-iteration consensus, dt,
+	// conservation sums).
+	Collective float64
+	// Seconds is the rank's total clock at run end.
+	Seconds float64
+}
+
+// StepClassSeconds is one step's class sums over all ranks, from the
+// telemetry track's per-step phase samples. They shape how each rank's
+// totals distribute over steps: the totals carry the truth, the steps
+// carry the rhythm.
+type StepClassSeconds struct {
+	Step       int
+	Compute    float64
+	Halo       float64
+	Collective float64
+}
+
+// PhaseSpan is one named phase duration of a serial step, in recorded
+// order.
+type PhaseSpan struct {
+	Phase   string
+	Seconds float64
+}
+
+// SerialStep is one serial-engine step's wall-clock phase record.
+type SerialStep struct {
+	Step   int
+	Phases []PhaseSpan
+}
+
+// LifecycleSpan is one server lifecycle phase (queue-wait, restore, run,
+// checkpoint, verify) in recorded order.
+type LifecycleSpan struct {
+	Name    string
+	Seconds float64
+}
+
+// MeasuredInput carries the persisted artifacts a trace reassembles from.
+// Exactly one engine record should be present: Ranks (+ optional Steps)
+// for a parallel run, Serial for a serial one.
+type MeasuredInput struct {
+	// Ranks are the parallel engine's per-rank phase totals.
+	Ranks []RankTotals
+	// Steps are the per-step class sums; empty collapses the run to one
+	// aggregate step per rank.
+	Steps []StepClassSeconds
+	// Serial is the serial engine's per-step phase record.
+	Serial []SerialStep
+	// Lifecycle is the job's server-side span record in recorded order.
+	Lifecycle []LifecycleSpan
+	// Offset places the engine timeline at the point the lifecycle
+	// reached its run phase, so engine slices nest under the lifecycle
+	// track's run span in a viewer.
+	Offset float64
+}
+
+// Measured is a reassembled trace: engine intervals (the rows POP metrics
+// and the Paraver timeline read), the lifecycle track, and the POP
+// analysis of the engine intervals.
+type Measured struct {
+	// Intervals are the engine intervals, rank-major and time-ordered
+	// within each rank.
+	Intervals []Interval
+	// Lifecycle lays the span record end-to-end from t=0.
+	Lifecycle []Interval
+	// Metrics is AnalyzeIntervals over the engine intervals.
+	Metrics Metrics
+}
+
+// classWeights distributes a rank's class total over steps in proportion
+// to the fleet-wide per-step class sums; a zero fleet total (a class that
+// never ran) falls back to uniform weights.
+func classWeights(steps []StepClassSeconds, class func(StepClassSeconds) float64) []float64 {
+	w := make([]float64, len(steps))
+	var total float64
+	for _, s := range steps {
+		total += class(s)
+	}
+	if total <= 0 {
+		for i := range w {
+			w[i] = 1 / float64(len(steps))
+		}
+		return w
+	}
+	for i, s := range steps {
+		w[i] = class(s) / total
+	}
+	return w
+}
+
+// BuildMeasured reassembles interval timelines from persisted artifacts.
+//
+// Parallel runs: each rank replays the step rhythm — for step k it
+// computes, exchanges halos, then joins collectives, with durations equal
+// to the rank's class totals split across steps by the fleet-wide per-step
+// class weights. Per-rank, per-class interval sums therefore reproduce the
+// timing record's totals exactly (up to float summation), which is the
+// invariant the smoke contract checks against the persisted report.
+//
+// Serial runs: one rank, steps laid sequentially, each step's phases in
+// recorded order, all useful computation.
+func BuildMeasured(in MeasuredInput) Measured {
+	var m Measured
+	t := 0.0
+	for _, sp := range in.Lifecycle {
+		m.Lifecycle = append(m.Lifecycle, Interval{
+			Rank: 0, Phase: sp.Name, State: Compute, Start: t, End: t + sp.Seconds,
+		})
+		t += sp.Seconds
+	}
+
+	switch {
+	case len(in.Ranks) > 0:
+		steps := in.Steps
+		if len(steps) == 0 {
+			// No per-step record: one aggregate pseudo-step.
+			steps = []StepClassSeconds{{Step: 1, Compute: 1, Halo: 1, Collective: 1}}
+		}
+		wc := classWeights(steps, func(s StepClassSeconds) float64 { return s.Compute })
+		wh := classWeights(steps, func(s StepClassSeconds) float64 { return s.Halo })
+		ws := classWeights(steps, func(s StepClassSeconds) float64 { return s.Collective })
+		for _, rk := range in.Ranks {
+			t := in.Offset
+			for k := range steps {
+				for _, part := range []struct {
+					phase string
+					state State
+					dur   float64
+				}{
+					{PhaseCompute, Compute, rk.Compute * wc[k]},
+					{PhaseHalo, MPI, rk.Halo * wh[k]},
+					{PhaseCollective, Sync, rk.Collective * ws[k]},
+				} {
+					if part.dur <= 0 {
+						continue
+					}
+					m.Intervals = append(m.Intervals, Interval{
+						Rank: rk.Rank, Phase: part.phase, State: part.state,
+						Start: t, End: t + part.dur,
+					})
+					t += part.dur
+				}
+			}
+		}
+	case len(in.Serial) > 0:
+		t := in.Offset
+		for _, st := range in.Serial {
+			for _, ph := range st.Phases {
+				if ph.Seconds <= 0 {
+					continue
+				}
+				m.Intervals = append(m.Intervals, Interval{
+					Rank: 0, Phase: ph.Phase, State: Compute,
+					Start: t, End: t + ph.Seconds,
+				})
+				t += ph.Seconds
+			}
+		}
+	}
+	m.Metrics = AnalyzeIntervals(m.Intervals)
+	return m
+}

@@ -123,8 +123,12 @@ type Metrics struct {
 }
 
 // Analyze computes POP metrics over the recorded intervals.
-func (t *Tracer) Analyze() Metrics {
-	ivs := t.Intervals()
+func (t *Tracer) Analyze() Metrics { return AnalyzeIntervals(t.Intervals()) }
+
+// AnalyzeIntervals computes POP metrics over an interval slice — the same
+// arithmetic Tracer.Analyze applies to live-recorded traces, usable on
+// measured intervals reassembled from persisted artifacts.
+func AnalyzeIntervals(ivs []Interval) Metrics {
 	var m Metrics
 	if len(ivs) == 0 {
 		return m
@@ -189,8 +193,11 @@ func GlobalEfficiency(ref, cur Metrics) float64 {
 // time bucketed into `width` columns, each cell showing the dominant state
 // ('#'=compute, 'M'=MPI, 's'=sync, 'f'=fork-join, '.'=idle), topped by a
 // phase ruler (the paper's A..J annotations).
-func (t *Tracer) Timeline(width int) string {
-	ivs := t.Intervals()
+func (t *Tracer) Timeline(width int) string { return TimelineOf(t.Intervals(), width) }
+
+// TimelineOf renders the ASCII Paraver-style timeline for an interval
+// slice (see Tracer.Timeline).
+func TimelineOf(ivs []Interval, width int) string {
 	if len(ivs) == 0 || width <= 0 {
 		return "(empty trace)\n"
 	}
@@ -283,9 +290,13 @@ func (t *Tracer) Timeline(width int) string {
 
 // PhaseBreakdown sums time per phase per state across ranks, sorted by
 // phase label — the numeric companion to the timeline.
-func (t *Tracer) PhaseBreakdown() []PhaseStat {
+func (t *Tracer) PhaseBreakdown() []PhaseStat { return PhaseBreakdownOf(t.Intervals()) }
+
+// PhaseBreakdownOf aggregates an interval slice per phase per state (see
+// Tracer.PhaseBreakdown).
+func PhaseBreakdownOf(ivs []Interval) []PhaseStat {
 	agg := map[string]*PhaseStat{}
-	for _, iv := range t.Intervals() {
+	for _, iv := range ivs {
 		ph := iv.Phase
 		if ph == "" {
 			ph = "(untagged)"

@@ -1,7 +1,8 @@
 // Package client is the reusable Go client of the sphexa-serve /v1 API:
 // typed job submission (scenario.JobSpec), batch submission, polling
 // helpers, snapshot and verification-report retrieval, step-telemetry
-// tracks with live SSE streaming, on-demand CPU profile capture,
+// tracks with live SSE streaming, measured trace export (Perfetto /
+// Paraver) with metrics-history queries, on-demand CPU profile capture,
 // convergence experiments (experiments.Sweep), fleet-clustering analytics
 // (cluster.Spec), cursor pagination, and
 // structured decoding of the API's error envelope into *APIError. The CLIs
@@ -33,9 +34,11 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/obs/history"
 	"repro/internal/scenario"
 	"repro/internal/store"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/verify"
 )
 
@@ -800,6 +803,70 @@ func (c *Client) StreamTelemetry(ctx context.Context, id string, fn func(Telemet
 		return err
 	}
 	return sc.Err()
+}
+
+// Trace export formats of GET /v1/jobs/{id}/trace (mirroring the server's).
+const (
+	TraceFormatPerfetto = "perfetto"
+	TraceFormatParaver  = "paraver"
+)
+
+// JobTrace fetches the completed job's measured execution trace decoded as
+// a Chrome trace-event document (the perfetto format): per-rank per-phase
+// slices assembled from the persisted report and telemetry, with measured
+// POP efficiency metrics beside the modeled prediction. The server derives
+// the document deterministically, so cache-hit resubmissions decode to the
+// same trace.
+func (c *Client) JobTrace(ctx context.Context, id string) (*trace.Document, error) {
+	var out trace.Document
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/trace?format="+TraceFormatPerfetto, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// RawJobTrace fetches the trace bytes exactly as the server renders them
+// (perfetto JSON or the paraver text timeline) — the byte-identity
+// invariant checks compare these.
+func (c *Client) RawJobTrace(ctx context.Context, id, format string) ([]byte, error) {
+	path := "/v1/jobs/" + id + "/trace"
+	if format != "" {
+		path += "?format=" + url.QueryEscape(format)
+	}
+	var raw []byte
+	err := c.do(ctx, http.MethodGet, path, nil, &raw)
+	return raw, err
+}
+
+// HistorySelection filters a GET /v1/metrics/history query.
+type HistorySelection struct {
+	// Series keeps only the listed metric families; empty keeps all.
+	Series []string
+	// Window bounds sample age (aligned up to the server's sampling grid);
+	// zero keeps the full retained window.
+	Window time.Duration
+}
+
+// MetricsHistory fetches the server's downsampled metrics time series:
+// counters as per-second rates, gauges raw, histograms as trimmed-quantile
+// digests, each series bounded by stride-doubling downsampling.
+func (c *Client) MetricsHistory(ctx context.Context, sel HistorySelection) (*history.Snapshot, error) {
+	q := url.Values{}
+	if len(sel.Series) > 0 {
+		q.Set("series", strings.Join(sel.Series, ","))
+	}
+	if sel.Window > 0 {
+		q.Set("window", sel.Window.String())
+	}
+	path := "/v1/metrics/history"
+	if enc := q.Encode(); enc != "" {
+		path += "?" + enc
+	}
+	var out history.Snapshot
+	if err := c.do(ctx, http.MethodGet, path, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
 }
 
 // Profile captures a CPU profile of the serving process for the given

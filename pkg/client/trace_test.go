@@ -1,0 +1,121 @@
+package client_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/pkg/client"
+)
+
+// TestClientTraceAndHistory drives the trace-export and metrics-history
+// methods against a real server: decoded perfetto document, raw
+// byte-identity across a cache-hit resubmission, the paraver text
+// rendering, and a typed history query.
+func TestClientTraceAndHistory(t *testing.T) {
+	s, c := newServer(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	spec := sedovSpec(2, 216)
+	job, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WaitJob(ctx, job.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	doc, err := c.JobTrace(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.DisplayTimeUnit != "ms" || len(doc.TraceEvents) == 0 {
+		t.Fatalf("trace document incomplete: unit=%q events=%d",
+			doc.DisplayTimeUnit, len(doc.TraceEvents))
+	}
+	if doc.POP == nil || doc.POP.Measured.Ranks <= 0 {
+		t.Fatalf("trace pop section = %+v", doc.POP)
+	}
+
+	raw1, err := c.RawJobTrace(ctx, job.ID, client.TraceFormatPerfetto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.CacheHit {
+		t.Fatalf("resubmission not a cache hit: %+v", again)
+	}
+	raw2, err := c.RawJobTrace(ctx, again.ID, client.TraceFormatPerfetto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw1, raw2) {
+		t.Fatal("trace bytes differ across cache-hit resubmission")
+	}
+
+	praw, err := c.RawJobTrace(ctx, job.ID, client.TraceFormatParaver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(praw), "paraver timeline") {
+		t.Fatalf("paraver output missing header:\n%s", praw)
+	}
+
+	// History: the server sampler runs on its own cadence; one manual
+	// sample makes the query deterministic.
+	s.SampleHistory()
+	snap, err := c.MetricsHistory(ctx, client.HistorySelection{
+		Series: []string{"go_goroutines"},
+		Window: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.MaxSamples < 256 || len(snap.Series) != 1 {
+		t.Fatalf("history snapshot %+v", snap)
+	}
+	sr := snap.Series[0]
+	if sr.Name != "go_goroutines" || sr.Type != "gauge" || len(sr.Samples) == 0 {
+		t.Fatalf("history series %+v", sr)
+	}
+	if sr.Samples[len(sr.Samples)-1].Value <= 0 {
+		t.Errorf("go_goroutines sampled %g, want > 0", sr.Samples[len(sr.Samples)-1].Value)
+	}
+}
+
+// TestClientTraceErrors pins *APIError propagation on the trace and
+// history routes.
+func TestClientTraceErrors(t *testing.T) {
+	s, c := newServer(t)
+	ctx := context.Background()
+
+	wantCode := func(err error, code string) {
+		t.Helper()
+		var apiErr *client.APIError
+		if err == nil || !errors.As(err, &apiErr) || apiErr.Code != code {
+			t.Fatalf("error %v, want envelope code %s", err, code)
+		}
+	}
+
+	_, err := c.JobTrace(ctx, "job-999999")
+	wantCode(err, "unknown_job")
+
+	job, err := c.Submit(ctx, sedovSpec(50, 216))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.RawJobTrace(ctx, job.ID, client.TraceFormatPerfetto)
+	wantCode(err, "conflict")
+	_, err = c.RawJobTrace(ctx, job.ID, "vampir")
+	wantCode(err, "invalid_argument")
+	if err := s.Cancel(job.ID); err != nil {
+		t.Fatal(err)
+	}
+}
